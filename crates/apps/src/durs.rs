@@ -1,0 +1,354 @@
+//! Delayed uniform random string (DURS) generation — paper §6.1.
+//!
+//! Each party contributes λ bits of randomness through simultaneous
+//! broadcast; the agreed string is the XOR of all valid contributions.
+//! Simultaneity is exactly what makes the beacon unbiasable: no
+//! contributor — however many parties are corrupted — can choose its share
+//! as a function of the others'.
+//!
+//! * [`DursFunc`] — the functionality `F_DURS(∆, α)` (Fig. 15).
+//! * [`DursSession`] — the protocol `Π_DURS` (Fig. 16) over the real SBC
+//!   stack, exposed as a session API.
+//! * [`NaiveBeacon`] — the commit-free XOR beacon baseline, with the
+//!   classic last-revealer bias attack.
+
+use sbc_core::api::{SbcResult, SbcSession};
+use sbc_primitives::drbg::Drbg;
+use sbc_uc::hybrid::HybridCtx;
+use sbc_uc::ids::PartyId;
+use std::collections::HashMap;
+
+/// Byte length of the generated string (λ = 256 bits).
+pub const URS_LEN: usize = 32;
+
+/// The functionality `F_DURS(∆, α)` (Fig. 15): a single uniform string,
+/// delivered `∆` rounds after the first request; the simulator may read it
+/// `α` rounds early.
+#[derive(Clone, Debug)]
+pub struct DursFunc {
+    delta: u64,
+    alpha: u64,
+    urs: Option<Vec<u8>>,
+    t_start: Option<u64>,
+    waiting: HashMap<PartyId, ()>,
+}
+
+impl DursFunc {
+    /// Creates the functionality.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `∆ ≥ α`.
+    pub fn new(delta: u64, alpha: u64) -> Self {
+        assert!(delta >= alpha, "need ∆ ≥ α");
+        DursFunc { delta, alpha, urs: None, t_start: None, waiting: HashMap::new() }
+    }
+
+    /// `URS` request from an honest party: samples the string on first use,
+    /// records the requester, and answers once `∆` rounds have elapsed.
+    pub fn request(&mut self, party: PartyId, ctx: &mut HybridCtx<'_>) -> Option<Vec<u8>> {
+        let now = ctx.time();
+        if self.urs.is_none() {
+            self.urs = Some(ctx.rng.gen_bytes(URS_LEN));
+        }
+        self.waiting.insert(party, ());
+        let start = *self.t_start.get_or_insert(now);
+        if now >= start + self.delta {
+            self.urs.clone()
+        } else {
+            None
+        }
+    }
+
+    /// Simulator request: available `α` rounds early.
+    pub fn request_simulator(&mut self, ctx: &mut HybridCtx<'_>) -> Option<Vec<u8>> {
+        let now = ctx.time();
+        let start = self.t_start?;
+        if now + self.alpha >= start + self.delta {
+            self.urs.clone()
+        } else {
+            None
+        }
+    }
+
+    /// `Advance_Clock` delivery: parties that requested earlier receive the
+    /// string at exactly `t_start + ∆`.
+    pub fn advance_clock(&mut self, party: PartyId, ctx: &mut HybridCtx<'_>) -> Option<Vec<u8>> {
+        let now = ctx.time();
+        let start = self.t_start?;
+        if now == start + self.delta && self.waiting.contains_key(&party) {
+            self.urs.clone()
+        } else {
+            None
+        }
+    }
+}
+
+/// The result of a DURS run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DursResult {
+    /// The agreed uniform string (XOR of all contributions).
+    pub urs: Vec<u8>,
+    /// Number of contributions combined.
+    pub contributions: usize,
+    /// The release round.
+    pub release_round: u64,
+}
+
+/// `Π_DURS` (Fig. 16) over the real SBC stack: every participating party
+/// contributes λ random bits via simultaneous broadcast; the output is
+/// their XOR.
+#[derive(Debug)]
+pub struct DursSession {
+    sbc: SbcSession,
+    n: usize,
+    rng: Drbg,
+    contributed: Vec<bool>,
+}
+
+impl DursSession {
+    /// Creates a session for `n` parties.
+    pub fn new(n: usize, seed: &[u8]) -> Self {
+        let mut label = b"durs/".to_vec();
+        label.extend_from_slice(seed);
+        DursSession {
+            sbc: SbcSession::builder(n).seed(seed).build(),
+            n,
+            rng: Drbg::from_seed(&label),
+            contributed: vec![false; n],
+        }
+    }
+
+    /// Party `p` contributes fresh randomness (idempotent per party).
+    pub fn contribute(&mut self, p: u32) {
+        if self.contributed[p as usize] {
+            return;
+        }
+        self.contributed[p as usize] = true;
+        let mut party_rng = self.rng.fork(format!("contrib/{p}").as_bytes());
+        let rho = party_rng.gen_bytes(URS_LEN);
+        self.sbc.submit(p, &rho);
+    }
+
+    /// Adversarial contribution with a *chosen* (non-random) share — used
+    /// by the bias experiments.
+    pub fn contribute_chosen(&mut self, p: u32, share: &[u8; URS_LEN]) {
+        if self.contributed[p as usize] {
+            return;
+        }
+        self.contributed[p as usize] = true;
+        self.sbc.submit(p, share);
+    }
+
+    /// Runs to completion and XORs all valid λ-bit contributions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nobody contributed.
+    pub fn finish(mut self) -> DursResult {
+        let SbcResult { messages, release_round, .. } = self.sbc.run_to_completion();
+        let mut urs = vec![0u8; URS_LEN];
+        let mut contributions = 0;
+        for m in &messages {
+            if m.len() != URS_LEN {
+                continue; // non-λ-bit strings are discarded (Fig. 16)
+            }
+            contributions += 1;
+            for (acc, b) in urs.iter_mut().zip(m.iter()) {
+                *acc ^= b;
+            }
+        }
+        DursResult { urs, contributions, release_round }
+    }
+
+    /// Number of registered parties.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+}
+
+/// The naive commit-free XOR beacon: shares are public the moment they are
+/// posted, so the last revealer fully controls the output.
+#[derive(Clone, Debug, Default)]
+pub struct NaiveBeacon {
+    shares: Vec<Vec<u8>>,
+}
+
+impl NaiveBeacon {
+    /// Creates an empty beacon.
+    pub fn new() -> Self {
+        NaiveBeacon::default()
+    }
+
+    /// Posts a share (instantly public).
+    pub fn post(&mut self, share: Vec<u8>) {
+        self.shares.push(share);
+    }
+
+    /// Adversary view of all posted shares.
+    pub fn view(&self) -> &[Vec<u8>] {
+        &self.shares
+    }
+
+    /// Current XOR of all posted shares.
+    pub fn combined(&self) -> Vec<u8> {
+        let mut acc = vec![0u8; URS_LEN];
+        for s in &self.shares {
+            if s.len() == URS_LEN {
+                for (a, b) in acc.iter_mut().zip(s.iter()) {
+                    *a ^= b;
+                }
+            }
+        }
+        acc
+    }
+}
+
+/// The last-revealer attack on the naive beacon: the adversary waits for
+/// every honest share, then posts the share that forces the beacon output
+/// to `target`. Returns the resulting beacon output (always `target`).
+pub fn last_revealer_attack(honest_shares: &[[u8; URS_LEN]], target: &[u8; URS_LEN]) -> Vec<u8> {
+    let mut beacon = NaiveBeacon::new();
+    for s in honest_shares {
+        beacon.post(s.to_vec());
+    }
+    // Rushing adversary: combine the public view and cancel it.
+    let current = beacon.combined();
+    let mut forced = [0u8; URS_LEN];
+    for i in 0..URS_LEN {
+        forced[i] = current[i] ^ target[i];
+    }
+    beacon.post(forced.to_vec());
+    beacon.combined()
+}
+
+/// Attempts the same attack against DURS over real SBC: the adversary
+/// contributes last, after observing every leak of the broadcast period.
+/// Its share cannot depend on the honest shares (they are time-locked), so
+/// the output retains the honest parties' entropy. Returns `(output,
+/// target_hit)`.
+pub fn last_revealer_attack_on_durs(seed: &[u8], target: &[u8; URS_LEN]) -> (Vec<u8>, bool) {
+    // The adversary's best strategy within the model: contribute any value
+    // chosen independently of the (hidden) honest shares.
+    let mut session = DursSession::new(3, seed);
+    session.contribute(0);
+    session.contribute(1);
+    // Adversarial third party: chooses its share with full knowledge of the
+    // public view so far — which reveals nothing about the honest ρ's.
+    session.contribute_chosen(2, target);
+    let result = session.finish();
+    let hit = &result.urs == target;
+    (result.urs, hit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbc_uc::clock::GlobalClock;
+    use sbc_uc::corruption::CorruptionTracker;
+
+    #[test]
+    fn func_single_string_for_everyone() {
+        let mut clock = GlobalClock::new(PartyId::all(2));
+        let mut rng = Drbg::from_seed(b"durs-f");
+        let mut leaks = Vec::new();
+        let mut corr = CorruptionTracker::new(2);
+        let mut f = DursFunc::new(3, 1);
+        let mut ctx = HybridCtx { clock: &mut clock, rng: &mut rng, leaks: &mut leaks, corr: &mut corr };
+        assert!(f.request(PartyId(0), &mut ctx).is_none(), "too early");
+        assert!(f.request_simulator(&mut ctx).is_none(), "α=1 < ∆=3");
+        drop(ctx);
+        for _ in 0..2 {
+            clock.advance_party(PartyId(0));
+            clock.advance_party(PartyId(1));
+        }
+        let mut ctx = HybridCtx { clock: &mut clock, rng: &mut rng, leaks: &mut leaks, corr: &mut corr };
+        // Cl = 2 = ∆ - α: simulator gets it, parties don't.
+        assert!(f.request_simulator(&mut ctx).is_some());
+        assert!(f.request(PartyId(1), &mut ctx).is_none());
+        drop(ctx);
+        clock.advance_party(PartyId(0));
+        clock.advance_party(PartyId(1));
+        let mut ctx = HybridCtx { clock: &mut clock, rng: &mut rng, leaks: &mut leaks, corr: &mut corr };
+        let urs0 = f.advance_clock(PartyId(0), &mut ctx).unwrap();
+        let urs1 = f.request(PartyId(1), &mut ctx).unwrap();
+        assert_eq!(urs0, urs1);
+        assert_eq!(urs0.len(), URS_LEN);
+    }
+
+    #[test]
+    fn durs_all_parties_agree() {
+        let mut s = DursSession::new(3, b"agree");
+        for p in 0..3 {
+            s.contribute(p);
+        }
+        let r = s.finish();
+        assert_eq!(r.contributions, 3);
+        assert_eq!(r.urs.len(), URS_LEN);
+        assert_ne!(r.urs, vec![0u8; URS_LEN]);
+    }
+
+    #[test]
+    fn durs_deterministic_per_seed() {
+        let run = |seed: &[u8]| {
+            let mut s = DursSession::new(2, seed);
+            s.contribute(0);
+            s.contribute(1);
+            s.finish().urs
+        };
+        assert_eq!(run(b"seed-a"), run(b"seed-a"));
+        assert_ne!(run(b"seed-a"), run(b"seed-b"));
+    }
+
+    #[test]
+    fn durs_partial_participation() {
+        let mut s = DursSession::new(4, b"partial");
+        s.contribute(1);
+        let r = s.finish();
+        assert_eq!(r.contributions, 1, "terminates without full participation");
+    }
+
+    #[test]
+    fn naive_beacon_fully_biasable() {
+        let target = [0x42u8; URS_LEN];
+        let honest = [[0x11u8; URS_LEN], [0x77u8; URS_LEN]];
+        let out = last_revealer_attack(&honest, &target);
+        assert_eq!(out, target.to_vec(), "the last revealer forces any output");
+    }
+
+    #[test]
+    fn durs_not_biasable_by_last_revealer() {
+        let target = [0x42u8; URS_LEN];
+        let mut hits = 0;
+        for seed in [&b"b1"[..], b"b2", b"b3", b"b4"] {
+            let (_, hit) = last_revealer_attack_on_durs(seed, &target);
+            hits += hit as u32;
+        }
+        assert_eq!(hits, 0, "2^-256 events don't happen");
+    }
+
+    #[test]
+    fn output_bits_roughly_uniform() {
+        // Aggregate bit balance over several independent runs.
+        let mut ones = 0u32;
+        let mut total = 0u32;
+        for i in 0..8u8 {
+            let mut s = DursSession::new(2, &[b'u', i]);
+            s.contribute(0);
+            s.contribute(1);
+            let urs = s.finish().urs;
+            for byte in urs {
+                ones += byte.count_ones();
+                total += 8;
+            }
+        }
+        let ratio = ones as f64 / total as f64;
+        assert!((0.40..=0.60).contains(&ratio), "bit ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "∆ ≥ α")]
+    fn func_invalid_params() {
+        DursFunc::new(1, 2);
+    }
+}

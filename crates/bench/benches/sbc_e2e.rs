@@ -1,0 +1,38 @@
+//! E5/E8: end-to-end simultaneous broadcast sessions over the full stack.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sbc_core::api::SbcSession;
+use std::time::Duration;
+
+fn run_session(n: usize, phi: u64) -> usize {
+    let mut s = SbcSession::builder(n).phi(phi).seed(b"bench").build();
+    for i in 0..n {
+        s.submit(i as u32, format!("message from {i}").as_bytes());
+    }
+    s.run_to_completion().messages.len()
+}
+
+fn bench_sbc_n(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sbc_session_by_n");
+    g.measurement_time(Duration::from_secs(3)).sample_size(10);
+    for n in [2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| run_session(n, 3))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sbc_phi(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sbc_session_by_phi");
+    g.measurement_time(Duration::from_secs(3)).sample_size(10);
+    for phi in [3u64, 6, 12] {
+        g.bench_with_input(BenchmarkId::from_parameter(phi), &phi, |b, &phi| {
+            b.iter(|| run_session(4, phi))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sbc_n, bench_sbc_phi);
+criterion_main!(benches);

@@ -1,0 +1,2 @@
+#![allow(missing_docs)]
+//! Benchmarks and the experiments binary live in this crate; see benches/ and src/bin/.

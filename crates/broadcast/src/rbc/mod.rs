@@ -1,0 +1,5 @@
+//! Relaxed broadcast (RBC): the single-message functionality `F_RBC`
+//! (Fig. 6) and the Dolev–Strong protocol realizing it (Fact 1).
+
+pub mod dolev_strong;
+pub mod func;

@@ -1,0 +1,235 @@
+//! The unfair broadcast protocol `Π_UBC` (paper Fig. 9): concurrent unfair
+//! broadcast from per-sender counters over fresh `F_RBC` instances.
+//!
+//! Party `P`'s `j`-th broadcast of a round goes to instance
+//! `F_RBC[P, total_P]`; on `Advance_Clock`, `P` instructs each of this
+//! round's instances to deliver, in order, then resets her counter.
+
+use crate::rbc::func::{parse_rbc_delivery, RbcFunc};
+use crate::ubc::UbcLayer;
+use sbc_uc::hybrid::{Delivery, HybridCtx};
+use sbc_uc::ids::PartyId;
+use sbc_uc::value::{Command, Value};
+use std::collections::BTreeMap;
+
+/// Leak-source label for the `i`-th `F_RBC` instance of `sender`.
+pub fn rbc_instance_label(sender: PartyId, index: u64) -> String {
+    format!("F_RBC[{sender},{index}]")
+}
+
+/// Parses an instance label back into `(sender, index)`.
+pub fn parse_instance_label(label: &str) -> Option<(PartyId, u64)> {
+    let inner = label.strip_prefix("F_RBC[")?.strip_suffix(']')?;
+    let (p, i) = inner.split_once(',')?;
+    let party = p.strip_prefix('P')?.parse().ok()?;
+    Some((PartyId(party), i.parse().ok()?))
+}
+
+/// The protocol `Π_UBC(F_RBC, P)`.
+#[derive(Clone, Debug)]
+pub struct UbcProtocol {
+    n: usize,
+    /// `total_P` counters.
+    totals: Vec<u64>,
+    /// `count_P` counters (instances opened in the current round).
+    counts: Vec<u64>,
+    instances: BTreeMap<(u32, u64), RbcFunc>,
+    last_advance: Vec<Option<u64>>,
+}
+
+impl UbcProtocol {
+    /// Creates the protocol state for `n` parties.
+    pub fn new(n: usize) -> Self {
+        UbcProtocol {
+            n,
+            totals: vec![0; n],
+            counts: vec![0; n],
+            instances: BTreeMap::new(),
+            last_advance: vec![None; n],
+        }
+    }
+
+    /// Number of `F_RBC` instances created so far (cost accounting).
+    pub fn instance_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    fn strip(deliveries: Vec<Delivery>) -> Vec<Delivery> {
+        // Parties forward (Broadcast, M) to Z, dropping the sender identity.
+        deliveries
+            .into_iter()
+            .filter_map(|d| {
+                let (msg, _sender) = parse_rbc_delivery(&d.cmd)?;
+                Some(Delivery::new(d.to, Command::new("Broadcast", msg)))
+            })
+            .collect()
+    }
+}
+
+impl UbcLayer for UbcProtocol {
+    fn broadcast(&mut self, sender: PartyId, msg: Value, ctx: &mut HybridCtx<'_>) {
+        if ctx.is_corrupted(sender) {
+            return;
+        }
+        self.counts[sender.index()] += 1;
+        self.totals[sender.index()] += 1;
+        let idx = self.totals[sender.index()];
+        let mut inst = RbcFunc::new(self.n, rbc_instance_label(sender, idx));
+        inst.broadcast_honest(sender, msg, ctx);
+        self.instances.insert((sender.0, idx), inst);
+    }
+
+    fn adv_broadcast(
+        &mut self,
+        sender: PartyId,
+        msg: Value,
+        ctx: &mut HybridCtx<'_>,
+    ) -> Vec<Delivery> {
+        if !ctx.is_corrupted(sender) {
+            return Vec::new();
+        }
+        self.totals[sender.index()] += 1;
+        let idx = self.totals[sender.index()];
+        let mut inst = RbcFunc::new(self.n, rbc_instance_label(sender, idx));
+        let ds = inst.broadcast_corrupted(sender, msg, ctx);
+        self.instances.insert((sender.0, idx), inst);
+        Self::strip(ds)
+    }
+
+    fn adv_allow(&mut self, handle: &Value, msg: Value, ctx: &mut HybridCtx<'_>) -> Vec<Delivery> {
+        let Some(label) = handle.as_str() else {
+            return Vec::new();
+        };
+        let Some((party, idx)) = parse_instance_label(label) else {
+            return Vec::new();
+        };
+        let Some(inst) = self.instances.get_mut(&(party.0, idx)) else {
+            return Vec::new();
+        };
+        Self::strip(inst.allow(msg, ctx))
+    }
+
+    fn advance(&mut self, party: PartyId, ctx: &mut HybridCtx<'_>) -> Vec<Delivery> {
+        if ctx.is_corrupted(party) {
+            return Vec::new();
+        }
+        let now = ctx.time();
+        if self.last_advance[party.index()] == Some(now) {
+            return Vec::new();
+        }
+        self.last_advance[party.index()] = Some(now);
+        let total = self.totals[party.index()];
+        let count = self.counts[party.index()];
+        let mut out = Vec::new();
+        for j in 1..=count {
+            let idx = total - (count - j);
+            if let Some(inst) = self.instances.get_mut(&(party.0, idx)) {
+                out.extend(Self::strip(inst.advance_clock(party, ctx)));
+            }
+        }
+        self.counts[party.index()] = 0;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbc_primitives::drbg::Drbg;
+    use sbc_uc::clock::GlobalClock;
+    use sbc_uc::corruption::CorruptionTracker;
+
+    struct Fx {
+        clock: GlobalClock,
+        rng: Drbg,
+        leaks: Vec<sbc_uc::world::Leak>,
+        corr: CorruptionTracker,
+    }
+
+    impl Fx {
+        fn new(n: usize) -> Self {
+            Fx {
+                clock: GlobalClock::new(PartyId::all(n)),
+                rng: Drbg::from_seed(b"ubcp"),
+                leaks: Vec::new(),
+                corr: CorruptionTracker::new(n),
+            }
+        }
+        fn ctx(&mut self) -> HybridCtx<'_> {
+            HybridCtx {
+                clock: &mut self.clock,
+                rng: &mut self.rng,
+                leaks: &mut self.leaks,
+                corr: &mut self.corr,
+            }
+        }
+    }
+
+    #[test]
+    fn label_round_trip() {
+        let l = rbc_instance_label(PartyId(3), 7);
+        assert_eq!(l, "F_RBC[P3,7]");
+        assert_eq!(parse_instance_label(&l), Some((PartyId(3), 7)));
+        assert_eq!(parse_instance_label("garbage"), None);
+    }
+
+    #[test]
+    fn multi_message_round_ordering() {
+        let mut fx = Fx::new(2);
+        let mut p = UbcProtocol::new(2);
+        p.broadcast(PartyId(0), Value::U64(10), &mut fx.ctx());
+        p.broadcast(PartyId(0), Value::U64(20), &mut fx.ctx());
+        let ds = p.advance(PartyId(0), &mut fx.ctx());
+        assert_eq!(ds.len(), 4);
+        assert_eq!(ds[0].cmd.value, Value::U64(10));
+        assert_eq!(ds[2].cmd.value, Value::U64(20));
+        assert_eq!(p.instance_count(), 2);
+    }
+
+    #[test]
+    fn counter_reset_across_rounds() {
+        let mut fx = Fx::new(2);
+        let mut p = UbcProtocol::new(2);
+        p.broadcast(PartyId(0), Value::U64(1), &mut fx.ctx());
+        p.advance(PartyId(0), &mut fx.ctx());
+        fx.clock.advance_party(PartyId(0));
+        fx.clock.advance_party(PartyId(1));
+        p.broadcast(PartyId(0), Value::U64(2), &mut fx.ctx());
+        let ds = p.advance(PartyId(0), &mut fx.ctx());
+        assert_eq!(ds.len(), 2, "only the new round's message");
+        assert_eq!(ds[0].cmd.value, Value::U64(2));
+    }
+
+    #[test]
+    fn adversarial_broadcast_immediate() {
+        let mut fx = Fx::new(3);
+        fx.corr.corrupt(PartyId(1), 0).unwrap();
+        let mut p = UbcProtocol::new(3);
+        let ds = p.adv_broadcast(PartyId(1), Value::U64(66), &mut fx.ctx());
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds[0].cmd.value, Value::U64(66));
+    }
+
+    #[test]
+    fn allow_substitution_after_mid_round_corruption() {
+        let mut fx = Fx::new(2);
+        let mut p = UbcProtocol::new(2);
+        p.broadcast(PartyId(0), Value::U64(1), &mut fx.ctx());
+        fx.corr.corrupt(PartyId(0), 0).unwrap();
+        let handle = Value::str(rbc_instance_label(PartyId(0), 1));
+        let ds = p.adv_allow(&handle, Value::U64(2), &mut fx.ctx());
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds[0].cmd.value, Value::U64(2));
+        // After corruption the party's advance is ignored.
+        assert!(p.advance(PartyId(0), &mut fx.ctx()).is_empty());
+    }
+
+    #[test]
+    fn leaks_at_input_time() {
+        let mut fx = Fx::new(2);
+        let mut p = UbcProtocol::new(2);
+        p.broadcast(PartyId(0), Value::bytes(b"m"), &mut fx.ctx());
+        assert_eq!(fx.leaks.len(), 1);
+        assert_eq!(fx.leaks[0].source, "F_RBC[P0,1]");
+    }
+}

@@ -1,0 +1,210 @@
+//! High-level session API: run simultaneous broadcast without touching the
+//! UC machinery.
+//!
+//! [`SbcSession`] wires the full real-world stack (`Π_SBC` over `F_UBC` +
+//! `F_TLE` + `F_RO` + `G_clock`), drives the rounds, and returns the
+//! agreed message vector. This is the entry point a downstream application
+//! (auctions, lotteries, elections, randomness beacons) would use.
+//!
+//! # Examples
+//!
+//! ```
+//! use sbc_core::api::SbcSession;
+//!
+//! let mut session = SbcSession::builder(3).seed(b"quick").build();
+//! session.submit(0, b"alice's sealed bid");
+//! session.submit(1, b"bob's sealed bid");
+//! let result = session.run_to_completion();
+//! assert_eq!(result.messages.len(), 2);
+//! assert!(result.release_round > 0);
+//! ```
+
+use crate::worlds::{RealSbcWorld, SbcParams};
+use sbc_uc::ids::PartyId;
+use sbc_uc::value::{Command, Value};
+use sbc_uc::world::World;
+
+/// Builder for [`SbcSession`].
+#[derive(Clone, Debug)]
+pub struct SbcSessionBuilder {
+    params: SbcParams,
+    seed: Vec<u8>,
+}
+
+impl SbcSessionBuilder {
+    /// Broadcast period span Φ (rounds).
+    pub fn phi(mut self, phi: u64) -> Self {
+        self.params.phi = phi;
+        self
+    }
+
+    /// Delivery delay ∆ (rounds after the period ends).
+    pub fn delta(mut self, delta: u64) -> Self {
+        self.params.delta = delta;
+        self
+    }
+
+    /// Experiment seed (determines all randomness).
+    pub fn seed(mut self, seed: &[u8]) -> Self {
+        self.seed = seed.to_vec();
+        self
+    }
+
+    /// Builds the session.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters violate Theorem 2's constraints
+    /// (`Φ > delay`, `∆ > α_TLE`).
+    pub fn build(self) -> SbcSession {
+        SbcSession {
+            world: RealSbcWorld::new(self.params, &self.seed),
+            params: self.params,
+            submitted: 0,
+        }
+    }
+}
+
+/// The outcome of an SBC session.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SbcResult {
+    /// The agreed message vector (lexicographically sorted), identical at
+    /// every honest party.
+    pub messages: Vec<Vec<u8>>,
+    /// The round at which the vector was released (`t_end + ∆`).
+    pub release_round: u64,
+    /// Total rounds executed.
+    pub rounds: u64,
+}
+
+/// A running simultaneous-broadcast session over the real protocol stack.
+#[derive(Debug)]
+pub struct SbcSession {
+    world: RealSbcWorld,
+    params: SbcParams,
+    submitted: usize,
+}
+
+impl SbcSession {
+    /// Starts building a session for `n` parties.
+    pub fn builder(n: usize) -> SbcSessionBuilder {
+        SbcSessionBuilder { params: SbcParams::default_for(n), seed: b"sbc-session".to_vec() }
+    }
+
+    /// The session parameters.
+    pub fn params(&self) -> SbcParams {
+        self.params
+    }
+
+    /// Submits `message` for broadcast by party `party`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `party` is out of range.
+    pub fn submit(&mut self, party: u32, message: &[u8]) {
+        assert!((party as usize) < self.params.n, "party out of range");
+        self.submitted += 1;
+        self.world
+            .input(PartyId(party), Command::new("Broadcast", Value::bytes(message)));
+    }
+
+    /// Runs one full round (all parties advance). Returns any released
+    /// message vector.
+    pub fn step_round(&mut self) -> Option<SbcResult> {
+        for i in 0..self.params.n {
+            self.world.advance(PartyId(i as u32));
+        }
+        let outs = self.world.drain_outputs();
+        let _ = self.world.drain_leaks();
+        outs.into_iter().next().map(|(_, cmd)| {
+            let messages = cmd
+                .value
+                .as_list()
+                .unwrap_or(&[])
+                .iter()
+                .map(|v| match v {
+                    Value::Bytes(b) => b.clone(),
+                    other => other.encode(),
+                })
+                .collect();
+            SbcResult {
+                messages,
+                release_round: self.world.time().saturating_sub(1),
+                rounds: self.world.time(),
+            }
+        })
+    }
+
+    /// Runs rounds until the broadcast result is released.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing was ever submitted (the period never opens) or the
+    /// session fails to terminate within `Φ + ∆ + 4` rounds of the first
+    /// submission.
+    pub fn run_to_completion(&mut self) -> SbcResult {
+        assert!(self.submitted > 0, "submit at least one message first");
+        let budget = self.params.phi + self.params.delta + 4;
+        for _ in 0..budget {
+            if let Some(result) = self.step_round() {
+                return result;
+            }
+        }
+        panic!("SBC session failed to terminate within {budget} rounds");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quickstart_flow() {
+        let mut s = SbcSession::builder(3).seed(b"api-test").build();
+        s.submit(0, b"one");
+        s.submit(1, b"two");
+        let r = s.run_to_completion();
+        assert_eq!(r.messages.len(), 2);
+        assert!(r.messages.contains(&b"one".to_vec()));
+        assert!(r.messages.contains(&b"two".to_vec()));
+        assert_eq!(r.release_round, 3 + 2);
+    }
+
+    #[test]
+    fn custom_parameters() {
+        let mut s = SbcSession::builder(2).phi(4).delta(3).seed(b"custom").build();
+        s.submit(0, b"m");
+        let r = s.run_to_completion();
+        assert_eq!(r.release_round, 4 + 3);
+    }
+
+    #[test]
+    fn messages_sorted_deterministically() {
+        let mut s = SbcSession::builder(3).seed(b"sorted").build();
+        s.submit(2, b"zzz");
+        s.submit(0, b"aaa");
+        s.submit(1, b"mmm");
+        let r = s.run_to_completion();
+        assert_eq!(r.messages, vec![b"aaa".to_vec(), b"mmm".to_vec(), b"zzz".to_vec()]);
+    }
+
+    #[test]
+    fn single_submitter_liveness() {
+        let mut s = SbcSession::builder(5).seed(b"solo").build();
+        s.submit(3, b"alone");
+        let r = s.run_to_completion();
+        assert_eq!(r.messages, vec![b"alone".to_vec()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "submit at least one message")]
+    fn empty_session_panics() {
+        SbcSession::builder(2).seed(b"empty").build().run_to_completion();
+    }
+
+    #[test]
+    #[should_panic(expected = "party out of range")]
+    fn out_of_range_party_panics() {
+        SbcSession::builder(2).seed(b"oops").build().submit(7, b"x");
+    }
+}

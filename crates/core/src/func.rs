@@ -1,0 +1,441 @@
+//! The simultaneous broadcast functionality `F_SBC(Φ, ∆, α)` (paper
+//! Fig. 13) — the paper's central definition.
+//!
+//! The first `Broadcast` request opens a broadcast period of `Φ` rounds.
+//! Within it, honest requests are recorded while leaking only the sender's
+//! identity and the message *length* — that is **simultaneity**: no sender
+//! (and no adversary) learns anything about other senders' messages before
+//! choosing its own. At the period's end the honest records are finalized
+//! and sorted; the simulator receives the list `α` rounds before the
+//! parties, who all receive it exactly `∆` rounds after `t_end` —
+//! **liveness** without full participation.
+
+use sbc_primitives::drbg::Drbg;
+use sbc_uc::hybrid::{Delivery, HybridCtx};
+use sbc_uc::ids::{PartyId, Tag};
+use sbc_uc::value::{Command, Value};
+use std::collections::HashMap;
+
+/// Leak source label for `F_SBC`.
+pub const SBC_SOURCE: &str = "F_SBC";
+
+/// A recorded broadcast `(tag, M, P, Cl, flag)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SbcRecord {
+    /// Unique tag.
+    pub tag: Tag,
+    /// The message.
+    pub msg: Value,
+    /// The sender.
+    pub sender: PartyId,
+    /// Request round.
+    pub requested_at: u64,
+    /// Finalization flag: only flagged records are delivered.
+    pub finalized: bool,
+}
+
+/// The functionality `F_SBC^{Φ,∆,α}(P)`.
+#[derive(Clone, Debug)]
+pub struct SbcFunc {
+    n: usize,
+    phi: u64,
+    delta: u64,
+    alpha: u64,
+    records: Vec<SbcRecord>,
+    t_start: Option<u64>,
+    t_end: Option<u64>,
+    /// Round bookkeeping for the once-per-round steps of `Advance_Clock`.
+    round_seen: Option<u64>,
+    finalized_done: bool,
+    sim_list_sent: bool,
+    last_advance: HashMap<PartyId, u64>,
+    tag_rng: Drbg,
+}
+
+impl SbcFunc {
+    /// Creates the functionality.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `Φ > 0` and `∆ ≥ α`.
+    pub fn new(n: usize, phi: u64, delta: u64, alpha: u64, tag_rng: Drbg) -> Self {
+        assert!(phi > 0, "broadcast period must be positive");
+        assert!(delta >= alpha, "need ∆ ≥ α");
+        SbcFunc {
+            n,
+            phi,
+            delta,
+            alpha,
+            records: Vec::new(),
+            t_start: None,
+            t_end: None,
+            round_seen: None,
+            finalized_done: false,
+            sim_list_sent: false,
+            last_advance: HashMap::new(),
+            tag_rng,
+        }
+    }
+
+    /// The broadcast period span Φ.
+    pub fn phi(&self) -> u64 {
+        self.phi
+    }
+
+    /// The delivery delay ∆.
+    pub fn delta(&self) -> u64 {
+        self.delta
+    }
+
+    /// The simulator advantage α.
+    pub fn alpha(&self) -> u64 {
+        self.alpha
+    }
+
+    /// Start of the broadcast period, if opened.
+    pub fn t_start(&self) -> Option<u64> {
+        self.t_start
+    }
+
+    /// End of the broadcast period, if opened.
+    pub fn t_end(&self) -> Option<u64> {
+        self.t_end
+    }
+
+    /// All records (simulator view).
+    pub fn records(&self) -> &[SbcRecord] {
+        &self.records
+    }
+
+    /// `Broadcast` from an honest party (leaks `(tag, |M|, P)`) or from the
+    /// simulator on behalf of a corrupted one (leaks `(tag, M, P)`; record
+    /// enters finalized). Requests outside the period are discarded.
+    /// Returns the tag if recorded.
+    pub fn broadcast(
+        &mut self,
+        sender: PartyId,
+        msg: Value,
+        ctx: &mut HybridCtx<'_>,
+    ) -> Option<Tag> {
+        let now = ctx.time();
+        if self.t_start.is_none() {
+            self.t_start = Some(now);
+            self.t_end = Some(now + self.phi);
+        }
+        let (start, end) = (self.t_start.expect("set"), self.t_end.expect("set"));
+        if !(start <= now && now < end) {
+            return None;
+        }
+        let tag = Tag::random(&mut self.tag_rng);
+        let corrupted = ctx.is_corrupted(sender);
+        self.records.push(SbcRecord {
+            tag,
+            msg: msg.clone(),
+            sender,
+            requested_at: now,
+            finalized: corrupted,
+        });
+        let leak_payload = if corrupted {
+            Value::list([
+                Value::str("Sender"),
+                Value::bytes(tag.as_bytes()),
+                msg,
+                Value::U64(sender.0 as u64),
+            ])
+        } else {
+            Value::list([
+                Value::str("Sender"),
+                Value::bytes(tag.as_bytes()),
+                Value::U64(msg.encode().len() as u64),
+                Value::U64(sender.0 as u64),
+            ])
+        };
+        ctx.leak(SBC_SOURCE, Command::new("Broadcast", leak_payload));
+        Some(tag)
+    }
+
+    /// `Corruption_Request` from the simulator: unfinalized records of
+    /// corrupted senders.
+    pub fn corruption_request(&self, ctx: &HybridCtx<'_>) -> Vec<SbcRecord> {
+        self.records
+            .iter()
+            .filter(|r| !r.finalized && ctx.is_corrupted(r.sender))
+            .cloned()
+            .collect()
+    }
+
+    /// `Allow` from the simulator: substitutes and finalizes an unfinalized
+    /// record of a corrupted sender, within the broadcast period.
+    pub fn allow(&mut self, tag: Tag, msg: Value, sender: PartyId, ctx: &mut HybridCtx<'_>) -> bool {
+        let now = ctx.time();
+        let Some((start, end)) = self.t_start.zip(self.t_end) else {
+            return false;
+        };
+        if !(start <= now && now < end) || !ctx.is_corrupted(sender) {
+            return false;
+        }
+        let Some(rec) = self
+            .records
+            .iter_mut()
+            .find(|r| r.tag == tag && r.sender == sender && !r.finalized)
+        else {
+            return false;
+        };
+        rec.msg = msg;
+        rec.finalized = true;
+        true
+    }
+
+    /// Whether the simulator's early copy of the broadcast list is
+    /// available (strictly between finalization and delivery).
+    fn finalize_if_due(&mut self, now: u64) {
+        let Some(end) = self.t_end else { return };
+        if now >= end && !self.finalized_done {
+            self.finalized_done = true;
+            // Records of always-honest senders are finalized; the rest are
+            // dropped unless the simulator `Allow`ed them.
+            for r in self.records.iter_mut() {
+                if !r.finalized {
+                    // sender honest throughout ⇒ finalize (the corruption
+                    // state is consulted by the caller via ctx before this
+                    // point; unfinalized corrupted records stay dropped).
+                    r.finalized = true;
+                }
+            }
+            self.records.sort_by(|a, b| a.msg.cmp(&b.msg));
+        }
+    }
+
+    /// `Advance_Clock` from an honest party: runs the once-per-round
+    /// finalization/leak schedule and delivers the message vector to the
+    /// advancing party at exactly `t_end + ∆`.
+    pub fn advance_clock(&mut self, party: PartyId, ctx: &mut HybridCtx<'_>) -> Vec<Delivery> {
+        if ctx.is_corrupted(party) {
+            return Vec::new();
+        }
+        let now = ctx.time();
+        if self.last_advance.get(&party) == Some(&now) {
+            return Vec::new();
+        }
+        self.last_advance.insert(party, now);
+        let Some(end) = self.t_end else { return Vec::new() };
+        // Once-per-round global steps (first Advance_Clock of the round).
+        if self.round_seen != Some(now) {
+            self.round_seen = Some(now);
+            if now == end {
+                // Mark honest pending records finalized — but NOT records
+                // whose sender is corrupted and was never Allowed.
+                let corrupted: Vec<bool> = (0..self.n)
+                    .map(|i| ctx.is_corrupted(PartyId(i as u32)))
+                    .collect();
+                for r in self.records.iter_mut() {
+                    if !r.finalized && !corrupted[r.sender.index()] {
+                        r.finalized = true;
+                    }
+                }
+                self.records.sort_by(|a, b| a.msg.cmp(&b.msg));
+                self.finalized_done = true;
+            }
+            if now == end + self.delta - self.alpha && !self.sim_list_sent {
+                self.finalize_if_due(now);
+                self.sim_list_sent = true;
+                let list: Vec<Value> = self
+                    .records
+                    .iter()
+                    .filter(|r| r.finalized)
+                    .map(|r| Value::pair(Value::bytes(r.tag.as_bytes()), r.msg.clone()))
+                    .collect();
+                ctx.leak(SBC_SOURCE, Command::new("Broadcast", Value::List(list)));
+            }
+        }
+        if now == end + self.delta {
+            let msgs: Vec<Value> =
+                self.records.iter().filter(|r| r.finalized).map(|r| r.msg.clone()).collect();
+            return vec![Delivery::new(party, Command::new("Broadcast", Value::List(msgs)))];
+        }
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbc_uc::clock::GlobalClock;
+    use sbc_uc::corruption::CorruptionTracker;
+
+    struct Fx {
+        clock: GlobalClock,
+        rng: Drbg,
+        leaks: Vec<sbc_uc::world::Leak>,
+        corr: CorruptionTracker,
+    }
+
+    impl Fx {
+        fn new(n: usize) -> Self {
+            Fx {
+                clock: GlobalClock::new(PartyId::all(n)),
+                rng: Drbg::from_seed(b"sbc"),
+                leaks: Vec::new(),
+                corr: CorruptionTracker::new(n),
+            }
+        }
+        fn ctx(&mut self) -> HybridCtx<'_> {
+            HybridCtx {
+                clock: &mut self.clock,
+                rng: &mut self.rng,
+                leaks: &mut self.leaks,
+                corr: &mut self.corr,
+            }
+        }
+        fn tick(&mut self, n: usize) {
+            for i in 0..n {
+                self.clock.advance_party(PartyId(i as u32));
+            }
+        }
+    }
+
+    fn func(n: usize) -> SbcFunc {
+        SbcFunc::new(n, 3, 2, 1, Drbg::from_seed(b"sbc-tags"))
+    }
+
+    #[test]
+    fn period_opens_on_first_broadcast() {
+        let mut fx = Fx::new(2);
+        let mut f = func(2);
+        assert_eq!(f.t_start(), None);
+        f.broadcast(PartyId(0), Value::U64(1), &mut fx.ctx());
+        assert_eq!(f.t_start(), Some(0));
+        assert_eq!(f.t_end(), Some(3));
+    }
+
+    #[test]
+    fn honest_leak_hides_content() {
+        let mut fx = Fx::new(2);
+        let mut f = func(2);
+        f.broadcast(PartyId(0), Value::bytes(b"very secret ballot"), &mut fx.ctx());
+        let leak = fx.leaks[0].cmd.value.encode();
+        let needle = b"very secret ballot";
+        assert!(!leak.windows(needle.len()).any(|w| w == needle));
+    }
+
+    #[test]
+    fn corrupted_leak_shows_content() {
+        let mut fx = Fx::new(2);
+        fx.corr.corrupt(PartyId(1), 0).unwrap();
+        let mut f = func(2);
+        f.broadcast(PartyId(1), Value::bytes(b"adv"), &mut fx.ctx());
+        let leak = &fx.leaks[0].cmd.value;
+        assert!(leak.as_list().unwrap().contains(&Value::bytes(b"adv")));
+    }
+
+    #[test]
+    fn late_broadcasts_discarded() {
+        let mut fx = Fx::new(1);
+        let mut f = func(1);
+        f.broadcast(PartyId(0), Value::U64(1), &mut fx.ctx());
+        for _ in 0..3 {
+            fx.tick(1);
+        }
+        // Cl = 3 = t_end: outside the period.
+        assert!(f.broadcast(PartyId(0), Value::U64(2), &mut fx.ctx()).is_none());
+        assert_eq!(f.records().len(), 1);
+    }
+
+    #[test]
+    fn delivery_at_t_end_plus_delta_sorted() {
+        let mut fx = Fx::new(2);
+        let mut f = func(2);
+        f.broadcast(PartyId(0), Value::bytes(b"zebra"), &mut fx.ctx());
+        f.broadcast(PartyId(1), Value::bytes(b"apple"), &mut fx.ctx());
+        // Rounds 0..=4: nothing delivered (t_end = 3, ∆ = 2 → deliver at 5).
+        for round in 0..5 {
+            let ds = f.advance_clock(PartyId(0), &mut fx.ctx());
+            assert!(ds.is_empty(), "round {round}");
+            f.advance_clock(PartyId(1), &mut fx.ctx());
+            fx.tick(2);
+        }
+        let ds = f.advance_clock(PartyId(0), &mut fx.ctx());
+        assert_eq!(ds.len(), 1);
+        let msgs = ds[0].cmd.value.as_list().unwrap();
+        assert_eq!(msgs[0], Value::bytes(b"apple"));
+        assert_eq!(msgs[1], Value::bytes(b"zebra"));
+        // Each party gets its copy on its own advance.
+        let ds1 = f.advance_clock(PartyId(1), &mut fx.ctx());
+        assert_eq!(ds1.len(), 1);
+    }
+
+    #[test]
+    fn liveness_without_full_participation() {
+        // Only one of two parties ever broadcasts; delivery still happens.
+        let mut fx = Fx::new(2);
+        let mut f = func(2);
+        f.broadcast(PartyId(0), Value::U64(7), &mut fx.ctx());
+        for _ in 0..5 {
+            f.advance_clock(PartyId(0), &mut fx.ctx());
+            f.advance_clock(PartyId(1), &mut fx.ctx());
+            fx.tick(2);
+        }
+        let ds = f.advance_clock(PartyId(1), &mut fx.ctx());
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].cmd.value.as_list().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn simulator_gets_list_alpha_early() {
+        let mut fx = Fx::new(1);
+        let mut f = func(1); // t_end=3, ∆=2, α=1 → S at 4, parties at 5
+        f.broadcast(PartyId(0), Value::U64(1), &mut fx.ctx());
+        for _ in 0..4 {
+            f.advance_clock(PartyId(0), &mut fx.ctx());
+            fx.tick(1);
+        }
+        fx.leaks.clear();
+        let ds = f.advance_clock(PartyId(0), &mut fx.ctx());
+        assert!(ds.is_empty(), "round 4: no party delivery yet");
+        assert_eq!(fx.leaks.len(), 1, "round 4 = t_end+∆-α: simulator list");
+        fx.tick(1);
+        let ds = f.advance_clock(PartyId(0), &mut fx.ctx());
+        assert_eq!(ds.len(), 1, "round 5: party delivery");
+    }
+
+    #[test]
+    fn unallowed_corrupted_records_dropped() {
+        let mut fx = Fx::new(2);
+        let mut f = func(2);
+        f.broadcast(PartyId(0), Value::U64(1), &mut fx.ctx());
+        f.broadcast(PartyId(1), Value::U64(2), &mut fx.ctx());
+        fx.corr.corrupt(PartyId(1), 0).unwrap();
+        // P1's record was honest at request time but P1 is corrupted at
+        // t_end and the simulator never Allowed it → dropped.
+        for _ in 0..5 {
+            f.advance_clock(PartyId(0), &mut fx.ctx());
+            fx.tick(2);
+        }
+        let ds = f.advance_clock(PartyId(0), &mut fx.ctx());
+        let msgs = ds[0].cmd.value.as_list().unwrap();
+        assert_eq!(msgs, &[Value::U64(1)]);
+    }
+
+    #[test]
+    fn allow_substitutes_and_finalizes() {
+        let mut fx = Fx::new(2);
+        let mut f = func(2);
+        let tag = f.broadcast(PartyId(1), Value::U64(2), &mut fx.ctx()).unwrap();
+        fx.corr.corrupt(PartyId(1), 0).unwrap();
+        assert!(f.allow(tag, Value::U64(99), PartyId(1), &mut fx.ctx()));
+        // Double-allow fails (already finalized).
+        assert!(!f.allow(tag, Value::U64(5), PartyId(1), &mut fx.ctx()));
+        for _ in 0..5 {
+            f.advance_clock(PartyId(0), &mut fx.ctx());
+            fx.tick(2);
+        }
+        let ds = f.advance_clock(PartyId(0), &mut fx.ctx());
+        assert_eq!(ds[0].cmd.value.as_list().unwrap(), &[Value::U64(99)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_phi_panics() {
+        SbcFunc::new(1, 0, 2, 1, Drbg::from_seed(b"x"));
+    }
+}

@@ -1,0 +1,962 @@
+//! Real and ideal worlds for simultaneous broadcast (Theorem 2).
+//!
+//! * [`RealSbcWorld`] — parties run `Π_SBC` (Fig. 14) over the ideal
+//!   `F_UBC`, the ideal `F_TLE(leak, delay)`, `F_RO` and `G_clock` —
+//!   exactly Theorem 2's hybrid model.
+//! * [`IdealSbcWorld`] — dummy parties talk to `F_SBC(Φ, ∆, α)` with
+//!   `α = max(leak(Cl) − Cl) + 1`; the simulator [`SimSbc`] is the one in
+//!   the body of the paper's Theorem 2 proof: it simulates the wake-up,
+//!   fabricates `(c, τ_rel, y)` wires without ever seeing honest plaintexts
+//!   (random `y`, functionality-shaped `c`), answers the adversary's
+//!   `F_TLE` leakage queries from its mirror, and — upon receiving the
+//!   broadcast list at `t_end + ∆ − α` — equivocates `F_RO` so that every
+//!   `y` opens to the right message.
+//!
+//! Comparison level: shape equality of full transcripts plus exact
+//! equality of all party outputs (the delivered message vectors and their
+//! rounds) and of the `F_TLE` leakage responses.
+
+use crate::func::SbcFunc;
+use crate::protocol::{parse_sbc_wire, sbc_wire, wake_up, SbcParty};
+use sbc_broadcast::ubc::func::{UbcFunc, UBC_SOURCE};
+use sbc_primitives::drbg::Drbg;
+use sbc_tle::func::{TleFunc, TLE_SOURCE};
+use sbc_uc::ids::{PartyId, Tag};
+use sbc_uc::ro::{Caller, RandomOracle};
+use sbc_uc::value::{Command, Value};
+use sbc_uc::world::{AdvCommand, Leak, World, WorldCore};
+
+/// Parameters of an SBC experiment instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SbcParams {
+    /// Number of parties.
+    pub n: usize,
+    /// Broadcast period span Φ.
+    pub phi: u64,
+    /// Delivery delay ∆ (must exceed the TLE leakage advantage).
+    pub delta: u64,
+    /// TLE leakage advantage α_TLE (`leak(Cl) = Cl + α_TLE`).
+    pub tle_alpha: u64,
+    /// TLE ciphertext-generation delay.
+    pub tle_delay: u64,
+}
+
+impl SbcParams {
+    /// The default Theorem 2 instantiation over the ideal `F_TLE`:
+    /// `Φ = 3, ∆ = 2, α_TLE = 1, delay = 1` (so `α_SBC = 2`).
+    pub fn default_for(n: usize) -> Self {
+        SbcParams { n, phi: 3, delta: 2, tle_alpha: 1, tle_delay: 1 }
+    }
+
+    /// The SBC simulator advantage `α = max(leak(Cl) − Cl) + 1`.
+    pub fn sbc_alpha(&self) -> u64 {
+        self.tle_alpha + 1
+    }
+
+    /// Validates Theorem 2's constraints.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if self.phi <= self.tle_delay {
+            return Err("need Φ > delay");
+        }
+        if self.delta <= self.tle_alpha {
+            return Err("need ∆ > max(leak(Cl) − Cl)");
+        }
+        Ok(())
+    }
+}
+
+fn fork_streams(core: &mut WorldCore) -> (Drbg, Drbg, Drbg, Drbg, Vec<Drbg>, Drbg) {
+    let ro = core.rng.fork(b"ro/fro");
+    let ubc_tags = core.rng.fork(b"tags/F_UBC");
+    let tle_tags = core.rng.fork(b"tags/F_TLE");
+    let sbc_tags = core.rng.fork(b"tags/F_SBC");
+    let parties = (0..core.n())
+        .map(|i| core.rng.fork(format!("party/{i}").as_bytes()))
+        .collect();
+    let equiv = core.rng.fork(b"sim/equiv");
+    (ro, ubc_tags, tle_tags, sbc_tags, parties, equiv)
+}
+
+fn leakage_response(records: &[(Value, Option<Value>, u64)]) -> Value {
+    Value::List(
+        records
+            .iter()
+            .map(|(m, c, t)| {
+                Value::list([
+                    m.clone(),
+                    c.clone().unwrap_or(Value::Unit),
+                    Value::U64(*t),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// The real world: `Π_SBC` over `F_UBC` + `F_TLE` + `F_RO` + `G_clock`.
+#[derive(Debug)]
+pub struct RealSbcWorld {
+    core: WorldCore,
+    /// Experiment parameters (exposed for harness introspection).
+    pub params: SbcParams,
+    parties: Vec<SbcParty>,
+    ubc: UbcFunc,
+    ftle: TleFunc,
+    ro: RandomOracle,
+}
+
+impl RealSbcWorld {
+    /// Creates the world.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters violate Theorem 2's constraints.
+    pub fn new(params: SbcParams, seed: &[u8]) -> Self {
+        params.validate().expect("invalid SBC parameters");
+        let mut core = WorldCore::new(params.n, seed);
+        let (ro_rng, ubc_tags, tle_tags, _sbc_tags, party_rngs, _equiv) =
+            fork_streams(&mut core);
+        let parties = party_rngs
+            .into_iter()
+            .enumerate()
+            .map(|(i, rng)| {
+                SbcParty::new(PartyId(i as u32), params.phi, params.delta, params.tle_delay, rng)
+            })
+            .collect();
+        RealSbcWorld {
+            core,
+            params,
+            parties,
+            ubc: UbcFunc::new(params.n, ubc_tags),
+            ftle: TleFunc::new(params.tle_alpha, params.tle_delay, tle_tags),
+            ro: RandomOracle::new(ro_rng),
+        }
+    }
+
+    fn distribute(&mut self, deliveries: Vec<sbc_uc::hybrid::Delivery>) {
+        for d in deliveries {
+            let mut ctx = sbc_uc::hybrid::HybridCtx {
+                clock: &mut self.core.clock,
+                rng: &mut self.core.rng,
+                leaks: &mut self.core.leaks,
+                corr: &mut self.core.corr,
+            };
+            self.parties[d.to.index()].on_ubc_deliver(&d.cmd.value, &mut self.ftle, &mut ctx);
+        }
+    }
+}
+
+impl World for RealSbcWorld {
+    fn n(&self) -> usize {
+        self.core.n()
+    }
+
+    fn time(&self) -> u64 {
+        self.core.clock.read()
+    }
+
+    fn input(&mut self, party: PartyId, cmd: Command) {
+        if cmd.name != "Broadcast" || self.core.corr.is_corrupted(party) {
+            return;
+        }
+        let mut ctx = sbc_uc::hybrid::HybridCtx {
+            clock: &mut self.core.clock,
+            rng: &mut self.core.rng,
+            leaks: &mut self.core.leaks,
+            corr: &mut self.core.corr,
+        };
+        self.parties[party.index()].on_input(cmd.value, &mut self.ubc, &mut self.ftle, &mut ctx);
+    }
+
+    fn advance(&mut self, party: PartyId) {
+        if self.core.corr.is_corrupted(party) {
+            return;
+        }
+        let out = {
+            let mut ctx = sbc_uc::hybrid::HybridCtx {
+                clock: &mut self.core.clock,
+                rng: &mut self.core.rng,
+                leaks: &mut self.core.leaks,
+                corr: &mut self.core.corr,
+            };
+            self.parties[party.index()].on_advance(
+                &mut self.ubc,
+                &mut self.ftle,
+                &mut self.ro,
+                &mut ctx,
+            )
+        };
+        if let Some(cmd) = out {
+            self.core.outputs.push((party, cmd));
+        }
+        let ds = {
+            let mut ctx = self.core.ctx();
+            self.ubc.advance_clock(party, &mut ctx)
+        };
+        self.distribute(ds);
+        self.core.clock.advance_party(party);
+    }
+
+    fn adversary(&mut self, cmd: AdvCommand) -> Value {
+        match cmd {
+            AdvCommand::Corrupt(p) => {
+                if !self.core.corrupt(p) {
+                    return Value::Bool(false);
+                }
+                Value::List(self.parties[p.index()].pending_messages())
+            }
+            AdvCommand::SendAs { party, cmd } if cmd.name == "Broadcast" => {
+                if self.core.corr.is_corrupted(party) {
+                    let ds = {
+                        let mut ctx = self.core.ctx();
+                        self.ubc.broadcast_corrupted(party, cmd.value, &mut ctx)
+                    };
+                    self.distribute(ds);
+                }
+                Value::Unit
+            }
+            AdvCommand::Control { target, cmd } => match (target.as_str(), cmd.name.as_str()) {
+                ("F_TLE", "Insert") => {
+                    let Some(items) = cmd.value.as_list() else { return Value::Unit };
+                    if items.len() == 3 {
+                        if let (Some(_), Some(_), Some(tau)) =
+                            (items[0].as_bytes(), items[1].as_bytes(), items[2].as_u64())
+                        {
+                            self.ftle.insert_adversarial(
+                                items[0].clone(),
+                                items[1].clone(),
+                                tau,
+                            );
+                            return Value::Bool(true);
+                        }
+                    }
+                    Value::Unit
+                }
+                ("F_TLE", "Leakage") => {
+                    let recs = {
+                        let ctx = self.core.ctx();
+                        self.ftle.leakage(&ctx)
+                    };
+                    leakage_response(
+                        &recs
+                            .into_iter()
+                            .map(|r| (r.msg, r.ct, r.tau))
+                            .collect::<Vec<_>>(),
+                    )
+                }
+                ("F_RO", "QueryBytes") => {
+                    let Some(items) = cmd.value.as_list() else { return Value::Unit };
+                    if items.len() == 2 {
+                        if let (Some(x), Some(len)) = (items[0].as_bytes(), items[1].as_u64()) {
+                            return Value::Bytes(self.ro.query_bytes(
+                                Caller::Adversary,
+                                x,
+                                len as usize,
+                            ));
+                        }
+                    }
+                    Value::Unit
+                }
+                _ => Value::Unit,
+            },
+            _ => Value::Unit,
+        }
+    }
+
+    fn drain_outputs(&mut self) -> Vec<(PartyId, Command)> {
+        std::mem::take(&mut self.core.outputs)
+    }
+
+    fn drain_leaks(&mut self) -> Vec<Leak> {
+        std::mem::take(&mut self.core.leaks)
+    }
+
+    fn is_corrupted(&self, party: PartyId) -> bool {
+        self.core.corr.is_corrupted(party)
+    }
+}
+
+/// A simulated pending broadcast in `S_SBC`'s shadow state.
+#[derive(Clone, Debug)]
+struct SimEntry {
+    sbc_tag: Tag,
+    msg_len: usize,
+    rho: Vec<u8>,
+    ct: Option<Value>,
+    y: Option<Vec<u8>>,
+    enc_round: Option<u64>,
+    broadcast: bool,
+}
+
+/// An adversarially inserted `F_TLE` record in the mirror.
+#[derive(Clone, Debug)]
+struct SimInsert {
+    ct: Value,
+    rho: Value,
+    tau: u64,
+}
+
+/// The simulator `S_SBC` from the proof of Theorem 2.
+#[derive(Debug)]
+pub struct SimSbc {
+    params: SbcParams,
+    party_rngs: Vec<Drbg>,
+    ubc_tag_rng: Drbg,
+    tle_tag_rng: Drbg,
+    tle_fill_rng: Drbg,
+    equiv_rng: Drbg,
+    queues: Vec<Vec<SimEntry>>,
+    wakeup_pending: Vec<bool>,
+    wakeup_sent: Vec<bool>,
+    t_awake: Option<u64>,
+    inserts: Vec<SimInsert>,
+    seen_wires: Vec<(Value, Vec<u8>)>,
+    programmed: bool,
+    would_abort: bool,
+}
+
+impl SimSbc {
+    fn new(
+        params: SbcParams,
+        party_rngs: Vec<Drbg>,
+        ubc_tag_rng: Drbg,
+        mut tle_tag_rng: Drbg,
+        equiv_rng: Drbg,
+    ) -> Self {
+        let n = params.n;
+        // Mirror F_TLE's internal fill fork (same derivation as TleFunc).
+        let tle_fill_rng = tle_tag_rng.fork(b"fill");
+        SimSbc {
+            params,
+            party_rngs,
+            ubc_tag_rng,
+            tle_tag_rng,
+            tle_fill_rng,
+            equiv_rng,
+            queues: vec![Vec::new(); n],
+            wakeup_pending: vec![false; n],
+            wakeup_sent: vec![false; n],
+            t_awake: None,
+            inserts: Vec::new(),
+            seen_wires: Vec::new(),
+            programmed: false,
+            would_abort: false,
+        }
+    }
+
+    fn t_end(&self) -> Option<u64> {
+        self.t_awake.map(|t| t + self.params.phi)
+    }
+
+    fn tau_rel(&self) -> Option<u64> {
+        self.t_end().map(|t| t + self.params.delta)
+    }
+
+    fn mirror_tle_enc_leak(
+        &mut self,
+        party: PartyId,
+        now: u64,
+        entry_idx: usize,
+        leaks_out: &mut Vec<Leak>,
+    ) {
+        let tau_rel = self.tau_rel().expect("awake");
+        // Mirror the party's ρ draw and F_TLE's tag draw + Enc leak.
+        let rho = self.party_rngs[party.index()].gen_bytes(32);
+        let tle_tag = Tag::random(&mut self.tle_tag_rng);
+        let entry = &mut self.queues[party.index()][entry_idx];
+        entry.rho = rho.clone();
+        entry.enc_round = Some(now);
+        let rho_len = Value::bytes(&rho).encode().len();
+        leaks_out.push(Leak {
+            source: TLE_SOURCE.into(),
+            cmd: Command::new(
+                "Enc",
+                Value::list([
+                    Value::U64(tau_rel),
+                    Value::bytes(tle_tag.as_bytes()),
+                    Value::U64(now),
+                    Value::U64(rho_len as u64),
+                    Value::U64(party.0 as u64),
+                ]),
+            ),
+        });
+    }
+
+    /// Handles an `F_SBC` `(Sender, tag, 0^|M|, P)` leak.
+    fn on_sender_leak(
+        &mut self,
+        party: PartyId,
+        tag: Tag,
+        msg_len: usize,
+        now: u64,
+        leaks_out: &mut Vec<Leak>,
+    ) {
+        self.queues[party.index()].push(SimEntry {
+            sbc_tag: tag,
+            msg_len,
+            rho: Vec::new(),
+            ct: None,
+            y: None,
+            enc_round: None,
+            broadcast: false,
+        });
+        let idx = self.queues[party.index()].len() - 1;
+        if self.t_awake.is_none() {
+            // Asleep: simulate the Wake_Up unfair broadcast (once per party).
+            if !self.wakeup_sent[party.index()] {
+                self.wakeup_sent[party.index()] = true;
+                self.wakeup_pending[party.index()] = true;
+                let ubc_tag = Tag::random(&mut self.ubc_tag_rng);
+                leaks_out.push(Leak {
+                    source: UBC_SOURCE.into(),
+                    cmd: Command::new(
+                        "Broadcast",
+                        Value::list([
+                            Value::bytes(ubc_tag.as_bytes()),
+                            wake_up(),
+                            Value::U64(party.0 as u64),
+                        ]),
+                    ),
+                });
+                // Mirror the tag the real F_UBC would burn for this pending
+                // wake-up (emitted again at flush): remember it.
+                self.queues[party.index()][idx].y = None;
+            }
+        } else {
+            self.mirror_tle_enc_leak(party, now, idx, leaks_out);
+        }
+    }
+
+    /// Simulates a party's round step.
+    fn on_advance(
+        &mut self,
+        party: PartyId,
+        now: u64,
+        ro: &mut RandomOracle,
+        sbc_list: Option<&[(Tag, Value)]>,
+        leaks_out: &mut Vec<Leak>,
+    ) {
+        // Wake-up flush when this party advances with a pending wake-up.
+        if self.wakeup_pending[party.index()] {
+            self.wakeup_pending[party.index()] = false;
+            let first_flush = self.t_awake.is_none();
+            // Flush leak mirrors F_UBC's (with the same tag it used at
+            // broadcast time — regenerating from the same stream order).
+            let ubc_tag = Tag::random(&mut self.ubc_tag_rng);
+            leaks_out.push(Leak {
+                source: UBC_SOURCE.into(),
+                cmd: Command::new(
+                    "Broadcast",
+                    Value::list([
+                        Value::bytes(ubc_tag.as_bytes()),
+                        wake_up(),
+                        Value::U64(party.0 as u64),
+                    ]),
+                ),
+            });
+            if first_flush {
+                self.t_awake = Some(now);
+                // Deferred encryptions: every party's queued entries, in
+                // delivery order P0..Pn-1 (F_UBC delivers to all).
+                for i in 0..self.params.n {
+                    let pending: Vec<usize> = (0..self.queues[i].len())
+                        .filter(|&k| self.queues[i][k].enc_round.is_none())
+                        .collect();
+                    for k in pending {
+                        self.mirror_tle_enc_leak(PartyId(i as u32), now, k, leaks_out);
+                    }
+                }
+            }
+        }
+        let (Some(awake), Some(end), Some(tau_rel)) =
+            (self.t_awake, self.t_end(), self.tau_rel())
+        else {
+            return;
+        };
+        let _ = tau_rel;
+        if awake <= now && now < end {
+            // Mirror F_TLE.retrieve's lazy ciphertext fill (global record
+            // order = queue insertion order per owner) and the UBC
+            // broadcast + flush of ready wires.
+            let mut input_leaks = Vec::new();
+            for k in 0..self.queues[party.index()].len() {
+                let (ready, needs_fill) = {
+                    let e = &self.queues[party.index()][k];
+                    match e.enc_round {
+                        Some(r) if !e.broadcast && now >= r + self.params.tle_delay => {
+                            (true, e.ct.is_none())
+                        }
+                        _ => (false, e.ct.is_none()),
+                    }
+                };
+                // F_TLE fills every retrieved-eligible record, broadcast or
+                // not — mirror the fill for all eligible ones.
+                let eligible = {
+                    let e = &self.queues[party.index()][k];
+                    matches!(e.enc_round, Some(r) if now >= r + self.params.tle_delay)
+                };
+                if eligible && needs_fill {
+                    self.queues[party.index()][k].ct =
+                        Some(Value::bytes(self.tle_fill_rng.gen_bytes(64)));
+                }
+                if ready {
+                    let (ct, y) = {
+                        let e = &mut self.queues[party.index()][k];
+                        e.broadcast = true;
+                        let y = self.equiv_rng.gen_bytes(e.msg_len);
+                        e.y = Some(y.clone());
+                        (e.ct.clone().expect("filled"), y)
+                    };
+                    let wire = sbc_wire(&ct, self.tau_rel().expect("awake"), &y);
+                    self.seen_wires.push((ct, y.clone()));
+                    let ubc_tag = Tag::random(&mut self.ubc_tag_rng);
+                    input_leaks.push(Leak {
+                        source: UBC_SOURCE.into(),
+                        cmd: Command::new(
+                            "Broadcast",
+                            Value::list([
+                                Value::bytes(ubc_tag.as_bytes()),
+                                wire,
+                                Value::U64(party.0 as u64),
+                            ]),
+                        ),
+                    });
+                }
+            }
+            let flush = input_leaks.clone();
+            leaks_out.extend(input_leaks);
+            leaks_out.extend(flush);
+        }
+        // Equivocation: once the functionality hands over the broadcast
+        // list (at t_end + ∆ − α), program F_RO so every fabricated y opens
+        // to its real message.
+        if let Some(list) = sbc_list {
+            if !self.programmed {
+                self.programmed = true;
+                for (tag, msg) in list {
+                    let entry = self
+                        .queues
+                        .iter()
+                        .flatten()
+                        .find(|e| e.sbc_tag == *tag && e.y.is_some());
+                    let Some(entry) = entry else { continue };
+                    let y = entry.y.as_ref().expect("broadcast entries have y");
+                    let m_bytes = msg.encode();
+                    if m_bytes.len() != y.len() {
+                        continue;
+                    }
+                    let eta: Vec<u8> =
+                        y.iter().zip(m_bytes.iter()).map(|(a, b)| a ^ b).collect();
+                    if ro.adversary_queried_bytes(&entry.rho, eta.len()) {
+                        self.would_abort = true;
+                    }
+                    if ro.program_bytes(&entry.rho, eta).is_err() {
+                        self.would_abort = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Mirrors the `F_TLE` leakage interface from the shadow records.
+    fn tle_leakage(&mut self, now: u64) -> Value {
+        let horizon = now + self.params.tle_alpha;
+        let mut recs: Vec<(Value, Option<Value>, u64)> = Vec::new();
+        let tau_rel = self.tau_rel();
+        for q in &self.queues {
+            for e in q {
+                if e.enc_round.is_none() {
+                    continue;
+                }
+                let tau = tau_rel.expect("encrypted implies awake");
+                if tau <= horizon {
+                    recs.push((Value::bytes(&e.rho), e.ct.clone(), tau));
+                }
+            }
+        }
+        for ins in &self.inserts {
+            if ins.tau <= horizon {
+                recs.push((ins.rho.clone(), Some(ins.ct.clone()), ins.tau));
+            }
+        }
+        leakage_response(&recs)
+    }
+}
+
+/// The ideal world: `F_SBC(Φ, ∆, α)` + `S_SBC`.
+#[derive(Debug)]
+pub struct IdealSbcWorld {
+    core: WorldCore,
+    fsbc: SbcFunc,
+    sim: SimSbc,
+    ro: RandomOracle,
+    /// The broadcast list received from `F_SBC` at `t_end + ∆ − α`.
+    sbc_list: Option<Vec<(Tag, Value)>>,
+}
+
+impl IdealSbcWorld {
+    /// Creates the world.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters violate Theorem 2's constraints.
+    pub fn new(params: SbcParams, seed: &[u8]) -> Self {
+        params.validate().expect("invalid SBC parameters");
+        let mut core = WorldCore::new(params.n, seed);
+        let (ro_rng, ubc_tags, tle_tags, sbc_tags, party_rngs, equiv) =
+            fork_streams(&mut core);
+        IdealSbcWorld {
+            fsbc: SbcFunc::new(params.n, params.phi, params.delta, params.sbc_alpha(), sbc_tags),
+            sim: SimSbc::new(params, party_rngs, ubc_tags, tle_tags, equiv),
+            ro: RandomOracle::new(ro_rng),
+            core,
+            sbc_list: None,
+        }
+    }
+
+    /// Whether the simulator hit an equivocation-abort event.
+    pub fn simulator_would_abort(&self) -> bool {
+        self.sim.would_abort
+    }
+}
+
+impl World for IdealSbcWorld {
+    fn n(&self) -> usize {
+        self.core.n()
+    }
+
+    fn time(&self) -> u64 {
+        self.core.clock.read()
+    }
+
+    fn input(&mut self, party: PartyId, cmd: Command) {
+        if cmd.name != "Broadcast" || self.core.corr.is_corrupted(party) {
+            return;
+        }
+        let msg_len = cmd.value.encode().len();
+        let now = self.core.clock.read();
+        let mut scratch = Vec::new();
+        let tag = {
+            let mut ctx = sbc_uc::hybrid::HybridCtx {
+                clock: &mut self.core.clock,
+                rng: &mut self.core.rng,
+                leaks: &mut scratch,
+                corr: &mut self.core.corr,
+            };
+            self.fsbc.broadcast(party, cmd.value, &mut ctx)
+        };
+        if let Some(tag) = tag {
+            let mut leaks = Vec::new();
+            self.sim.on_sender_leak(party, tag, msg_len, now, &mut leaks);
+            self.core.leaks.extend(leaks);
+        }
+    }
+
+    fn advance(&mut self, party: PartyId) {
+        if self.core.corr.is_corrupted(party) {
+            return;
+        }
+        let now = self.core.clock.read();
+        // F_SBC's once-per-round steps + delivery; its leak (the broadcast
+        // list) goes to the simulator, not the environment.
+        let mut scratch = Vec::new();
+        let ds = {
+            let mut ctx = sbc_uc::hybrid::HybridCtx {
+                clock: &mut self.core.clock,
+                rng: &mut self.core.rng,
+                leaks: &mut scratch,
+                corr: &mut self.core.corr,
+            };
+            self.fsbc.advance_clock(party, &mut ctx)
+        };
+        for leak in scratch {
+            if let Some(items) = leak.cmd.value.as_list() {
+                let list: Vec<(Tag, Value)> = items
+                    .iter()
+                    .filter_map(|pair| {
+                        let p = pair.as_list()?;
+                        Some((Tag::from_bytes(p[0].as_bytes()?)?, p[1].clone()))
+                    })
+                    .collect();
+                self.sbc_list = Some(list);
+            }
+        }
+        let mut leaks = Vec::new();
+        self.sim.on_advance(
+            party,
+            now,
+            &mut self.ro,
+            self.sbc_list.as_deref(),
+            &mut leaks,
+        );
+        self.core.leaks.extend(leaks);
+        self.core.push_outputs(ds);
+        self.core.clock.advance_party(party);
+    }
+
+    fn adversary(&mut self, cmd: AdvCommand) -> Value {
+        let now = self.core.clock.read();
+        match cmd {
+            AdvCommand::Corrupt(p) => {
+                if !self.core.corrupt(p) {
+                    return Value::Bool(false);
+                }
+                // Corruption_Request: the unbroadcast pending messages.
+                let recs = {
+                    let ctx = self.core.ctx();
+                    self.fsbc.corruption_request(&ctx)
+                };
+                let msgs: Vec<Value> = self.sim.queues[p.index()]
+                    .iter()
+                    .filter(|e| !e.broadcast)
+                    .filter_map(|e| {
+                        recs.iter().find(|r| r.tag == e.sbc_tag).map(|r| r.msg.clone())
+                    })
+                    .collect();
+                // Already-broadcast records of the newly corrupted sender
+                // stay committed: the simulator re-`Allow`s them unchanged
+                // (their ciphertexts are already public in the real world).
+                let committed: Vec<(Tag, Value)> = self.sim.queues[p.index()]
+                    .iter()
+                    .filter(|e| e.broadcast)
+                    .filter_map(|e| {
+                        recs.iter()
+                            .find(|r| r.tag == e.sbc_tag)
+                            .map(|r| (r.tag, r.msg.clone()))
+                    })
+                    .collect();
+                for (tag, msg) in committed {
+                    let mut ctx = self.core.ctx();
+                    self.fsbc.allow(tag, msg, p, &mut ctx);
+                }
+                Value::List(msgs)
+            }
+            AdvCommand::SendAs { party, cmd } if cmd.name == "Broadcast" => {
+                if !self.core.corr.is_corrupted(party) {
+                    return Value::Unit;
+                }
+                // Mirror F_UBC's corrupted-broadcast leak.
+                self.core.leaks.push(Leak {
+                    source: UBC_SOURCE.into(),
+                    cmd: Command::new(
+                        "Broadcast",
+                        Value::pair(cmd.value.clone(), Value::U64(party.0 as u64)),
+                    ),
+                });
+                let Some((ct, tau, y)) = parse_sbc_wire(&cmd.value) else {
+                    return Value::Unit;
+                };
+                let Some(tau_rel) = self.sim.tau_rel() else { return Value::Unit };
+                let Some(end) = self.sim.t_end() else { return Value::Unit };
+                if tau != tau_rel || now >= end {
+                    return Value::Unit;
+                }
+                if self.sim.seen_wires.iter().any(|(c, yy)| c == &ct || yy == &y) {
+                    return Value::Unit; // replay: recipients ignore it
+                }
+                self.sim.seen_wires.push((ct.clone(), y.clone()));
+                // Extract the adversarial message from the mirror.
+                let Some(ins) = self.sim.inserts.iter().find(|i| i.ct == ct) else {
+                    return Value::Unit; // unknown ciphertext → ⊥ at τ_rel
+                };
+                let Some(rho) = ins.rho.as_bytes() else { return Value::Unit };
+                let eta = self.ro.query_bytes(Caller::Simulator, rho, y.len());
+                let m_bytes: Vec<u8> = y.iter().zip(eta.iter()).map(|(a, b)| a ^ b).collect();
+                let msg = Value::decode(&m_bytes).unwrap_or(Value::Bytes(m_bytes));
+                let mut scratch = Vec::new();
+                {
+                    let mut ctx = sbc_uc::hybrid::HybridCtx {
+                        clock: &mut self.core.clock,
+                        rng: &mut self.core.rng,
+                        leaks: &mut scratch,
+                        corr: &mut self.core.corr,
+                    };
+                    self.fsbc.broadcast(party, msg, &mut ctx);
+                }
+                Value::Unit
+            }
+            AdvCommand::Control { target, cmd } => match (target.as_str(), cmd.name.as_str()) {
+                ("F_TLE", "Insert") => {
+                    let Some(items) = cmd.value.as_list() else { return Value::Unit };
+                    if items.len() == 3 {
+                        if let (Some(_), Some(_), Some(tau)) =
+                            (items[0].as_bytes(), items[1].as_bytes(), items[2].as_u64())
+                        {
+                            self.sim.inserts.push(SimInsert {
+                                ct: items[0].clone(),
+                                rho: items[1].clone(),
+                                tau,
+                            });
+                            return Value::Bool(true);
+                        }
+                    }
+                    Value::Unit
+                }
+                ("F_TLE", "Leakage") => self.sim.tle_leakage(now),
+                ("F_RO", "QueryBytes") => {
+                    let Some(items) = cmd.value.as_list() else { return Value::Unit };
+                    if items.len() == 2 {
+                        if let (Some(x), Some(len)) = (items[0].as_bytes(), items[1].as_u64()) {
+                            return Value::Bytes(self.ro.query_bytes(
+                                Caller::Adversary,
+                                x,
+                                len as usize,
+                            ));
+                        }
+                    }
+                    Value::Unit
+                }
+                _ => Value::Unit,
+            },
+            _ => Value::Unit,
+        }
+    }
+
+    fn drain_outputs(&mut self) -> Vec<(PartyId, Command)> {
+        std::mem::take(&mut self.core.outputs)
+    }
+
+    fn drain_leaks(&mut self) -> Vec<Leak> {
+        std::mem::take(&mut self.core.leaks)
+    }
+
+    fn is_corrupted(&self, party: PartyId) -> bool {
+        self.core.corr.is_corrupted(party)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbc_uc::trace::EventKind;
+    use sbc_uc::world::{run_env, EnvDriver};
+
+    fn params(n: usize) -> SbcParams {
+        SbcParams::default_for(n)
+    }
+
+    fn outputs_exact(t: &sbc_uc::trace::Transcript) -> Vec<(u64, PartyId, Value)> {
+        t.events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::Output { party, cmd } => Some((e.round, *party, cmd.value.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn assert_theorem2<F>(n: usize, seed: &[u8], script: F)
+    where
+        F: Fn(&mut EnvDriver<'_>) + Copy,
+    {
+        let mut real = RealSbcWorld::new(params(n), seed);
+        let mut ideal = IdealSbcWorld::new(params(n), seed);
+        let t_real = run_env(&mut real, script);
+        let t_ideal = run_env(&mut ideal, script);
+        assert!(!ideal.simulator_would_abort(), "simulator abort event");
+        assert_eq!(
+            t_real.shape_digest(),
+            t_ideal.shape_digest(),
+            "shape diverges:\nREAL:\n{t_real}\nIDEAL:\n{t_ideal}"
+        );
+        assert_eq!(
+            outputs_exact(&t_real),
+            outputs_exact(&t_ideal),
+            "outputs diverge:\nREAL:\n{t_real}\nIDEAL:\n{t_ideal}"
+        );
+    }
+
+    #[test]
+    fn theorem2_single_sender() {
+        assert_theorem2(3, b"t2-a", |env| {
+            env.input(PartyId(0), Command::new("Broadcast", Value::bytes(b"lone message")));
+            env.idle_rounds(8);
+        });
+    }
+
+    #[test]
+    fn theorem2_full_participation() {
+        assert_theorem2(3, b"t2-b", |env| {
+            env.input(PartyId(0), Command::new("Broadcast", Value::bytes(b"foxtrot")));
+            env.advance_all();
+            env.input(PartyId(1), Command::new("Broadcast", Value::bytes(b"bravo")));
+            env.input(PartyId(2), Command::new("Broadcast", Value::bytes(b"tango")));
+            env.idle_rounds(8);
+        });
+    }
+
+    #[test]
+    fn theorem2_partial_participation_liveness() {
+        assert_theorem2(4, b"t2-c", |env| {
+            env.input(PartyId(2), Command::new("Broadcast", Value::bytes(b"only me")));
+            env.idle_rounds(8);
+        });
+    }
+
+    #[test]
+    fn theorem2_adversary_leakage_queries() {
+        assert_theorem2(3, b"t2-d", |env| {
+            env.input(PartyId(0), Command::new("Broadcast", Value::bytes(b"watched")));
+            env.adversary(AdvCommand::Corrupt(PartyId(2)));
+            for _ in 0..8 {
+                env.adversary(AdvCommand::Control {
+                    target: "F_TLE".into(),
+                    cmd: Command::new("Leakage", Value::Unit),
+                });
+                env.advance_all();
+            }
+        });
+    }
+
+    #[test]
+    fn theorem2_corruption_after_broadcast_keeps_message() {
+        assert_theorem2(3, b"t2-e", |env| {
+            env.input(PartyId(0), Command::new("Broadcast", Value::bytes(b"committed")));
+            env.advance_all(); // wake-up + enc
+            env.advance_all(); // ciphertext broadcast
+            env.adversary(AdvCommand::Corrupt(PartyId(0)));
+            env.idle_rounds(7);
+        });
+    }
+
+    #[test]
+    fn delivered_at_t_end_plus_delta() {
+        let mut real = RealSbcWorld::new(params(2), b"timing");
+        let t = run_env(&mut real, |env| {
+            env.input(PartyId(0), Command::new("Broadcast", Value::bytes(b"m")));
+            env.idle_rounds(8);
+        });
+        let outs = t.outputs();
+        assert_eq!(outs.len(), 2);
+        for (round, _, cmd) in outs {
+            assert_eq!(round, 3 + 2, "t_end(Φ=3) + ∆(2)");
+            assert_eq!(cmd.value.as_list().unwrap(), &[Value::bytes(b"m")]);
+        }
+    }
+
+    #[test]
+    fn simultaneity_leakage_reveals_nothing_during_period() {
+        // During the broadcast period the adversary's entire view of an
+        // honest message is (c, τ_rel, y): querying F_TLE leakage returns
+        // nothing until τ_rel ≤ Cl + α_TLE.
+        let mut real = RealSbcWorld::new(params(2), b"sim-leak");
+        run_env(&mut real, |env| {
+            env.input(PartyId(0), Command::new("Broadcast", Value::bytes(b"hidden")));
+            env.adversary(AdvCommand::Corrupt(PartyId(1)));
+            for round in 0..4 {
+                let resp = env.adversary(AdvCommand::Control {
+                    target: "F_TLE".into(),
+                    cmd: Command::new("Leakage", Value::Unit),
+                });
+                let n_leaked = resp.as_list().map(|l| l.len()).unwrap_or(0);
+                assert_eq!(n_leaked, 0, "round {round}: τ_rel=5 > Cl+1");
+                env.advance_all();
+            }
+            // Round 4: τ_rel = 5 ≤ 4 + 1 → the record leaks (α head start).
+            let resp = env.adversary(AdvCommand::Control {
+                target: "F_TLE".into(),
+                cmd: Command::new("Leakage", Value::Unit),
+            });
+            assert_eq!(resp.as_list().unwrap().len(), 1);
+        });
+    }
+}

@@ -1,0 +1,137 @@
+//! HMAC-SHA-256 (RFC 2104 / FIPS 198-1), from scratch.
+//!
+//! # Examples
+//!
+//! ```
+//! use sbc_primitives::hmac::hmac_sha256;
+//!
+//! let tag = hmac_sha256(b"key", b"The quick brown fox jumps over the lazy dog");
+//! assert_eq!(
+//!     sbc_primitives::hex::encode(&tag),
+//!     "f7bc83f430538424b13298e6aa6fb143ef4d59a14946175997479dbc2d1a3cd8",
+//! );
+//! ```
+
+use crate::sha256::{Sha256, BLOCK_LEN, DIGEST_LEN};
+
+/// Computes `HMAC-SHA256(key, message)`.
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut mac = HmacSha256::new(key);
+    mac.update(message);
+    mac.finalize()
+}
+
+/// Incremental HMAC-SHA-256.
+#[derive(Clone, Debug)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    opad_key: [u8; BLOCK_LEN],
+}
+
+impl HmacSha256 {
+    /// Creates an HMAC instance keyed with `key` (any length).
+    pub fn new(key: &[u8]) -> Self {
+        let mut block_key = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            let d = Sha256::digest(key);
+            block_key[..DIGEST_LEN].copy_from_slice(&d);
+        } else {
+            block_key[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = [0u8; BLOCK_LEN];
+        let mut opad = [0u8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            ipad[i] = block_key[i] ^ 0x36;
+            opad[i] = block_key[i] ^ 0x5c;
+        }
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        HmacSha256 { inner, opad_key: opad }
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Finishes and returns the 32-byte tag.
+    pub fn finalize(self) -> [u8; DIGEST_LEN] {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.opad_key);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+
+    /// Constant-time verification of an expected tag.
+    pub fn verify(self, expected: &[u8]) -> bool {
+        let tag = self.finalize();
+        if expected.len() != tag.len() {
+            return false;
+        }
+        let mut acc = 0u8;
+        for (a, b) in tag.iter().zip(expected.iter()) {
+            acc |= a ^ b;
+        }
+        acc == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    // RFC 4231 test cases.
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0bu8; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex::encode(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case2() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex::encode(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case6_long_key() {
+        let key = [0xaau8; 131];
+        let tag = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            hex::encode(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let mut mac = HmacSha256::new(b"k");
+        mac.update(b"m");
+        let tag = mac.clone().finalize();
+        assert!(mac.clone().verify(&tag));
+        let mut bad = tag;
+        bad[0] ^= 1;
+        assert!(!mac.clone().verify(&bad));
+        assert!(!mac.verify(&tag[..31]));
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let mut mac = HmacSha256::new(b"key");
+        mac.update(b"The quick brown fox ");
+        mac.update(b"jumps over the lazy dog");
+        assert_eq!(
+            mac.finalize(),
+            hmac_sha256(b"key", b"The quick brown fox jumps over the lazy dog")
+        );
+    }
+}

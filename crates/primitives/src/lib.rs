@@ -1,0 +1,60 @@
+//! # sbc-primitives
+//!
+//! From-scratch cryptographic substrate for the `sbc` workspace — the
+//! reproduction of *"Universally Composable Simultaneous Broadcast against a
+//! Dishonest Majority and Applications"* (PODC 2023).
+//!
+//! Everything here is implemented directly on top of the Rust standard
+//! library (no external crypto crates):
+//!
+//! * [`sha256`] — FIPS 180-4 SHA-256, the workspace's single hash function.
+//! * [`hmac`] — HMAC-SHA-256.
+//! * [`drbg`] — deterministic HMAC-DRBG; all protocol randomness flows
+//!   through it so executions are reproducible from a seed.
+//! * [`ske`] — the symmetric scheme Σ_SKE used inside Astrolabous.
+//! * [`hashchain`] / [`astrolabous`] — sequential hash-chain puzzles and the
+//!   Astrolabous TLE scheme built on them.
+//! * [`bigint`] / [`prime`] / [`group`] — 256-bit modular arithmetic,
+//!   Miller–Rabin, and Schnorr groups for the voting application.
+//! * [`sigma`] — Schnorr / Chaum–Pedersen / disjunctive Σ-protocols with
+//!   Fiat–Shamir (ballot validity proofs).
+//! * [`merkle`] / [`wots`] — Merkle trees and WOTS-based stateful hash
+//!   signatures (the EUF-CMA scheme realizing `F_cert`).
+//! * [`hex`] — encoding helpers.
+//!
+//! # Examples
+//!
+//! ```
+//! use sbc_primitives::{drbg::Drbg, sha256::Sha256, hashchain};
+//!
+//! // A 3-step sequential puzzle hiding a payload:
+//! let h = |x: &[u8]| Sha256::digest(x);
+//! let mut rng = Drbg::from_seed(b"crate-docs");
+//! let rs: Vec<[u8; 32]> = (0..3)
+//!     .map(|_| {
+//!         let mut r = [0u8; 32];
+//!         r.copy_from_slice(&rng.gen_bytes(32));
+//!         r
+//!     })
+//!     .collect();
+//! let chain = hashchain::chain_encode(&h, &rs, &[42u8; 32]);
+//! let (payload, _witness) = hashchain::chain_solve(&h, &chain).unwrap();
+//! assert_eq!(payload, [42u8; 32]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod astrolabous;
+pub mod bigint;
+pub mod drbg;
+pub mod group;
+pub mod hashchain;
+pub mod hex;
+pub mod hmac;
+pub mod merkle;
+pub mod prime;
+pub mod sha256;
+pub mod sigma;
+pub mod ske;
+pub mod wots;

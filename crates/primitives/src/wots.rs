@@ -1,0 +1,348 @@
+//! Stateful hash-based signatures: WOTS (Winternitz one-time signatures)
+//! certified under a Merkle tree — a from-scratch EUF-CMA scheme realizing
+//! the signing machinery behind `F_cert` (paper Fig. 4 / Fact 1).
+//!
+//! A [`SigningKey`] holds `2^height` one-time keys; each [`sign`] consumes
+//! the next leaf. Security rests only on SHA-256, matching the paper's
+//! hash-centric resource model.
+//!
+//! [`sign`]: SigningKey::sign
+//!
+//! # Examples
+//!
+//! ```
+//! use sbc_primitives::wots::SigningKey;
+//! use sbc_primitives::drbg::Drbg;
+//!
+//! let mut rng = Drbg::from_seed(b"doc");
+//! let mut sk = SigningKey::generate(4, &mut rng); // 16 signatures
+//! let vk = sk.verification_key();
+//! let sig = sk.sign(b"hello").unwrap();
+//! assert!(vk.verify(b"hello", &sig));
+//! assert!(!vk.verify(b"other", &sig));
+//! ```
+
+use crate::drbg::Drbg;
+use crate::merkle::{MerkleProof, MerkleTree, Node};
+use crate::sha256::Sha256;
+use std::fmt;
+
+/// Winternitz parameter w = 16 (4 bits per chain).
+const W_BITS: u32 = 4;
+const W: u32 = 1 << W_BITS;
+/// Number of message chains for a 256-bit digest: 256 / 4.
+const MSG_CHAINS: usize = 64;
+/// Number of checksum chains: checksum max = 64·15 = 960 < 16³.
+const CSUM_CHAINS: usize = 3;
+/// Total chains per one-time key.
+const CHAINS: usize = MSG_CHAINS + CSUM_CHAINS;
+
+fn chain_step(seed: &[u8; 32], pos: usize, step: u32, value: &[u8; 32]) -> [u8; 32] {
+    Sha256::digest_parts(&[
+        b"wots-chain",
+        seed,
+        &(pos as u64).to_be_bytes(),
+        &step.to_be_bytes(),
+        value,
+    ])
+}
+
+fn apply_chain(seed: &[u8; 32], pos: usize, start: u32, steps: u32, value: &[u8; 32]) -> [u8; 32] {
+    let mut v = *value;
+    for s in start..start + steps {
+        v = chain_step(seed, pos, s, &v);
+    }
+    v
+}
+
+/// Digits (base-w) of the message digest plus checksum digits.
+fn digits(message: &[u8]) -> Vec<u8> {
+    let digest = Sha256::digest_parts(&[b"wots-msg", message]);
+    let mut out = Vec::with_capacity(CHAINS);
+    for byte in digest.iter() {
+        out.push(byte >> 4);
+        out.push(byte & 0x0f);
+    }
+    debug_assert_eq!(out.len(), MSG_CHAINS);
+    let csum: u32 = out.iter().map(|&d| (W - 1) - d as u32).sum();
+    out.push(((csum >> 8) & 0x0f) as u8);
+    out.push(((csum >> 4) & 0x0f) as u8);
+    out.push((csum & 0x0f) as u8);
+    debug_assert_eq!(out.len(), CHAINS);
+    out
+}
+
+/// One-time public key = hash of all chain tops.
+fn ots_public(seed: &[u8; 32], secrets: &[[u8; 32]; CHAINS]) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(b"wots-pk");
+    for (pos, sk) in secrets.iter().enumerate() {
+        let top = apply_chain(seed, pos, 0, W - 1, sk);
+        h.update(&top);
+    }
+    h.finalize()
+}
+
+/// A WOTS signature together with its Merkle certification path.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Signature {
+    /// Index of the one-time key used.
+    pub leaf_index: u32,
+    /// The per-chain intermediate values.
+    chain_values: Vec<[u8; 32]>,
+    /// Merkle path certifying the one-time public key.
+    auth_path: MerkleProof,
+}
+
+impl fmt::Debug for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Signature(leaf={}, {} chains)", self.leaf_index, self.chain_values.len())
+    }
+}
+
+impl Signature {
+    /// Serialized size in bytes (for cost accounting in benchmarks).
+    pub fn size_bytes(&self) -> usize {
+        4 + self.chain_values.len() * 32 + self.auth_path.len() * 32
+    }
+
+    /// The raw components `(chain_values, auth_path)`, for serialization.
+    pub fn parts(&self) -> (Vec<[u8; 32]>, Vec<[u8; 32]>) {
+        (self.chain_values.clone(), self.auth_path.clone())
+    }
+
+    /// Rebuilds a signature from its serialized components.
+    pub fn from_parts(
+        leaf_index: u32,
+        chain_values: Vec<[u8; 32]>,
+        auth_path: Vec<[u8; 32]>,
+    ) -> Self {
+        Signature { leaf_index, chain_values, auth_path }
+    }
+}
+
+/// Public verification key: the Merkle root over all one-time public keys.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VerificationKey {
+    root: Node,
+    /// Public chain-tweak seed.
+    seed: [u8; 32],
+    capacity: u32,
+}
+
+impl fmt::Debug for VerificationKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VerificationKey({}…)", crate::hex::encode(&self.root[..4]))
+    }
+}
+
+impl VerificationKey {
+    /// Verifies `signature` on `message`.
+    pub fn verify(&self, message: &[u8], signature: &Signature) -> bool {
+        if signature.leaf_index >= self.capacity || signature.chain_values.len() != CHAINS {
+            return false;
+        }
+        let ds = digits(message);
+        let mut h = Sha256::new();
+        h.update(b"wots-pk");
+        for (pos, (d, v)) in ds.iter().zip(signature.chain_values.iter()).enumerate() {
+            let top = apply_chain(&self.seed, pos, *d as u32, (W - 1) - *d as u32, v);
+            h.update(&top);
+        }
+        let ots_pk = h.finalize();
+        MerkleTree::verify(
+            &self.root,
+            &ots_pk,
+            signature.leaf_index as usize,
+            &signature.auth_path,
+            self.capacity as usize,
+        )
+    }
+}
+
+/// Error returned when a signing key has exhausted its one-time keys.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyExhausted;
+
+impl fmt::Display for KeyExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "all one-time keys of this signing key have been used")
+    }
+}
+
+impl std::error::Error for KeyExhausted {}
+
+/// Stateful many-time signing key (2^height one-time keys).
+#[derive(Clone)]
+pub struct SigningKey {
+    master: [u8; 32],
+    seed: [u8; 32],
+    tree: MerkleTree,
+    next_leaf: u32,
+    capacity: u32,
+}
+
+impl fmt::Debug for SigningKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SigningKey(used {}/{})", self.next_leaf, self.capacity)
+    }
+}
+
+impl SigningKey {
+    /// Generates a key with `2^height` one-time keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `height > 16` (key generation cost is 2^height · ~1k
+    /// hashes; callers wanting more signatures should rotate keys).
+    pub fn generate(height: u32, rng: &mut Drbg) -> Self {
+        assert!(height <= 16, "tree height too large");
+        let capacity = 1u32 << height;
+        let mut master = [0u8; 32];
+        master.copy_from_slice(&rng.gen_bytes(32));
+        let mut seed = [0u8; 32];
+        seed.copy_from_slice(&rng.gen_bytes(32));
+        let leaves: Vec<[u8; 32]> = (0..capacity)
+            .map(|leaf| {
+                let secrets = Self::leaf_secrets(&master, leaf);
+                ots_public(&seed, &secrets)
+            })
+            .collect();
+        let tree = MerkleTree::build(&leaves);
+        SigningKey { master, seed, tree, next_leaf: 0, capacity }
+    }
+
+    fn leaf_secrets(master: &[u8; 32], leaf: u32) -> [[u8; 32]; CHAINS] {
+        let mut out = [[0u8; 32]; CHAINS];
+        for (pos, slot) in out.iter_mut().enumerate() {
+            *slot = Sha256::digest_parts(&[
+                b"wots-sk",
+                master,
+                &leaf.to_be_bytes(),
+                &(pos as u64).to_be_bytes(),
+            ]);
+        }
+        out
+    }
+
+    /// The matching verification key.
+    pub fn verification_key(&self) -> VerificationKey {
+        VerificationKey { root: self.tree.root(), seed: self.seed, capacity: self.capacity }
+    }
+
+    /// Remaining signature capacity.
+    pub fn remaining(&self) -> u32 {
+        self.capacity - self.next_leaf
+    }
+
+    /// Signs `message`, consuming one one-time key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KeyExhausted`] once all `2^height` one-time keys are spent.
+    pub fn sign(&mut self, message: &[u8]) -> Result<Signature, KeyExhausted> {
+        if self.next_leaf >= self.capacity {
+            return Err(KeyExhausted);
+        }
+        let leaf = self.next_leaf;
+        self.next_leaf += 1;
+        let secrets = Self::leaf_secrets(&self.master, leaf);
+        let ds = digits(message);
+        let chain_values: Vec<[u8; 32]> = ds
+            .iter()
+            .enumerate()
+            .map(|(pos, &d)| apply_chain(&self.seed, pos, 0, d as u32, &secrets[pos]))
+            .collect();
+        let auth_path = self.tree.prove(leaf as usize);
+        Ok(Signature { leaf_index: leaf, chain_values, auth_path })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(height: u32) -> SigningKey {
+        let mut rng = Drbg::from_seed(b"wots-tests");
+        SigningKey::generate(height, &mut rng)
+    }
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let mut sk = key(3);
+        let vk = sk.verification_key();
+        for i in 0..8u32 {
+            let msg = format!("message {i}");
+            let sig = sk.sign(msg.as_bytes()).unwrap();
+            assert!(vk.verify(msg.as_bytes(), &sig), "i={i}");
+        }
+    }
+
+    #[test]
+    fn exhaustion() {
+        let mut sk = key(1);
+        assert_eq!(sk.remaining(), 2);
+        sk.sign(b"a").unwrap();
+        sk.sign(b"b").unwrap();
+        assert_eq!(sk.sign(b"c"), Err(KeyExhausted));
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let mut sk = key(2);
+        let vk = sk.verification_key();
+        let sig = sk.sign(b"original").unwrap();
+        assert!(!vk.verify(b"forged", &sig));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let mut sk1 = key(2);
+        let mut rng = Drbg::from_seed(b"other");
+        let sk2 = SigningKey::generate(2, &mut rng);
+        let sig = sk1.sign(b"msg").unwrap();
+        assert!(!sk2.verification_key().verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let mut sk = key(2);
+        let vk = sk.verification_key();
+        let sig = sk.sign(b"msg").unwrap();
+        let mut bad = sig.clone();
+        bad.chain_values[10][0] ^= 1;
+        assert!(!vk.verify(b"msg", &bad));
+        let mut bad2 = sig.clone();
+        bad2.auth_path[0][0] ^= 1;
+        assert!(!vk.verify(b"msg", &bad2));
+        let mut bad3 = sig;
+        bad3.leaf_index = 99;
+        assert!(!vk.verify(b"msg", &bad3));
+    }
+
+    #[test]
+    fn signature_not_valid_for_other_leaf_index() {
+        let mut sk = key(2);
+        let vk = sk.verification_key();
+        let sig = sk.sign(b"msg").unwrap();
+        let mut moved = sig;
+        moved.leaf_index = 1; // signed with leaf 0
+        assert!(!vk.verify(b"msg", &moved));
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let mut r1 = Drbg::from_seed(b"same");
+        let mut r2 = Drbg::from_seed(b"same");
+        let k1 = SigningKey::generate(2, &mut r1);
+        let k2 = SigningKey::generate(2, &mut r2);
+        assert_eq!(k1.verification_key(), k2.verification_key());
+    }
+
+    #[test]
+    fn signature_size_reported() {
+        let mut sk = key(3);
+        let sig = sk.sign(b"m").unwrap();
+        assert_eq!(sig.size_bytes(), 4 + 67 * 32 + 3 * 32);
+    }
+}

@@ -1,0 +1,222 @@
+//! The global clock functionality `G_clock` (paper Fig. 2).
+//!
+//! The clock tracks a set of registered parties and functionalities per
+//! session. Time advances by one tick exactly when *all honest registered
+//! parties and all registered functionalities* have issued
+//! `Advance_Clock` for the current round. Corrupted parties do not gate
+//! the clock (the adversary cannot stall time).
+//!
+//! # Examples
+//!
+//! ```
+//! use sbc_uc::clock::GlobalClock;
+//! use sbc_uc::ids::PartyId;
+//!
+//! let mut clock = GlobalClock::new(PartyId::all(2));
+//! assert_eq!(clock.read(), 0);
+//! clock.advance_party(PartyId(0));
+//! assert_eq!(clock.read(), 0); // P1 hasn't advanced yet
+//! clock.advance_party(PartyId(1));
+//! assert_eq!(clock.read(), 1);
+//! ```
+
+use crate::ids::PartyId;
+use std::collections::BTreeSet;
+
+/// The entities that gate clock advancement.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ClockEntity {
+    /// A protocol party.
+    Party(PartyId),
+    /// A registered (clock-aware) functionality, by name.
+    Functionality(String),
+}
+
+/// The global clock `G_clock(P, F)`.
+#[derive(Clone, Debug)]
+pub struct GlobalClock {
+    time: u64,
+    parties: BTreeSet<PartyId>,
+    corrupted: BTreeSet<PartyId>,
+    functionalities: BTreeSet<String>,
+    advanced: BTreeSet<ClockEntity>,
+    ticks: u64,
+}
+
+impl GlobalClock {
+    /// Creates a clock gated by the given party set (no functionalities
+    /// registered yet).
+    pub fn new(parties: impl IntoIterator<Item = PartyId>) -> Self {
+        GlobalClock {
+            time: 0,
+            parties: parties.into_iter().collect(),
+            corrupted: BTreeSet::new(),
+            functionalities: BTreeSet::new(),
+            advanced: BTreeSet::new(),
+            ticks: 0,
+        }
+    }
+
+    /// Registers a clock-aware functionality (e.g. `F_TLE`).
+    pub fn register_functionality(&mut self, name: impl Into<String>) {
+        self.functionalities.insert(name.into());
+    }
+
+    /// `Read_Clock`: the current time `Cl`.
+    pub fn read(&self) -> u64 {
+        self.time
+    }
+
+    /// Number of ticks so far (equals `read()`).
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Marks a party as corrupted: it no longer gates advancement.
+    ///
+    /// Mirrors the honest-party filter `P_sid` in Fig. 2.
+    pub fn set_corrupted(&mut self, party: PartyId) {
+        self.corrupted.insert(party);
+        self.advanced.remove(&ClockEntity::Party(party));
+        self.try_tick();
+    }
+
+    /// `Advance_Clock` from a party. Returns `true` if the clock ticked.
+    pub fn advance_party(&mut self, party: PartyId) -> bool {
+        if !self.parties.contains(&party) || self.corrupted.contains(&party) {
+            return false;
+        }
+        self.advanced.insert(ClockEntity::Party(party));
+        self.try_tick()
+    }
+
+    /// `Advance_Clock` from a registered functionality. Returns `true` if
+    /// the clock ticked.
+    pub fn advance_functionality(&mut self, name: &str) -> bool {
+        if !self.functionalities.contains(name) {
+            return false;
+        }
+        self.advanced.insert(ClockEntity::Functionality(name.to_string()));
+        self.try_tick()
+    }
+
+    /// Whether `party` has already advanced in the current round.
+    pub fn has_advanced(&self, party: PartyId) -> bool {
+        self.advanced.contains(&ClockEntity::Party(party))
+    }
+
+    /// The honest parties still required before the next tick.
+    pub fn waiting_on(&self) -> Vec<ClockEntity> {
+        let mut out = Vec::new();
+        for p in &self.parties {
+            if !self.corrupted.contains(p) && !self.advanced.contains(&ClockEntity::Party(*p)) {
+                out.push(ClockEntity::Party(*p));
+            }
+        }
+        for f in &self.functionalities {
+            if !self.advanced.contains(&ClockEntity::Functionality(f.clone())) {
+                out.push(ClockEntity::Functionality(f.clone()));
+            }
+        }
+        out
+    }
+
+    fn try_tick(&mut self) -> bool {
+        if self.waiting_on().is_empty() && !(self.parties.is_empty() && self.functionalities.is_empty()) {
+            self.time += 1;
+            self.ticks += 1;
+            self.advanced.clear();
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_only_when_all_honest_advance() {
+        let mut c = GlobalClock::new(PartyId::all(3));
+        assert!(!c.advance_party(PartyId(0)));
+        assert!(!c.advance_party(PartyId(1)));
+        assert_eq!(c.read(), 0);
+        assert!(c.advance_party(PartyId(2)));
+        assert_eq!(c.read(), 1);
+    }
+
+    #[test]
+    fn corrupted_parties_do_not_gate() {
+        let mut c = GlobalClock::new(PartyId::all(3));
+        c.set_corrupted(PartyId(2));
+        c.advance_party(PartyId(0));
+        assert!(c.advance_party(PartyId(1)));
+        assert_eq!(c.read(), 1);
+    }
+
+    #[test]
+    fn corruption_mid_round_unblocks() {
+        // P2 is the only one missing; corrupting it must release the tick.
+        let mut c = GlobalClock::new(PartyId::all(3));
+        c.advance_party(PartyId(0));
+        c.advance_party(PartyId(1));
+        assert_eq!(c.read(), 0);
+        c.set_corrupted(PartyId(2));
+        assert_eq!(c.read(), 1);
+    }
+
+    #[test]
+    fn functionalities_gate_too() {
+        let mut c = GlobalClock::new(PartyId::all(1));
+        c.register_functionality("F_TLE");
+        c.advance_party(PartyId(0));
+        assert_eq!(c.read(), 0);
+        assert!(c.advance_functionality("F_TLE"));
+        assert_eq!(c.read(), 1);
+    }
+
+    #[test]
+    fn unregistered_entities_ignored() {
+        let mut c = GlobalClock::new(PartyId::all(1));
+        assert!(!c.advance_party(PartyId(9)));
+        assert!(!c.advance_functionality("nope"));
+        assert_eq!(c.read(), 0);
+    }
+
+    #[test]
+    fn double_advance_idempotent_within_round() {
+        let mut c = GlobalClock::new(PartyId::all(2));
+        c.advance_party(PartyId(0));
+        c.advance_party(PartyId(0));
+        assert_eq!(c.read(), 0);
+        assert!(c.has_advanced(PartyId(0)));
+        assert!(!c.has_advanced(PartyId(1)));
+        c.advance_party(PartyId(1));
+        assert_eq!(c.read(), 1);
+        assert!(!c.has_advanced(PartyId(0)), "reset after tick");
+    }
+
+    #[test]
+    fn waiting_on_reports_missing() {
+        let mut c = GlobalClock::new(PartyId::all(2));
+        c.register_functionality("F");
+        c.advance_party(PartyId(1));
+        let waiting = c.waiting_on();
+        assert!(waiting.contains(&ClockEntity::Party(PartyId(0))));
+        assert!(waiting.contains(&ClockEntity::Functionality("F".into())));
+        assert_eq!(waiting.len(), 2);
+    }
+
+    #[test]
+    fn multiple_rounds() {
+        let mut c = GlobalClock::new(PartyId::all(2));
+        for round in 1..=5 {
+            c.advance_party(PartyId(0));
+            c.advance_party(PartyId(1));
+            assert_eq!(c.read(), round);
+        }
+        assert_eq!(c.ticks(), 5);
+    }
+}

@@ -1,0 +1,331 @@
+//! The random oracle functionality `F_RO` (paper Fig. 3), with the
+//! *programming* interface that UC simulators use for equivocation.
+//!
+//! Queries are attributed to a [`Caller`] so that simulators can check the
+//! abort condition of the security proofs ("has the adversary already
+//! queried ρ?") and experiments can account per-entity query costs.
+//!
+//! # Examples
+//!
+//! ```
+//! use sbc_uc::ro::{Caller, RandomOracle};
+//! use sbc_primitives::drbg::Drbg;
+//!
+//! let mut ro = RandomOracle::new(Drbg::from_seed(b"doc"));
+//! let y1 = ro.query(Caller::Party(sbc_uc::ids::PartyId(0)), b"x");
+//! let y2 = ro.query(Caller::Adversary, b"x");
+//! assert_eq!(y1, y2); // consistent table
+//! ```
+
+use crate::ids::PartyId;
+use sbc_primitives::drbg::Drbg;
+use std::collections::HashMap;
+
+/// Who issued a random-oracle query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Caller {
+    /// An honest protocol party.
+    Party(PartyId),
+    /// The real-world adversary (or environment via a corrupted party).
+    Adversary,
+    /// The simulator (internal queries do not count as adversarial).
+    Simulator,
+}
+
+/// Error returned by [`RandomOracle::program`] when the point was already
+/// fixed — the abort event of the equivocation simulators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlreadyDefined;
+
+impl std::fmt::Display for AlreadyDefined {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "random oracle point already defined")
+    }
+}
+
+impl std::error::Error for AlreadyDefined {}
+
+/// A programmable random oracle with λ = 256-bit outputs.
+///
+/// Sampling is *input-addressed*: an unprogrammed point `x` always maps to
+/// `PRF(seed, x)`, independent of query order. This preserves the
+/// random-oracle contract (fresh uniform value per point, consistency
+/// across queries) while making executions reproducible: a real and an
+/// ideal world constructed from the same seed agree on every unprogrammed
+/// point, which is what lets the indistinguishability tests compare
+/// transcripts bit-for-bit.
+#[derive(Clone, Debug)]
+pub struct RandomOracle {
+    table: HashMap<Vec<u8>, [u8; 32]>,
+    /// Variable-output-length points keyed by `(len ‖ x)`.
+    vl_table: HashMap<Vec<u8>, Vec<u8>>,
+    /// Points queried by the adversary (for simulator abort checks).
+    adversary_queried: HashMap<Vec<u8>, ()>,
+    programmed: HashMap<Vec<u8>, ()>,
+    key: [u8; 32],
+    query_count: u64,
+}
+
+impl RandomOracle {
+    /// Creates an oracle keyed from `rng`.
+    pub fn new(mut rng: Drbg) -> Self {
+        let raw = rng.gen_bytes(32);
+        let mut key = [0u8; 32];
+        key.copy_from_slice(&raw);
+        RandomOracle {
+            table: HashMap::new(),
+            vl_table: HashMap::new(),
+            adversary_queried: HashMap::new(),
+            programmed: HashMap::new(),
+            key,
+            query_count: 0,
+        }
+    }
+
+    /// `Query`: returns `H(x)`.
+    pub fn query(&mut self, caller: Caller, x: &[u8]) -> [u8; 32] {
+        self.query_count += 1;
+        if caller == Caller::Adversary {
+            self.adversary_queried.insert(x.to_vec(), ());
+        }
+        if let Some(y) = self.table.get(x) {
+            return *y;
+        }
+        let y = sbc_primitives::hmac::hmac_sha256(&self.key, x);
+        self.table.insert(x.to_vec(), y);
+        y
+    }
+
+    /// Read-only peek at `H(x)` without recording a query. Used by
+    /// simulators that must predict what an honest party's query would
+    /// return (legitimate because simulators control the oracle).
+    pub fn peek(&self, x: &[u8]) -> [u8; 32] {
+        if let Some(y) = self.table.get(x) {
+            return *y;
+        }
+        sbc_primitives::hmac::hmac_sha256(&self.key, x)
+    }
+
+    fn vl_key(x: &[u8], len: usize) -> Vec<u8> {
+        let mut k = (len as u64).to_be_bytes().to_vec();
+        k.extend_from_slice(x);
+        k
+    }
+
+    /// Variable-output-length query `H(x; len)` — a family of independent
+    /// oracles indexed by output length (how the SBC protocol derives masks
+    /// matching each message's size). Distinct lengths are independent
+    /// points, each individually programmable.
+    pub fn query_bytes(&mut self, caller: Caller, x: &[u8], len: usize) -> Vec<u8> {
+        self.query_count += 1;
+        let key = Self::vl_key(x, len);
+        if caller == Caller::Adversary {
+            self.adversary_queried.insert(key.clone(), ());
+        }
+        if let Some(y) = self.vl_table.get(&key) {
+            return y.clone();
+        }
+        let y = self.expand(&key, len);
+        self.vl_table.insert(key, y.clone());
+        y
+    }
+
+    fn expand(&self, key: &[u8], len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len);
+        let mut ctr = 0u64;
+        while out.len() < len {
+            let mut input = ctr.to_be_bytes().to_vec();
+            input.extend_from_slice(key);
+            let block = sbc_primitives::hmac::hmac_sha256(&self.key, &input);
+            let take = (len - out.len()).min(block.len());
+            out.extend_from_slice(&block[..take]);
+            ctr += 1;
+        }
+        out
+    }
+
+    /// Simulator-only: fixes `H(x; y.len()) = y` for an unqueried point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlreadyDefined`] if the point was already fixed (the
+    /// equivocation-abort event).
+    pub fn program_bytes(&mut self, x: &[u8], y: Vec<u8>) -> Result<(), AlreadyDefined> {
+        let key = Self::vl_key(x, y.len());
+        if self.vl_table.contains_key(&key) {
+            return Err(AlreadyDefined);
+        }
+        self.programmed.insert(key.clone(), ());
+        self.vl_table.insert(key, y);
+        Ok(())
+    }
+
+    /// Whether the adversary queried the variable-length point `(x, len)`.
+    pub fn adversary_queried_bytes(&self, x: &[u8], len: usize) -> bool {
+        self.adversary_queried.contains_key(&Self::vl_key(x, len))
+    }
+
+    /// Simulator-only: fixes `H(x) = y` for a not-yet-queried point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlreadyDefined`] if `x` was already queried or programmed —
+    /// this is exactly the negligible-probability abort event in the
+    /// paper's simulation proofs.
+    pub fn program(&mut self, x: &[u8], y: [u8; 32]) -> Result<(), AlreadyDefined> {
+        if self.table.contains_key(x) {
+            return Err(AlreadyDefined);
+        }
+        self.table.insert(x.to_vec(), y);
+        self.programmed.insert(x.to_vec(), ());
+        Ok(())
+    }
+
+    /// Whether any caller has fixed/queried the point.
+    pub fn is_defined(&self, x: &[u8]) -> bool {
+        self.table.contains_key(x)
+    }
+
+    /// Whether the adversary has queried the point (abort-check predicate).
+    pub fn adversary_queried(&self, x: &[u8]) -> bool {
+        self.adversary_queried.contains_key(x)
+    }
+
+    /// Whether the point was set via [`program`](RandomOracle::program).
+    pub fn was_programmed(&self, x: &[u8]) -> bool {
+        self.programmed.contains_key(x)
+    }
+
+    /// Total number of queries served.
+    pub fn query_count(&self) -> u64 {
+        self.query_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ro() -> RandomOracle {
+        RandomOracle::new(Drbg::from_seed(b"ro-tests"))
+    }
+
+    #[test]
+    fn consistent_answers() {
+        let mut r = ro();
+        let y1 = r.query(Caller::Party(PartyId(0)), b"a");
+        let y2 = r.query(Caller::Party(PartyId(1)), b"a");
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn distinct_points_distinct_outputs() {
+        let mut r = ro();
+        assert_ne!(r.query(Caller::Adversary, b"a"), r.query(Caller::Adversary, b"b"));
+    }
+
+    #[test]
+    fn programming_before_query_succeeds() {
+        let mut r = ro();
+        r.program(b"p", [7u8; 32]).unwrap();
+        assert_eq!(r.query(Caller::Party(PartyId(0)), b"p"), [7u8; 32]);
+        assert!(r.was_programmed(b"p"));
+    }
+
+    #[test]
+    fn programming_after_query_fails() {
+        let mut r = ro();
+        r.query(Caller::Adversary, b"p");
+        assert_eq!(r.program(b"p", [7u8; 32]), Err(AlreadyDefined));
+    }
+
+    #[test]
+    fn double_programming_fails() {
+        let mut r = ro();
+        r.program(b"p", [7u8; 32]).unwrap();
+        assert_eq!(r.program(b"p", [8u8; 32]), Err(AlreadyDefined));
+    }
+
+    #[test]
+    fn adversary_query_tracking() {
+        let mut r = ro();
+        r.query(Caller::Party(PartyId(0)), b"honest");
+        r.query(Caller::Simulator, b"sim");
+        r.query(Caller::Adversary, b"adv");
+        assert!(!r.adversary_queried(b"honest"));
+        assert!(!r.adversary_queried(b"sim"));
+        assert!(r.adversary_queried(b"adv"));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = ro();
+        let mut b = ro();
+        assert_eq!(a.query(Caller::Adversary, b"x"), b.query(Caller::Adversary, b"x"));
+    }
+
+    #[test]
+    fn query_count_tracks() {
+        let mut r = ro();
+        r.query(Caller::Adversary, b"x");
+        r.query(Caller::Adversary, b"x");
+        assert_eq!(r.query_count(), 2);
+    }
+
+    #[test]
+    fn peek_matches_query_without_recording() {
+        let mut r = ro();
+        let peeked = r.peek(b"p");
+        assert_eq!(r.query_count(), 0);
+        assert_eq!(r.query(Caller::Simulator, b"p"), peeked);
+    }
+
+    #[test]
+    fn query_bytes_lengths_are_independent_points() {
+        let mut r = ro();
+        let y16 = r.query_bytes(Caller::Simulator, b"x", 16);
+        let y32 = r.query_bytes(Caller::Simulator, b"x", 32);
+        assert_eq!(y16.len(), 16);
+        assert_eq!(y32.len(), 32);
+        assert_ne!(&y32[..16], &y16[..], "independent oracles per length");
+        // Consistent per point.
+        assert_eq!(r.query_bytes(Caller::Adversary, b"x", 16), y16);
+    }
+
+    #[test]
+    fn query_bytes_long_outputs() {
+        let mut r = ro();
+        let y = r.query_bytes(Caller::Simulator, b"long", 100);
+        assert_eq!(y.len(), 100);
+        assert_eq!(r.query_bytes(Caller::Simulator, b"long", 100), y);
+        assert!(r.query_bytes(Caller::Simulator, b"long", 0).is_empty());
+    }
+
+    #[test]
+    fn program_bytes_equivocation() {
+        let mut r = ro();
+        r.program_bytes(b"rho", vec![7u8; 20]).unwrap();
+        assert_eq!(r.query_bytes(Caller::Party(PartyId(0)), b"rho", 20), vec![7u8; 20]);
+        // Same point again: already defined.
+        assert_eq!(r.program_bytes(b"rho", vec![8u8; 20]), Err(AlreadyDefined));
+        // Different length: a fresh point, still programmable.
+        assert!(r.program_bytes(b"rho", vec![9u8; 21]).is_ok());
+    }
+
+    #[test]
+    fn program_bytes_after_query_fails() {
+        let mut r = ro();
+        r.query_bytes(Caller::Adversary, b"taken", 8);
+        assert_eq!(r.program_bytes(b"taken", vec![0u8; 8]), Err(AlreadyDefined));
+        assert!(r.adversary_queried_bytes(b"taken", 8));
+        assert!(!r.adversary_queried_bytes(b"taken", 9));
+    }
+
+    #[test]
+    fn fixed_and_variable_tables_are_disjoint() {
+        let mut r = ro();
+        let fixed = r.query(Caller::Simulator, b"x");
+        let vl = r.query_bytes(Caller::Simulator, b"x", 32);
+        assert_ne!(fixed.to_vec(), vl, "32-byte VL point is not the fixed point");
+    }
+}

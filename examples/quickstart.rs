@@ -1,0 +1,26 @@
+//! Quickstart: run a simultaneous broadcast among five parties.
+//!
+//! ```sh
+//! cargo run -p sbc-bench --example quickstart
+//! ```
+
+use sbc_core::api::SbcSession;
+
+fn main() {
+    // Five parties, default parameters (Φ = 3 rounds, ∆ = 2 rounds).
+    let mut session = SbcSession::builder(5).seed(b"quickstart").build();
+
+    // Three of them broadcast — simultaneity means none of these messages
+    // can depend on any other, and liveness means the two silent parties
+    // do not block termination.
+    session.submit(0, b"alice: commit 7a1f");
+    session.submit(2, b"carol: commit 99d2");
+    session.submit(4, b"erin:  commit 3c44");
+
+    let result = session.run_to_completion();
+    println!("released at round {}:", result.release_round);
+    for (i, m) in result.messages.iter().enumerate() {
+        println!("  [{i}] {}", String::from_utf8_lossy(m));
+    }
+    assert_eq!(result.messages.len(), 3);
+}

@@ -1,0 +1,103 @@
+//! End-to-end application integration: DURS and self-tallying voting over
+//! the full SBC stack (Theorems 3 and 4 at the system level).
+
+use sbc_apps::durs::{DursSession, URS_LEN};
+use sbc_apps::voting::{self_tally, Ballot, Election, ElectionSetup};
+use sbc_primitives::drbg::Drbg;
+use sbc_primitives::group::SchnorrGroup;
+
+#[test]
+fn durs_outputs_have_full_entropy_contribution() {
+    // Flipping any single party's seed changes the output (XOR combines
+    // all contributions).
+    let base = {
+        let mut s = DursSession::new(3, b"entropy-base");
+        for p in 0..3 {
+            s.contribute(p);
+        }
+        s.finish().urs
+    };
+    let with_chosen = {
+        let mut s = DursSession::new(3, b"entropy-base");
+        s.contribute(0);
+        s.contribute(1);
+        s.contribute_chosen(2, &[0u8; URS_LEN]);
+        s.finish().urs
+    };
+    assert_ne!(base, with_chosen);
+}
+
+#[test]
+fn durs_uniformity_chi_square() {
+    // χ² over byte nibbles pooled from independent runs.
+    let mut counts = [0u64; 16];
+    let mut total = 0u64;
+    for i in 0..16u8 {
+        let mut s = DursSession::new(2, &[b'x', i]);
+        s.contribute(0);
+        s.contribute(1);
+        for byte in s.finish().urs {
+            counts[(byte >> 4) as usize] += 1;
+            counts[(byte & 0xf) as usize] += 1;
+            total += 2;
+        }
+    }
+    let expected = total as f64 / 16.0;
+    let chi2: f64 =
+        counts.iter().map(|&c| (c as f64 - expected).powi(2) / expected).sum();
+    // 15 degrees of freedom; p=0.001 critical value ≈ 37.7.
+    assert!(chi2 < 37.7, "χ² = {chi2} over {total} nibbles");
+}
+
+#[test]
+fn election_large_boardroom() {
+    let n = 11;
+    let mut e = Election::new(SchnorrGroup::tiny(), n, 2, b"large");
+    let mut expected = [0u64; 2];
+    for v in 0..n {
+        let c = (v * 7 + 1) % 2;
+        expected[c] += 1;
+        e.vote(v, c);
+    }
+    let r = e.finish().unwrap();
+    assert_eq!(r.counts, expected.to_vec());
+    assert_eq!(r.ballots_accepted, n);
+}
+
+#[test]
+fn election_three_candidates_production_group() {
+    let mut e = Election::new(SchnorrGroup::default_256(), 4, 3, b"prod-grp");
+    e.vote(0, 2);
+    e.vote(1, 2);
+    e.vote(2, 0);
+    e.vote(3, 1);
+    let r = e.finish().unwrap();
+    assert_eq!(r.counts, vec![1, 1, 2]);
+}
+
+#[test]
+fn ballots_survive_the_wire() {
+    // Ballot → Value → bytes → Value → Ballot, through the same encoding
+    // the SBC channel applies.
+    let mut rng = Drbg::from_seed(b"wire");
+    let setup = ElectionSetup::generate(SchnorrGroup::tiny(), 3, 2, 2, &mut rng);
+    let b = Ballot::cast(&setup, 2, 1, &mut rng);
+    let bytes = b.to_value().encode();
+    let parsed = Ballot::from_value(&sbc_uc::value::Value::decode(&bytes).unwrap()).unwrap();
+    assert_eq!(parsed, b);
+    assert!(parsed.verify(&setup));
+    assert_eq!(self_tally(&setup, &[parsed]).unwrap(), vec![0, 1]);
+}
+
+#[test]
+fn election_tally_matches_direct_tally() {
+    // The SBC-channel election agrees with tallying the same ballots
+    // locally (the channel neither loses nor fabricates ballots).
+    let mut e = Election::new(SchnorrGroup::tiny(), 5, 2, b"match");
+    let votes = [1usize, 0, 1, 1, 0];
+    for (v, &c) in votes.iter().enumerate() {
+        e.vote(v, c);
+    }
+    let via_sbc = e.finish().unwrap().counts;
+    assert_eq!(via_sbc, vec![2, 3]);
+}

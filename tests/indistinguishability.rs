@@ -1,0 +1,120 @@
+//! Randomized real-vs-ideal experiments: many seeded environments per
+//! lemma/theorem, beyond the targeted unit scenarios.
+
+use sbc_broadcast::ubc::worlds::{IdealUbcWorld, RealUbcWorld};
+use sbc_core::worlds::{IdealSbcWorld, RealSbcWorld, SbcParams};
+use sbc_primitives::drbg::Drbg;
+use sbc_uc::ids::PartyId;
+use sbc_uc::trace::EventKind;
+use sbc_uc::value::{Command, Value};
+use sbc_uc::world::{run_env, AdvCommand, EnvDriver};
+
+/// Lemma 1 under randomized multi-sender schedules with substitutions.
+#[test]
+fn lemma1_randomized_schedules() {
+    for trial in 0u8..10 {
+        let seed = [b'l', b'1', trial];
+        let mut plan = Drbg::from_seed(&seed);
+        let n = 3 + plan.gen_range(2) as usize;
+        let rounds = 3 + plan.gen_range(3);
+        let corrupt = plan.gen_range(n as u64) as u32;
+        let script = move |env: &mut EnvDriver<'_>| {
+            let mut plan = Drbg::from_seed(&[b'p', b'1', trial]);
+            for r in 0..rounds {
+                let sender = PartyId(plan.gen_range(n as u64) as u32);
+                if !env.is_corrupted(sender) {
+                    env.input(
+                        sender,
+                        Command::new("Broadcast", Value::U64(plan.gen_u64() % 100)),
+                    );
+                }
+                if r == 1 {
+                    env.adversary(AdvCommand::Corrupt(PartyId(corrupt)));
+                }
+                env.advance_all();
+            }
+        };
+        let mut real = RealUbcWorld::new(n, &seed);
+        let mut ideal = IdealUbcWorld::new(n, &seed);
+        let tr = run_env(&mut real, script);
+        let ti = run_env(&mut ideal, script);
+        assert_eq!(tr.digest(), ti.digest(), "trial {trial}");
+    }
+}
+
+/// Theorem 2 under randomized input schedules: shape + exact outputs.
+#[test]
+fn theorem2_randomized_schedules() {
+    for trial in 0u8..6 {
+        let seed = [b't', b'2', trial];
+        let mut plan = Drbg::from_seed(&seed);
+        let n = 2 + plan.gen_range(3) as usize;
+        let params = SbcParams::default_for(n);
+        let script = move |env: &mut EnvDriver<'_>| {
+            let mut plan = Drbg::from_seed(&[b'q', b'2', trial]);
+            // Random submissions over the first two rounds.
+            for _ in 0..(1 + plan.gen_range(3)) {
+                let p = PartyId(plan.gen_range(n as u64) as u32);
+                let len = 1 + plan.gen_range(40) as usize;
+                env.input(
+                    p,
+                    Command::new("Broadcast", Value::Bytes(plan.gen_bytes(len))),
+                );
+            }
+            env.advance_all();
+            for _ in 0..plan.gen_range(3) {
+                let p = PartyId(plan.gen_range(n as u64) as u32);
+                env.input(
+                    p,
+                    Command::new("Broadcast", Value::Bytes(plan.gen_bytes(16))),
+                );
+            }
+            env.idle_rounds(8);
+        };
+        let mut real = RealSbcWorld::new(params, &seed);
+        let mut ideal = IdealSbcWorld::new(params, &seed);
+        let tr = run_env(&mut real, script);
+        let ti = run_env(&mut ideal, script);
+        assert_eq!(tr.shape_digest(), ti.shape_digest(), "trial {trial} shape");
+        let outs = |t: &sbc_uc::trace::Transcript| -> Vec<(u64, PartyId, Value)> {
+            t.events
+                .iter()
+                .filter_map(|e| match &e.kind {
+                    EventKind::Output { party, cmd } => {
+                        Some((e.round, *party, cmd.value.clone()))
+                    }
+                    _ => None,
+                })
+                .collect()
+        };
+        assert_eq!(outs(&tr), outs(&ti), "trial {trial} outputs");
+        assert!(!ideal.simulator_would_abort(), "trial {trial} abort");
+    }
+}
+
+/// Simultaneity as a distribution test: with messages m0 vs m1, the
+/// adversary's period view (all leaks up to t_end) has identical shape, so
+/// no environment decision function over the view can depend on the message.
+#[test]
+fn simultaneity_view_independence() {
+    let run = |msg: &'static [u8]| {
+        let mut world = RealSbcWorld::new(SbcParams::default_for(3), b"view-indep");
+        run_env(&mut world, move |env| {
+            env.input(PartyId(0), Command::new("Broadcast", Value::bytes(msg)));
+            env.idle_rounds(3); // exactly the broadcast period
+        })
+    };
+    let t0 = run(b"AAAAAAAAAAAA");
+    let t1 = run(b"BBBBBBBBBBBB");
+    // Shapes identical; the only difference is inside ciphertext bytes.
+    let strip_inputs = |t: &sbc_uc::trace::Transcript| {
+        let mut c = t.clone();
+        c.events.retain(|e| !matches!(e.kind, EventKind::Input { .. }));
+        c
+    };
+    assert_eq!(
+        strip_inputs(&t0).shape_digest(),
+        strip_inputs(&t1).shape_digest(),
+        "the adversary's in-period view shape is message-independent"
+    );
+}

@@ -1,0 +1,147 @@
+//! Property-based tests (proptest) over the public APIs of the stack.
+
+use proptest::prelude::*;
+use sbc_primitives::astrolabous::{ast_enc, ast_solve_and_dec, xor_mask};
+use sbc_primitives::bigint::U256;
+use sbc_primitives::drbg::Drbg;
+use sbc_primitives::group::SchnorrGroup;
+use sbc_primitives::hashchain::{chain_encode, chain_solve, payload_from_witness};
+use sbc_primitives::sha256::Sha256;
+use sbc_uc::value::Value;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Unit),
+        any::<bool>().prop_map(Value::Bool),
+        any::<u64>().prop_map(Value::U64),
+        any::<i64>().prop_map(Value::I64),
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(Value::Bytes),
+        "[a-z]{0,12}".prop_map(Value::Str),
+    ];
+    leaf.prop_recursive(3, 32, 6, |inner| {
+        proptest::collection::vec(inner, 0..6).prop_map(Value::List)
+    })
+}
+
+proptest! {
+    #[test]
+    fn value_codec_round_trip(v in arb_value()) {
+        prop_assert_eq!(Value::decode(&v.encode()), Some(v));
+    }
+
+    #[test]
+    fn value_ordering_consistent_with_encoding_identity(a in arb_value(), b in arb_value()) {
+        // Equal values have equal encodings; distinct values distinct ones.
+        prop_assert_eq!(a == b, a.encode() == b.encode());
+    }
+
+    #[test]
+    fn u256_add_sub_round_trip(a in any::<[u8; 32]>(), b in any::<[u8; 32]>()) {
+        let x = U256::from_be_bytes(&a);
+        let y = U256::from_be_bytes(&b);
+        let (sum, carry) = x.overflowing_add(&y);
+        let (back, borrow) = sum.overflowing_sub(&y);
+        prop_assert_eq!(back, x);
+        prop_assert_eq!(carry, borrow);
+    }
+
+    #[test]
+    fn u256_mulmod_commutative(a in any::<[u8; 32]>(), b in any::<[u8; 32]>(), m in 2u64..u64::MAX) {
+        let x = U256::from_be_bytes(&a);
+        let y = U256::from_be_bytes(&b);
+        let m = U256::from_u64(m);
+        prop_assert_eq!(x.mulmod(&y, &m), y.mulmod(&x, &m));
+    }
+
+    #[test]
+    fn group_exponent_laws(e1 in 1u64..1000, e2 in 1u64..1000) {
+        let grp = SchnorrGroup::tiny();
+        let g = grp.generator();
+        let a = grp.exp(&g, &grp.scalar_from_u64(e1));
+        let b = grp.exp(&g, &grp.scalar_from_u64(e2));
+        prop_assert_eq!(grp.mul(&a, &b), grp.exp(&g, &grp.scalar_from_u64(e1 + e2)));
+    }
+
+    #[test]
+    fn hashchain_round_trip(len in 1usize..24, payload in any::<[u8; 32]>(), seed in any::<[u8; 16]>()) {
+        let h = |x: &[u8]| Sha256::digest(x);
+        let mut rng = Drbg::from_seed(&seed);
+        let rs: Vec<[u8; 32]> = (0..len).map(|_| {
+            let b = rng.gen_bytes(32);
+            let mut e = [0u8; 32]; e.copy_from_slice(&b); e
+        }).collect();
+        let chain = chain_encode(&h, &rs, &payload);
+        let (p, w) = chain_solve(&h, &chain).unwrap();
+        prop_assert_eq!(p, payload);
+        prop_assert_eq!(payload_from_witness(&chain, &w).unwrap(), payload);
+    }
+
+    #[test]
+    fn astrolabous_round_trip(msg in proptest::collection::vec(any::<u8>(), 0..128),
+                              tau in 1u64..4, q in 1u32..5, seed in any::<[u8; 16]>()) {
+        let h = |x: &[u8]| Sha256::digest(x);
+        let mut rng = Drbg::from_seed(&seed);
+        let ct = ast_enc(&h, &msg, tau, q, &mut rng);
+        prop_assert_eq!(ast_solve_and_dec(&h, &ct).unwrap(), msg);
+    }
+
+    #[test]
+    fn xor_mask_involution(data in proptest::collection::vec(any::<u8>(), 0..200), seed in any::<[u8; 32]>()) {
+        prop_assert_eq!(xor_mask(&seed, &xor_mask(&seed, &data)), data);
+    }
+
+    #[test]
+    fn drbg_fork_independence(label_a in "[a-z]{1,8}", label_b in "[a-z]{1,8}") {
+        prop_assume!(label_a != label_b);
+        let mut root = Drbg::from_seed(b"prop");
+        let mut a = root.fork(label_a.as_bytes());
+        let mut b = root.fork(label_b.as_bytes());
+        prop_assert_ne!(a.gen_bytes(16), b.gen_bytes(16));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Dolev–Strong agreement holds under random Byzantine strategies.
+    #[test]
+    fn dolev_strong_agreement_random_byzantine(seed in any::<[u8; 8]>()) {
+        use sbc_broadcast::rbc::dolev_strong::{ChainLink, DolevStrong};
+        use sbc_uc::cert::IdealCert;
+        use sbc_uc::ids::PartyId;
+
+        let mut plan = Drbg::from_seed(&seed);
+        let n = 4usize;
+        let t = 2usize;
+        let mut rng = Drbg::from_seed(b"ds-prop");
+        let certs: Vec<IdealCert> = (0..n as u32)
+            .map(|i| IdealCert::new(PartyId(i), rng.fork(&i.to_be_bytes())))
+            .collect();
+        let mut ds = DolevStrong::new(b"prop".to_vec(), t, PartyId(0), certs);
+        ds.corrupt(PartyId(0));
+        ds.corrupt(PartyId(1));
+        // Random adversarial schedule: signed sends of random values to
+        // random recipients in random rounds.
+        for round in 0..=t as u64 {
+            for _ in 0..plan.gen_range(3) {
+                let m = Value::U64(plan.gen_range(3));
+                let from = PartyId(plan.gen_range(2) as u32);
+                let to = PartyId(2 + plan.gen_range(2) as u32);
+                let mut chain = vec![];
+                if let Some(sig) = ds.adversary_sign(PartyId(0), m.clone()) {
+                    chain.push(ChainLink { signer: PartyId(0), signature: sig });
+                }
+                if plan.gen_bool() {
+                    if let Some(sig) = ds.adversary_sign(PartyId(1), m.clone()) {
+                        chain.push(ChainLink { signer: PartyId(1), signature: sig });
+                    }
+                }
+                ds.adversary_send(from, to, m, chain);
+            }
+            ds.step_round();
+            let _ = round;
+        }
+        let outs = ds.outputs();
+        prop_assert_eq!(&outs[2], &outs[3], "honest agreement");
+    }
+}
