@@ -8,11 +8,13 @@
 //!
 //! * [`DursFunc`] — the functionality `F_DURS(∆, α)` (Fig. 15).
 //! * [`DursSession`] — the protocol `Π_DURS` (Fig. 16) over the real SBC
-//!   stack, exposed as a session API.
+//!   stack, exposed as a fallible, **multi-epoch** session: one session
+//!   produces a fresh beacon output per epoch
+//!   ([`DursSession::run_epoch`]) without rebuilding the world stack.
 //! * [`NaiveBeacon`] — the commit-free XOR beacon baseline, with the
 //!   classic last-revealer bias attack.
 
-use sbc_core::api::{SbcResult, SbcSession};
+use sbc_core::api::{SbcError, SbcSession};
 use sbc_primitives::drbg::Drbg;
 use sbc_uc::hybrid::HybridCtx;
 use sbc_uc::ids::PartyId;
@@ -36,12 +38,21 @@ pub struct DursFunc {
 impl DursFunc {
     /// Creates the functionality.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics unless `∆ ≥ α`.
-    pub fn new(delta: u64, alpha: u64) -> Self {
-        assert!(delta >= alpha, "need ∆ ≥ α");
-        DursFunc { delta, alpha, urs: None, t_start: None, waiting: HashMap::new() }
+    /// Rejects parameters with `∆ < α` (the simulator head start cannot
+    /// exceed the delivery delay).
+    pub fn new(delta: u64, alpha: u64) -> Result<Self, &'static str> {
+        if delta < alpha {
+            return Err("need ∆ ≥ α");
+        }
+        Ok(DursFunc {
+            delta,
+            alpha,
+            urs: None,
+            t_start: None,
+            waiting: HashMap::new(),
+        })
     }
 
     /// `URS` request from an honest party: samples the string on first use,
@@ -84,7 +95,7 @@ impl DursFunc {
     }
 }
 
-/// The result of a DURS run.
+/// The result of one DURS period.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DursResult {
     /// The agreed uniform string (XOR of all contributions).
@@ -97,7 +108,9 @@ pub struct DursResult {
 
 /// `Π_DURS` (Fig. 16) over the real SBC stack: every participating party
 /// contributes λ random bits via simultaneous broadcast; the output is
-/// their XOR.
+/// their XOR. The session is multi-epoch: after
+/// [`run_epoch`](DursSession::run_epoch) releases a beacon value, the same
+/// stack accepts the next round of contributions.
 #[derive(Debug)]
 pub struct DursSession {
     sbc: SbcSession,
@@ -106,64 +119,125 @@ pub struct DursSession {
     contributed: Vec<bool>,
 }
 
+fn xor_fold(messages: &[Vec<u8>]) -> (Vec<u8>, usize) {
+    let mut urs = vec![0u8; URS_LEN];
+    let mut contributions = 0;
+    for m in messages {
+        if m.len() != URS_LEN {
+            continue; // non-λ-bit strings are discarded (Fig. 16)
+        }
+        contributions += 1;
+        for (acc, b) in urs.iter_mut().zip(m.iter()) {
+            *acc ^= b;
+        }
+    }
+    (urs, contributions)
+}
+
 impl DursSession {
     /// Creates a session for `n` parties.
-    pub fn new(n: usize, seed: &[u8]) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SbcError`] from the underlying session builder
+    /// (degenerate `n`, invalid default parameters).
+    pub fn new(n: usize, seed: &[u8]) -> Result<Self, SbcError> {
         let mut label = b"durs/".to_vec();
         label.extend_from_slice(seed);
-        DursSession {
-            sbc: SbcSession::builder(n).seed(seed).build(),
+        Ok(DursSession {
+            sbc: SbcSession::builder(n).seed(seed).build()?,
             n,
             rng: Drbg::from_seed(&label),
             contributed: vec![false; n],
-        }
+        })
     }
 
-    /// Party `p` contributes fresh randomness (idempotent per party).
-    pub fn contribute(&mut self, p: u32) {
-        if self.contributed[p as usize] {
-            return;
+    /// Party `p` contributes fresh randomness (idempotent per party and
+    /// epoch).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SbcError`] (out-of-range party, corrupted party,
+    /// period already closed).
+    pub fn contribute(&mut self, p: u32) -> Result<(), SbcError> {
+        if (p as usize) >= self.n {
+            return Err(SbcError::PartyOutOfRange {
+                party: p,
+                n: self.n,
+            });
         }
-        self.contributed[p as usize] = true;
-        let mut party_rng = self.rng.fork(format!("contrib/{p}").as_bytes());
+        if self.contributed[p as usize] {
+            return Ok(());
+        }
+        // Reject doomed contributions before forking: `fork` ratchets the
+        // session DRBG, and a failed call must not shift the shares of
+        // every later epoch (seed-reproducibility of beacon outputs).
+        self.sbc.check_submittable(p)?;
+        let mut party_rng = self
+            .rng
+            .fork(format!("contrib/{}/{p}", self.sbc.epoch()).as_bytes());
         let rho = party_rng.gen_bytes(URS_LEN);
-        self.sbc.submit(p, &rho);
+        self.sbc.submit(p, &rho)?;
+        self.contributed[p as usize] = true;
+        Ok(())
     }
 
     /// Adversarial contribution with a *chosen* (non-random) share — used
     /// by the bias experiments.
-    pub fn contribute_chosen(&mut self, p: u32, share: &[u8; URS_LEN]) {
-        if self.contributed[p as usize] {
-            return;
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SbcError`] as for [`contribute`](DursSession::contribute).
+    pub fn contribute_chosen(&mut self, p: u32, share: &[u8; URS_LEN]) -> Result<(), SbcError> {
+        if (p as usize) >= self.n {
+            return Err(SbcError::PartyOutOfRange {
+                party: p,
+                n: self.n,
+            });
         }
+        if self.contributed[p as usize] {
+            return Ok(());
+        }
+        self.sbc.submit(p, share)?;
         self.contributed[p as usize] = true;
-        self.sbc.submit(p, share);
+        Ok(())
     }
 
-    /// Runs to completion and XORs all valid λ-bit contributions.
+    /// Runs the current beacon period to release, XORs all valid λ-bit
+    /// contributions, and re-opens the stack for the next epoch.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if nobody contributed.
-    pub fn finish(mut self) -> DursResult {
-        let SbcResult { messages, release_round, .. } = self.sbc.run_to_completion();
-        let mut urs = vec![0u8; URS_LEN];
-        let mut contributions = 0;
-        for m in &messages {
-            if m.len() != URS_LEN {
-                continue; // non-λ-bit strings are discarded (Fig. 16)
-            }
-            contributions += 1;
-            for (acc, b) in urs.iter_mut().zip(m.iter()) {
-                *acc ^= b;
-            }
-        }
-        DursResult { urs, contributions, release_round }
+    /// [`SbcError::NoInput`] if nobody contributed this epoch; otherwise
+    /// as for [`SbcSession::run_epoch`].
+    pub fn run_epoch(&mut self) -> Result<DursResult, SbcError> {
+        let epoch = self.sbc.run_epoch()?;
+        self.contributed = vec![false; self.n];
+        let (urs, contributions) = xor_fold(&epoch.messages);
+        Ok(DursResult {
+            urs,
+            contributions,
+            release_round: epoch.release_round,
+        })
+    }
+
+    /// Single-shot convenience: runs one period and consumes the session.
+    ///
+    /// # Errors
+    ///
+    /// As for [`run_epoch`](DursSession::run_epoch).
+    pub fn finish(mut self) -> Result<DursResult, SbcError> {
+        self.run_epoch()
     }
 
     /// Number of registered parties.
     pub fn n(&self) -> usize {
         self.n
+    }
+
+    /// The epoch currently accepting contributions.
+    pub fn epoch(&self) -> u64 {
+        self.sbc.epoch()
     }
 }
 
@@ -227,18 +301,26 @@ pub fn last_revealer_attack(honest_shares: &[[u8; URS_LEN]], target: &[u8; URS_L
 /// Its share cannot depend on the honest shares (they are time-locked), so
 /// the output retains the honest parties' entropy. Returns `(output,
 /// target_hit)`.
-pub fn last_revealer_attack_on_durs(seed: &[u8], target: &[u8; URS_LEN]) -> (Vec<u8>, bool) {
+///
+/// # Errors
+///
+/// Propagates [`SbcError`] from the session (should not occur for these
+/// fixed parameters).
+pub fn last_revealer_attack_on_durs(
+    seed: &[u8],
+    target: &[u8; URS_LEN],
+) -> Result<(Vec<u8>, bool), SbcError> {
     // The adversary's best strategy within the model: contribute any value
     // chosen independently of the (hidden) honest shares.
-    let mut session = DursSession::new(3, seed);
-    session.contribute(0);
-    session.contribute(1);
+    let mut session = DursSession::new(3, seed)?;
+    session.contribute(0)?;
+    session.contribute(1)?;
     // Adversarial third party: chooses its share with full knowledge of the
     // public view so far — which reveals nothing about the honest ρ's.
-    session.contribute_chosen(2, target);
-    let result = session.finish();
-    let hit = &result.urs == target;
-    (result.urs, hit)
+    session.contribute_chosen(2, target)?;
+    let result = session.finish()?;
+    let hit = result.urs == target;
+    Ok((result.urs, hit))
 }
 
 #[cfg(test)]
@@ -253,23 +335,40 @@ mod tests {
         let mut rng = Drbg::from_seed(b"durs-f");
         let mut leaks = Vec::new();
         let mut corr = CorruptionTracker::new(2);
-        let mut f = DursFunc::new(3, 1);
-        let mut ctx = HybridCtx { clock: &mut clock, rng: &mut rng, leaks: &mut leaks, corr: &mut corr };
-        assert!(f.request(PartyId(0), &mut ctx).is_none(), "too early");
-        assert!(f.request_simulator(&mut ctx).is_none(), "α=1 < ∆=3");
-        drop(ctx);
+        let mut f = DursFunc::new(3, 1).unwrap();
+        {
+            let mut ctx = HybridCtx {
+                clock: &mut clock,
+                rng: &mut rng,
+                leaks: &mut leaks,
+                corr: &mut corr,
+            };
+            assert!(f.request(PartyId(0), &mut ctx).is_none(), "too early");
+            assert!(f.request_simulator(&mut ctx).is_none(), "α=1 < ∆=3");
+        }
         for _ in 0..2 {
             clock.advance_party(PartyId(0));
             clock.advance_party(PartyId(1));
         }
-        let mut ctx = HybridCtx { clock: &mut clock, rng: &mut rng, leaks: &mut leaks, corr: &mut corr };
-        // Cl = 2 = ∆ - α: simulator gets it, parties don't.
-        assert!(f.request_simulator(&mut ctx).is_some());
-        assert!(f.request(PartyId(1), &mut ctx).is_none());
-        drop(ctx);
+        {
+            let mut ctx = HybridCtx {
+                clock: &mut clock,
+                rng: &mut rng,
+                leaks: &mut leaks,
+                corr: &mut corr,
+            };
+            // Cl = 2 = ∆ - α: simulator gets it, parties don't.
+            assert!(f.request_simulator(&mut ctx).is_some());
+            assert!(f.request(PartyId(1), &mut ctx).is_none());
+        }
         clock.advance_party(PartyId(0));
         clock.advance_party(PartyId(1));
-        let mut ctx = HybridCtx { clock: &mut clock, rng: &mut rng, leaks: &mut leaks, corr: &mut corr };
+        let mut ctx = HybridCtx {
+            clock: &mut clock,
+            rng: &mut rng,
+            leaks: &mut leaks,
+            corr: &mut corr,
+        };
         let urs0 = f.advance_clock(PartyId(0), &mut ctx).unwrap();
         let urs1 = f.request(PartyId(1), &mut ctx).unwrap();
         assert_eq!(urs0, urs1);
@@ -278,11 +377,11 @@ mod tests {
 
     #[test]
     fn durs_all_parties_agree() {
-        let mut s = DursSession::new(3, b"agree");
+        let mut s = DursSession::new(3, b"agree").unwrap();
         for p in 0..3 {
-            s.contribute(p);
+            s.contribute(p).unwrap();
         }
-        let r = s.finish();
+        let r = s.finish().unwrap();
         assert_eq!(r.contributions, 3);
         assert_eq!(r.urs.len(), URS_LEN);
         assert_ne!(r.urs, vec![0u8; URS_LEN]);
@@ -291,10 +390,10 @@ mod tests {
     #[test]
     fn durs_deterministic_per_seed() {
         let run = |seed: &[u8]| {
-            let mut s = DursSession::new(2, seed);
-            s.contribute(0);
-            s.contribute(1);
-            s.finish().urs
+            let mut s = DursSession::new(2, seed).unwrap();
+            s.contribute(0).unwrap();
+            s.contribute(1).unwrap();
+            s.finish().unwrap().urs
         };
         assert_eq!(run(b"seed-a"), run(b"seed-a"));
         assert_ne!(run(b"seed-a"), run(b"seed-b"));
@@ -302,10 +401,47 @@ mod tests {
 
     #[test]
     fn durs_partial_participation() {
-        let mut s = DursSession::new(4, b"partial");
-        s.contribute(1);
-        let r = s.finish();
+        let mut s = DursSession::new(4, b"partial").unwrap();
+        s.contribute(1).unwrap();
+        let r = s.finish().unwrap();
         assert_eq!(r.contributions, 1, "terminates without full participation");
+    }
+
+    #[test]
+    fn durs_multi_epoch_beacon() {
+        // One session, three beacon periods: fresh contributions, fresh
+        // outputs, monotone release rounds.
+        let mut s = DursSession::new(3, b"multi").unwrap();
+        let mut outputs = Vec::new();
+        let mut last_round = 0;
+        for epoch in 0u64..3 {
+            assert_eq!(s.epoch(), epoch);
+            for p in 0..3 {
+                s.contribute(p).unwrap();
+            }
+            let r = s.run_epoch().unwrap();
+            assert_eq!(r.contributions, 3);
+            assert!(r.release_round > last_round);
+            last_round = r.release_round;
+            outputs.push(r.urs);
+        }
+        assert_ne!(outputs[0], outputs[1], "per-epoch shares are fresh");
+        assert_ne!(outputs[1], outputs[2]);
+    }
+
+    #[test]
+    fn durs_empty_epoch_is_no_input() {
+        let mut s = DursSession::new(2, b"empty").unwrap();
+        assert_eq!(s.run_epoch(), Err(SbcError::NoInput));
+    }
+
+    #[test]
+    fn durs_out_of_range_contributor() {
+        let mut s = DursSession::new(2, b"range").unwrap();
+        assert_eq!(
+            s.contribute(5),
+            Err(SbcError::PartyOutOfRange { party: 5, n: 2 })
+        );
     }
 
     #[test]
@@ -321,7 +457,7 @@ mod tests {
         let target = [0x42u8; URS_LEN];
         let mut hits = 0;
         for seed in [&b"b1"[..], b"b2", b"b3", b"b4"] {
-            let (_, hit) = last_revealer_attack_on_durs(seed, &target);
+            let (_, hit) = last_revealer_attack_on_durs(seed, &target).unwrap();
             hits += hit as u32;
         }
         assert_eq!(hits, 0, "2^-256 events don't happen");
@@ -333,10 +469,10 @@ mod tests {
         let mut ones = 0u32;
         let mut total = 0u32;
         for i in 0..8u8 {
-            let mut s = DursSession::new(2, &[b'u', i]);
-            s.contribute(0);
-            s.contribute(1);
-            let urs = s.finish().urs;
+            let mut s = DursSession::new(2, &[b'u', i]).unwrap();
+            s.contribute(0).unwrap();
+            s.contribute(1).unwrap();
+            let urs = s.finish().unwrap().urs;
             for byte in urs {
                 ones += byte.count_ones();
                 total += 8;
@@ -347,8 +483,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "∆ ≥ α")]
     fn func_invalid_params() {
-        DursFunc::new(1, 2);
+        assert!(DursFunc::new(1, 2).is_err(), "∆ < α rejected");
     }
 }

@@ -4,9 +4,10 @@
 //! on the [`sbc_core::api::SbcSession`] public API:
 //!
 //! * [`durs`] — delayed uniform random string generation (Figs. 15–16,
-//!   Theorem 3): an unbiasable XOR randomness beacon. The naive
-//!   commit-free beacon baseline, with its last-revealer attack, is
-//!   included for the comparison experiments.
+//!   Theorem 3): an unbiasable XOR randomness beacon, multi-epoch via
+//!   [`sbc_core::api::SbcSession::run_epoch`] so one stack serves a whole
+//!   beacon schedule. The naive commit-free beacon baseline, with its
+//!   last-revealer attack, is included for the comparison experiments.
 //! * [`voting_func`] — the ideal voting-system functionality `F_VS` (Fig. 17).
 //! * [`voting`] — self-tallying elections (Fig. 18, Theorem 4):
 //!   Kiayias–Yung/\[SP15]-style exponent-blinded ballots with disjunctive

@@ -14,11 +14,11 @@
 //! broadcast**: nothing opens until the casting period is over, so the
 //! control voter disappears (the paper's Fig. 18 modification).
 
-use sbc_core::api::SbcSession;
+use sbc_core::api::{SbcError, SbcSession};
+use sbc_primitives::bigint::U256;
 use sbc_primitives::drbg::Drbg;
 use sbc_primitives::group::{Element, Scalar, SchnorrGroup};
 use sbc_primitives::sigma::{dleq_or_prove, dleq_or_verify, DleqOrProof};
-use sbc_primitives::bigint::U256;
 use sbc_uc::value::Value;
 use std::fmt;
 
@@ -42,28 +42,50 @@ pub struct ElectionSetup {
     pub voters: usize,
 }
 
-/// Error cases of setup and tallying.
+/// Error cases of setup, casting, and tallying.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum VotingError {
     /// A ballot failed proof or key verification.
     InvalidBallot(usize),
+    /// A voter index out of range.
+    VoterOutOfRange(usize),
+    /// A candidate index out of range.
+    CandidateOutOfRange(usize),
     /// The product's discrete log exceeded the tally bound.
     TallyOverflow,
     /// Malformed wire data.
     Malformed,
+    /// The underlying SBC session failed.
+    Sbc(SbcError),
 }
 
 impl fmt::Display for VotingError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             VotingError::InvalidBallot(i) => write!(f, "ballot {i} failed verification"),
+            VotingError::VoterOutOfRange(v) => write!(f, "voter {v} out of range"),
+            VotingError::CandidateOutOfRange(c) => write!(f, "candidate {c} out of range"),
             VotingError::TallyOverflow => write!(f, "tally exceeded decodable bound"),
             VotingError::Malformed => write!(f, "malformed ballot encoding"),
+            VotingError::Sbc(e) => write!(f, "SBC session failure: {e}"),
         }
     }
 }
 
-impl std::error::Error for VotingError {}
+impl std::error::Error for VotingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VotingError::Sbc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SbcError> for VotingError {
+    fn from(e: SbcError) -> Self {
+        VotingError::Sbc(e)
+    }
+}
 
 impl ElectionSetup {
     /// Runs the authority key-dealing of Fig. 18 (`F_PKG` + `F_SKG`):
@@ -105,12 +127,40 @@ impl ElectionSetup {
             }
         }
         let verification_keys = secrets.iter().map(|x| group.exp(&w, x)).collect();
-        ElectionSetup { group, r, w, secrets, verification_keys, candidates, voters }
+        ElectionSetup {
+            group,
+            r,
+            w,
+            secrets,
+            verification_keys,
+            candidates,
+            voters,
+        }
     }
 
     /// The voter's secret exponent (only the voter itself may call this).
     pub fn secret_of(&self, voter: usize) -> Scalar {
         self.secrets[voter]
+    }
+
+    /// Derives the setup for casting period `epoch`: the same electorate
+    /// (keys, candidates) over a **fresh blinding base**
+    /// `r_e = H("election-seed-r/epoch/e")`. Because `Σ_i x_i = 0`, the
+    /// blinders `r_e^{x_i}` still cancel in the tally; rotating the base
+    /// per epoch means (1) a ballot published in one period fails proof
+    /// verification in every other one (the proof statements involve
+    /// `r_e`), and (2) `b = r_e^{x} · g^{e(v)}` is no longer deterministic
+    /// per `(voter, candidate)` across periods, so vote equality between
+    /// motions does not leak. Epoch 0 is the base setup itself.
+    pub fn for_epoch(&self, epoch: u64) -> ElectionSetup {
+        if epoch == 0 {
+            return self.clone();
+        }
+        let mut label = b"election-seed-r/epoch/".to_vec();
+        label.extend_from_slice(&epoch.to_be_bytes());
+        let mut next = self.clone();
+        next.r = self.group.hash_to_element(&label);
+        next
     }
 
     /// Sanity invariant: the secrets sum to zero (what makes self-tallying
@@ -162,12 +212,19 @@ impl Ballot {
         let targets: Vec<(Element, Element)> = (0..setup.candidates)
             .map(|c| {
                 let gc = grp.exp(&grp.generator(), &setup.candidate_exponent(c));
-                (setup.verification_keys[voter], grp.mul(&value, &grp.inv(&gc)))
+                (
+                    setup.verification_keys[voter],
+                    grp.mul(&value, &grp.inv(&gc)),
+                )
             })
             .collect();
         let ctx = ballot_context(setup, voter);
         let proof = dleq_or_prove(grp, &setup.w, &setup.r, &targets, vote, &x, &ctx, rng);
-        Ballot { voter, value, proof }
+        Ballot {
+            voter,
+            value,
+            proof,
+        }
     }
 
     /// Verifies the ballot against the public election setup.
@@ -182,7 +239,10 @@ impl Ballot {
         let targets: Vec<(Element, Element)> = (0..setup.candidates)
             .map(|c| {
                 let gc = grp.exp(&grp.generator(), &setup.candidate_exponent(c));
-                (setup.verification_keys[self.voter], grp.mul(&self.value, &grp.inv(&gc)))
+                (
+                    setup.verification_keys[self.voter],
+                    grp.mul(&self.value, &grp.inv(&gc)),
+                )
             })
             .collect();
         let ctx = ballot_context(setup, self.voter);
@@ -319,9 +379,18 @@ pub struct ElectionResult {
 
 /// A self-tallying election run over the real SBC stack (the Fig. 18
 /// protocol with the bulletin board + control voter replaced by `F_SBC`).
+///
+/// The election is *repeatable*: after
+/// [`finish_epoch`](Election::finish_epoch) tallies a casting period, the
+/// same registered electorate (same key material, same SBC world) can run
+/// the next period — e.g. successive board motions — without rebuilding
+/// the stack.
 #[derive(Debug)]
 pub struct Election {
+    /// The current period's setup (epoch-rotated blinding base).
     setup: ElectionSetup,
+    /// The epoch-0 base setup the per-period setups derive from.
+    base_setup: ElectionSetup,
     sbc: SbcSession,
     rng: Drbg,
     cast: Vec<bool>,
@@ -329,48 +398,71 @@ pub struct Election {
 
 impl Election {
     /// Creates an election over the given group.
-    pub fn new(group: SchnorrGroup, voters: usize, candidates: usize, seed: &[u8]) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SbcError`] from the session builder (degenerate voter
+    /// count).
+    pub fn new(
+        group: SchnorrGroup,
+        voters: usize,
+        candidates: usize,
+        seed: &[u8],
+    ) -> Result<Self, VotingError> {
         let mut label = b"stvs/".to_vec();
         label.extend_from_slice(seed);
         let mut rng = Drbg::from_seed(&label);
-        let setup = ElectionSetup::generate(group, voters, candidates, 3, &mut rng);
-        Election {
-            setup,
-            sbc: SbcSession::builder(voters).seed(seed).build(),
+        let base_setup = ElectionSetup::generate(group, voters, candidates, 3, &mut rng);
+        Ok(Election {
+            setup: base_setup.clone(),
+            base_setup,
+            sbc: SbcSession::builder(voters).seed(seed).build()?,
             rng,
             cast: vec![false; voters],
-        }
+        })
     }
 
-    /// The public election setup.
+    /// The public setup of the **current** casting period. The blinding
+    /// base rotates every period (see [`ElectionSetup::for_epoch`]), so
+    /// ballots from one motion neither verify nor correlate in another.
     pub fn setup(&self) -> &ElectionSetup {
         &self.setup
     }
 
-    /// Voter `v` casts a vote for candidate `c` through the SBC channel.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the voter or candidate index is out of range.
-    pub fn vote(&mut self, voter: usize, candidate: usize) {
-        assert!(voter < self.setup.voters, "voter out of range");
-        if self.cast[voter] {
-            return;
-        }
-        self.cast[voter] = true;
-        let ballot = Ballot::cast(&self.setup, voter, candidate, &mut self.rng);
-        self.sbc.submit(voter as u32, &ballot.to_value().encode());
-    }
-
-    /// Runs the casting period + release and self-tallies.
+    /// Voter `v` casts a vote for candidate `c` through the SBC channel
+    /// (first cast per voter and period counts).
     ///
     /// # Errors
     ///
-    /// Returns a [`VotingError`] if the tally is undecodable.
-    pub fn finish(mut self) -> Result<ElectionResult, VotingError> {
-        let result = self.sbc.run_to_completion();
-        let ballots: Vec<Ballot> = result
-            .messages
+    /// [`VotingError::VoterOutOfRange`] / [`VotingError::CandidateOutOfRange`]
+    /// on bad indices; [`VotingError::Sbc`] if the casting period already
+    /// closed.
+    pub fn vote(&mut self, voter: usize, candidate: usize) -> Result<(), VotingError> {
+        if voter >= self.setup.voters {
+            return Err(VotingError::VoterOutOfRange(voter));
+        }
+        if candidate >= self.setup.candidates {
+            return Err(VotingError::CandidateOutOfRange(candidate));
+        }
+        if self.cast[voter] {
+            return Ok(());
+        }
+        // Reject doomed casts (closed period, corrupted voter) before
+        // paying for the proof: a failed vote must neither waste the
+        // DLEQ-OR exponentiations nor perturb the ballot RNG stream.
+        self.sbc.check_submittable(voter as u32)?;
+        let ballot = Ballot::cast(&self.setup, voter, candidate, &mut self.rng);
+        self.sbc.submit(voter as u32, &ballot.to_value().encode())?;
+        self.cast[voter] = true;
+        Ok(())
+    }
+
+    fn tally_messages(
+        &self,
+        messages: &[Vec<u8>],
+        round: u64,
+    ) -> Result<ElectionResult, VotingError> {
+        let ballots: Vec<Ballot> = messages
             .iter()
             .filter_map(|m| Ballot::from_value(&Value::decode(m)?))
             .collect();
@@ -379,8 +471,35 @@ impl Election {
         Ok(ElectionResult {
             counts,
             ballots_accepted: accepted,
-            tally_round: result.release_round,
+            tally_round: round,
         })
+    }
+
+    /// Runs the current casting period + release, self-tallies, and
+    /// re-opens the stack for the next period with the same electorate.
+    ///
+    /// # Errors
+    ///
+    /// [`VotingError::Sbc`] if nobody cast a ballot or the stack failed;
+    /// [`VotingError::TallyOverflow`] if the tally is undecodable.
+    pub fn finish_epoch(&mut self) -> Result<ElectionResult, VotingError> {
+        let epoch = self.sbc.run_epoch()?;
+        self.cast = vec![false; self.setup.voters];
+        let result = self.tally_messages(&epoch.messages, epoch.release_round);
+        // Rotate the blinding base for the next motion: replayed ballots
+        // from this period will fail verification there.
+        self.setup = self.base_setup.for_epoch(self.sbc.epoch());
+        result
+    }
+
+    /// Single-shot convenience: tallies one casting period and consumes
+    /// the election.
+    ///
+    /// # Errors
+    ///
+    /// As for [`finish_epoch`](Election::finish_epoch).
+    pub fn finish(mut self) -> Result<ElectionResult, VotingError> {
+        self.finish_epoch()
     }
 }
 
@@ -401,7 +520,11 @@ impl BulletinBoardElection {
         label.extend_from_slice(seed);
         let mut rng = Drbg::from_seed(&label);
         let setup = ElectionSetup::generate(group, voters, candidates, 3, &mut rng);
-        BulletinBoardElection { setup, rng, posted: Vec::new() }
+        BulletinBoardElection {
+            setup,
+            rng,
+            posted: Vec::new(),
+        }
     }
 
     /// The public setup.
@@ -485,9 +608,21 @@ mod tests {
                 (s.verification_keys[0], grp.mul(&bad_val, &grp.inv(&gc)))
             })
             .collect();
-        let proof =
-            dleq_or_prove(grp, &s.w, &s.r, &targets, 0, &x, &ballot_context(&s, 0), &mut rng);
-        let b = Ballot { voter: 0, value: bad_val, proof };
+        let proof = dleq_or_prove(
+            grp,
+            &s.w,
+            &s.r,
+            &targets,
+            0,
+            &x,
+            &ballot_context(&s, 0),
+            &mut rng,
+        );
+        let b = Ballot {
+            voter: 0,
+            value: bad_val,
+            proof,
+        };
         assert!(!b.verify(&s));
     }
 
@@ -496,8 +631,11 @@ mod tests {
         let mut rng = Drbg::from_seed(b"tally");
         let s = ElectionSetup::generate(group(), 5, 3, 2, &mut rng);
         let votes = [0usize, 1, 1, 2, 1];
-        let ballots: Vec<Ballot> =
-            votes.iter().enumerate().map(|(i, &v)| Ballot::cast(&s, i, v, &mut rng)).collect();
+        let ballots: Vec<Ballot> = votes
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| Ballot::cast(&s, i, v, &mut rng))
+            .collect();
         let counts = self_tally(&s, &ballots).unwrap();
         assert_eq!(counts, vec![1, 3, 1]);
     }
@@ -522,10 +660,10 @@ mod tests {
 
     #[test]
     fn election_over_sbc_end_to_end() {
-        let mut e = Election::new(group(), 3, 2, b"e2e");
-        e.vote(0, 1);
-        e.vote(1, 1);
-        e.vote(2, 0);
+        let mut e = Election::new(group(), 3, 2, b"e2e").unwrap();
+        e.vote(0, 1).unwrap();
+        e.vote(1, 1).unwrap();
+        e.vote(2, 0).unwrap();
         let r = e.finish().unwrap();
         assert_eq!(r.counts, vec![1, 2]);
         assert_eq!(r.ballots_accepted, 3);
@@ -534,11 +672,57 @@ mod tests {
 
     #[test]
     fn election_partial_participation() {
-        let mut e = Election::new(group(), 4, 2, b"partial");
-        e.vote(0, 1);
-        e.vote(3, 0);
+        let mut e = Election::new(group(), 4, 2, b"partial").unwrap();
+        e.vote(0, 1).unwrap();
+        e.vote(3, 0).unwrap();
         let r = e.finish().unwrap();
         assert_eq!(r.counts, vec![1, 1], "no control voter needed to terminate");
+    }
+
+    #[test]
+    fn election_out_of_range_indices_rejected() {
+        let mut e = Election::new(group(), 3, 2, b"bad-idx").unwrap();
+        assert_eq!(e.vote(7, 0), Err(VotingError::VoterOutOfRange(7)));
+        assert_eq!(e.vote(0, 5), Err(VotingError::CandidateOutOfRange(5)));
+    }
+
+    #[test]
+    fn epoch_rotation_blocks_ballot_replay() {
+        let mut rng = Drbg::from_seed(b"replay");
+        let s0 = ElectionSetup::generate(group(), 3, 2, 2, &mut rng);
+        let s1 = s0.for_epoch(1);
+        // A motion-0 ballot is public after its tally; it must not verify
+        // under the next motion's rotated base.
+        let old = Ballot::cast(&s0, 1, 1, &mut rng);
+        assert!(old.verify(&s0));
+        assert!(!old.verify(&s1), "replayed ballot rejected in epoch 1");
+        // Same (voter, candidate) under different epochs: different
+        // ballot values, so vote equality across motions does not leak.
+        let fresh = Ballot::cast(&s1, 1, 1, &mut rng);
+        assert_ne!(old.value, fresh.value);
+        // The rotated base still self-tallies (blinders cancel: Σx = 0).
+        let ballots: Vec<Ballot> = (0..3)
+            .map(|v| Ballot::cast(&s1, v, v % 2, &mut rng))
+            .collect();
+        assert_eq!(self_tally(&s1, &ballots).unwrap(), vec![2, 1]);
+    }
+
+    #[test]
+    fn repeated_elections_on_one_stack() {
+        // Two successive motions, one electorate, one SBC world.
+        let mut e = Election::new(group(), 3, 2, b"repeat").unwrap();
+        e.vote(0, 1).unwrap();
+        e.vote(1, 0).unwrap();
+        e.vote(2, 1).unwrap();
+        let first = e.finish_epoch().unwrap();
+        assert_eq!(first.counts, vec![1, 2]);
+        // Next period: fresh casts, different outcome.
+        e.vote(0, 0).unwrap();
+        e.vote(1, 0).unwrap();
+        e.vote(2, 1).unwrap();
+        let second = e.finish_epoch().unwrap();
+        assert_eq!(second.counts, vec![2, 1]);
+        assert!(second.tally_round > first.tally_round);
     }
 
     #[test]

@@ -52,14 +52,26 @@ pub struct VotingFunc {
 impl VotingFunc {
     /// Creates the functionality for `candidates` options.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics unless `Φ > 0`, `∆ ≥ α` and `candidates ≥ 2`.
-    pub fn new(phi: u64, delta: u64, alpha: u64, candidates: u64, tag_rng: Drbg) -> Self {
-        assert!(phi > 0, "casting window must be positive");
-        assert!(delta >= alpha, "need ∆ ≥ α");
-        assert!(candidates >= 2, "need at least two candidates");
-        VotingFunc {
+    /// Rejects parameters unless `Φ > 0`, `∆ ≥ α` and `candidates ≥ 2`.
+    pub fn new(
+        phi: u64,
+        delta: u64,
+        alpha: u64,
+        candidates: u64,
+        tag_rng: Drbg,
+    ) -> Result<Self, &'static str> {
+        if phi == 0 {
+            return Err("casting window must be positive");
+        }
+        if delta < alpha {
+            return Err("need ∆ ≥ α");
+        }
+        if candidates < 2 {
+            return Err("need at least two candidates");
+        }
+        Ok(VotingFunc {
             phi,
             delta,
             alpha,
@@ -71,7 +83,7 @@ impl VotingFunc {
             round_seen: None,
             last_advance: HashMap::new(),
             tag_rng,
-        }
+        })
     }
 
     /// `Init` from the (last) authority: opens the casting window.
@@ -102,7 +114,13 @@ impl VotingFunc {
         }
         let tag = Tag::random(&mut self.tag_rng);
         let corrupted = ctx.is_corrupted(voter);
-        self.cast.push(CastRecord { tag, vote, voter, cast_at: now, finalized: corrupted });
+        self.cast.push(CastRecord {
+            tag,
+            vote,
+            voter,
+            cast_at: now,
+            finalized: corrupted,
+        });
         let payload = if corrupted {
             Value::list([
                 Value::bytes(tag.as_bytes()),
@@ -132,7 +150,7 @@ impl VotingFunc {
         let (Some(start), Some(end)) = (self.t_start, self.t_end()) else {
             return false;
         };
-        if !(start <= now && now < end) || !ctx.is_corrupted(voter) || vote >= self.candidates {
+        if now < start || now >= end || !ctx.is_corrupted(voter) || vote >= self.candidates {
             return false;
         }
         let Some(rec) = self
@@ -185,12 +203,7 @@ impl VotingFunc {
             self.round_seen = Some(now);
             if now == tally_at - self.alpha && self.result.is_none() && !self.sim_result_sent {
                 self.sim_result_sent = true;
-                let max_voter = self
-                    .cast
-                    .iter()
-                    .map(|r| r.voter.index())
-                    .max()
-                    .unwrap_or(0);
+                let max_voter = self.cast.iter().map(|r| r.voter.index()).max().unwrap_or(0);
                 let honest: Vec<bool> = (0..=max_voter as u32)
                     .map(|i| !ctx.is_corrupted(PartyId(i)))
                     .collect();
@@ -251,7 +264,7 @@ mod tests {
 
     fn func() -> VotingFunc {
         // Φ = 2, ∆ = 2, α = 1, two candidates.
-        VotingFunc::new(2, 2, 1, 2, Drbg::from_seed(b"fvs-tags"))
+        VotingFunc::new(2, 2, 1, 2, Drbg::from_seed(b"fvs-tags")).unwrap()
     }
 
     #[test]
@@ -301,7 +314,10 @@ mod tests {
             fx.tick(1);
         }
         fx.leaks.clear();
-        assert!(f.advance_clock(PartyId(0), &mut fx.ctx()).is_none(), "round 3: no release");
+        assert!(
+            f.advance_clock(PartyId(0), &mut fx.ctx()).is_none(),
+            "round 3: no release"
+        );
         assert_eq!(fx.leaks.len(), 1, "round 3 = t_tally − α: simulator result");
         assert_eq!(fx.leaks[0].cmd.name, "Result");
     }
@@ -311,7 +327,10 @@ mod tests {
         let mut fx = Fx::new(2);
         let mut f = func();
         f.init(&mut fx.ctx());
-        assert!(f.vote(PartyId(0), 7, &mut fx.ctx()).is_none(), "invalid candidate");
+        assert!(
+            f.vote(PartyId(0), 7, &mut fx.ctx()).is_none(),
+            "invalid candidate"
+        );
         fx.tick(2);
         fx.tick(2);
         // Cl = 2 = t_end: window closed.
@@ -327,7 +346,10 @@ mod tests {
         fx.corr.corrupt(PartyId(1), 0).unwrap();
         assert_eq!(f.corruption_request(&fx.ctx()).len(), 1);
         assert!(f.allow(tag, 1, PartyId(1), &mut fx.ctx()));
-        assert!(!f.allow(tag, 0, PartyId(1), &mut fx.ctx()), "already finalized");
+        assert!(
+            !f.allow(tag, 0, PartyId(1), &mut fx.ctx()),
+            "already finalized"
+        );
         for _ in 0..4 {
             f.advance_clock(PartyId(0), &mut fx.ctx());
             fx.tick(2);
@@ -374,8 +396,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "two candidates")]
-    fn bad_params_panic() {
-        VotingFunc::new(2, 2, 1, 1, Drbg::from_seed(b"x"));
+    fn bad_params_rejected() {
+        assert!(VotingFunc::new(2, 2, 1, 1, Drbg::from_seed(b"x")).is_err());
+        assert!(VotingFunc::new(0, 2, 1, 2, Drbg::from_seed(b"x")).is_err());
+        assert!(VotingFunc::new(2, 1, 2, 2, Drbg::from_seed(b"x")).is_err());
     }
 }

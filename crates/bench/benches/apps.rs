@@ -1,55 +1,49 @@
 //! E6/E7: application-level costs — beacon runs, ballot cryptography,
 //! self-tallying.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sbc_apps::durs::DursSession;
 use sbc_apps::voting::{self_tally, Ballot, ElectionSetup};
+use sbc_bench::harness;
 use sbc_primitives::drbg::Drbg;
 use sbc_primitives::group::SchnorrGroup;
-use std::time::Duration;
 
-fn bench_durs(c: &mut Criterion) {
-    let mut g = c.benchmark_group("durs_session");
-    g.measurement_time(Duration::from_secs(3)).sample_size(10);
+fn main() {
+    let g = harness::group("durs_session");
     for n in [2usize, 4, 8] {
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                let mut s = DursSession::new(n, b"bench");
-                for p in 0..n {
-                    s.contribute(p as u32);
-                }
-                s.finish()
-            })
+        g.bench(&format!("n={n}"), || {
+            let mut s = DursSession::new(n, b"bench").expect("valid params");
+            for p in 0..n {
+                s.contribute(p as u32).expect("in period");
+            }
+            s.finish().expect("terminates")
         });
     }
-    g.finish();
-}
 
-fn bench_ballots(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ballot");
-    g.measurement_time(Duration::from_secs(2)).sample_size(10);
+    let g = harness::group("durs_multi_epoch");
+    g.bench("one_session_4_epochs_n4", || {
+        let mut s = DursSession::new(4, b"bench-epochs").expect("valid params");
+        for _ in 0..4 {
+            for p in 0..4 {
+                s.contribute(p).expect("in period");
+            }
+            s.run_epoch().expect("terminates");
+        }
+    });
+
+    let g = harness::group("ballot");
     let mut rng = Drbg::from_seed(b"ballots");
     let setup = ElectionSetup::generate(SchnorrGroup::default_256(), 8, 2, 3, &mut rng);
-    g.bench_function("cast_256bit", |b| b.iter(|| Ballot::cast(&setup, 0, 1, &mut rng)));
+    g.bench("cast_256bit", || Ballot::cast(&setup, 0, 1, &mut rng));
     let ballot = Ballot::cast(&setup, 0, 1, &mut rng);
-    g.bench_function("verify_256bit", |b| b.iter(|| ballot.verify(&setup)));
-    g.finish();
-}
+    g.bench("verify_256bit", || ballot.verify(&setup));
 
-fn bench_tally(c: &mut Criterion) {
-    let mut g = c.benchmark_group("self_tally_tiny_group");
-    g.measurement_time(Duration::from_secs(2)).sample_size(10);
+    let g = harness::group("self_tally_tiny_group");
     for n in [4usize, 8] {
         let mut rng = Drbg::from_seed(b"tally");
         let setup = ElectionSetup::generate(SchnorrGroup::tiny(), n, 2, 2, &mut rng);
-        let ballots: Vec<Ballot> =
-            (0..n).map(|i| Ballot::cast(&setup, i, i % 2, &mut rng)).collect();
-        g.bench_with_input(BenchmarkId::from_parameter(n), &ballots, |b, ballots| {
-            b.iter(|| self_tally(&setup, ballots).unwrap())
-        });
+        let ballots: Vec<Ballot> = (0..n)
+            .map(|i| Ballot::cast(&setup, i, i % 2, &mut rng))
+            .collect();
+        g.bench(&format!("n={n}"), || self_tally(&setup, &ballots).unwrap());
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_durs, bench_ballots, bench_tally);
-criterion_main!(benches);

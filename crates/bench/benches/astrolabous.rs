@@ -1,38 +1,28 @@
 //! E4/E9: Astrolabous encryption and (sequential) solving cost vs the
 //! difficulty τ_dec and per-round budget q.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sbc_bench::harness;
 use sbc_primitives::astrolabous::{ast_enc, ast_solve_and_dec};
 use sbc_primitives::drbg::Drbg;
 use sbc_primitives::sha256::Sha256;
-use std::time::Duration;
 
-fn bench_enc(c: &mut Criterion) {
+fn main() {
     let h = |x: &[u8]| Sha256::digest(x);
-    let mut g = c.benchmark_group("ast_enc_q16");
-    g.measurement_time(Duration::from_secs(2)).sample_size(10);
+
+    let g = harness::group("ast_enc_q16");
     for tau in [1u64, 4, 16] {
-        g.bench_with_input(BenchmarkId::from_parameter(tau), &tau, |b, &tau| {
-            let mut rng = Drbg::from_seed(b"enc");
-            b.iter(|| ast_enc(&h, b"thirty-two byte message padding!", tau, 16, &mut rng))
+        let mut rng = Drbg::from_seed(b"enc");
+        g.bench(&format!("tau={tau}"), || {
+            ast_enc(&h, b"thirty-two byte message padding!", tau, 16, &mut rng)
         });
     }
-    g.finish();
-}
 
-fn bench_solve(c: &mut Criterion) {
-    let h = |x: &[u8]| Sha256::digest(x);
-    let mut g = c.benchmark_group("ast_solve_q16");
-    g.measurement_time(Duration::from_secs(2)).sample_size(10);
+    let g = harness::group("ast_solve_q16");
     for tau in [1u64, 4, 16] {
         let mut rng = Drbg::from_seed(b"solve");
         let ct = ast_enc(&h, b"payload", tau, 16, &mut rng);
-        g.bench_with_input(BenchmarkId::from_parameter(tau), &ct, |b, ct| {
-            b.iter(|| ast_solve_and_dec(&h, ct).unwrap())
+        g.bench(&format!("tau={tau}"), || {
+            ast_solve_and_dec(&h, &ct).unwrap()
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_enc, bench_solve);
-criterion_main!(benches);

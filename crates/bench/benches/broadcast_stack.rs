@@ -1,51 +1,37 @@
 //! E2/E3: throughput of the unfair and fair broadcast worlds.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sbc_bench::harness;
 use sbc_broadcast::fbc::worlds::RealFbcWorld;
 use sbc_broadcast::ubc::worlds::RealUbcWorld;
 use sbc_uc::ids::PartyId;
 use sbc_uc::value::{Command, Value};
 use sbc_uc::world::run_env;
-use std::time::Duration;
 
-fn bench_ubc_round(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ubc_broadcast_round");
-    g.measurement_time(Duration::from_secs(2)).sample_size(10);
+fn main() {
+    let g = harness::group("ubc_broadcast_round");
     for n in [4usize, 8, 16] {
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                let mut w = RealUbcWorld::new(n, b"bench");
-                run_env(&mut w, |env| {
-                    for i in 0..n {
-                        env.input(
-                            PartyId(i as u32),
-                            Command::new("Broadcast", Value::U64(i as u64)),
-                        );
-                    }
-                    env.advance_all();
-                })
+        g.bench(&format!("n={n}"), || {
+            let mut w = RealUbcWorld::new(n, b"bench");
+            run_env(&mut w, |env| {
+                for i in 0..n {
+                    env.input(
+                        PartyId(i as u32),
+                        Command::new("Broadcast", Value::U64(i as u64)),
+                    );
+                }
+                env.advance_all();
             })
         });
     }
-    g.finish();
-}
 
-fn bench_fbc_delivery(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fbc_end_to_end");
-    g.measurement_time(Duration::from_secs(3)).sample_size(10);
+    let g = harness::group("fbc_end_to_end");
     for (n, q) in [(3usize, 4u32), (5, 4), (8, 4)] {
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                let mut w = RealFbcWorld::new(n, q, b"bench");
-                run_env(&mut w, |env| {
-                    env.input(PartyId(0), Command::new("Broadcast", Value::bytes(b"m")));
-                    env.idle_rounds(4);
-                })
+        g.bench(&format!("n={n}"), || {
+            let mut w = RealFbcWorld::new(n, q, b"bench");
+            run_env(&mut w, |env| {
+                env.input(PartyId(0), Command::new("Broadcast", Value::bytes(b"m")));
+                env.idle_rounds(4);
             })
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_ubc_round, bench_fbc_delivery);
-criterion_main!(benches);

@@ -1,64 +1,46 @@
 //! E9: microbenchmarks of the from-scratch crypto substrate.
 
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use sbc_bench::harness;
 use sbc_primitives::drbg::Drbg;
 use sbc_primitives::group::SchnorrGroup;
 use sbc_primitives::sha256::Sha256;
 use sbc_primitives::sigma::{schnorr_prove, schnorr_verify};
 use sbc_primitives::wots::SigningKey;
-use std::time::Duration;
 
-fn bench_sha256(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sha256");
-    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+fn main() {
+    let g = harness::group("sha256");
     for size in [64usize, 1024, 16384] {
         let data = vec![0xabu8; size];
-        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, d| {
-            b.iter(|| Sha256::digest(d))
-        });
+        g.bench(&format!("{size}B"), || Sha256::digest(&data));
     }
-    g.finish();
-}
 
-fn bench_wots(c: &mut Criterion) {
-    let mut g = c.benchmark_group("wots");
-    g.measurement_time(Duration::from_secs(2)).sample_size(10);
-    g.bench_function("keygen_h4", |b| {
-        b.iter(|| SigningKey::generate(4, &mut Drbg::from_seed(b"bench")))
+    let g = harness::group("wots");
+    g.bench("keygen_h4", || {
+        SigningKey::generate(4, &mut Drbg::from_seed(b"bench"))
     });
-    let mut sk = SigningKey::generate(8, &mut Drbg::from_seed(b"bench"));
+    let sk = SigningKey::generate(8, &mut Drbg::from_seed(b"bench"));
     let vk = sk.verification_key();
     // WOTS keys are stateful with finite capacity: clone a fresh key per
-    // measurement batch.
-    g.bench_function("sign", |b| {
-        b.iter_batched_ref(
-            || sk.clone(),
-            |k| k.sign(b"message").unwrap(),
-            BatchSize::SmallInput,
-        )
+    // measured iteration.
+    g.bench("sign", || {
+        let mut k = sk.clone();
+        k.sign(b"message").unwrap()
     });
-    let sig = sk.sign(b"message").unwrap();
-    g.bench_function("verify", |b| b.iter(|| vk.verify(b"message", &sig)));
-    g.finish();
-}
+    let mut signer = sk.clone();
+    let sig = signer.sign(b"message").unwrap();
+    g.bench("verify", || vk.verify(b"message", &sig));
 
-fn bench_group(c: &mut Criterion) {
-    let mut g = c.benchmark_group("group");
-    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    let g = harness::group("group");
     let grp = SchnorrGroup::default_256();
     let mut rng = Drbg::from_seed(b"grp");
     let x = grp.random_scalar(&mut rng);
-    g.bench_function("exp_256bit", |b| b.iter(|| grp.exp(&grp.generator(), &x)));
-    g.bench_function("schnorr_prove", |b| {
-        b.iter(|| schnorr_prove(&grp, &grp.generator(), &x, b"bench", &mut rng))
+    g.bench("exp_256bit", || grp.exp(&grp.generator(), &x));
+    g.bench("schnorr_prove", || {
+        schnorr_prove(&grp, &grp.generator(), &x, b"bench", &mut rng)
     });
     let h = grp.exp(&grp.generator(), &x);
     let proof = schnorr_prove(&grp, &grp.generator(), &x, b"bench", &mut rng);
-    g.bench_function("schnorr_verify", |b| {
-        b.iter(|| schnorr_verify(&grp, &grp.generator(), &h, b"bench", &proof))
+    g.bench("schnorr_verify", || {
+        schnorr_verify(&grp, &grp.generator(), &h, b"bench", &proof)
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_sha256, bench_wots, bench_group);
-criterion_main!(benches);

@@ -1,13 +1,12 @@
 //! E1: Dolev–Strong cost scaling with n (t = n−1, the dishonest-majority
 //! regime).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sbc_bench::harness;
 use sbc_broadcast::rbc::dolev_strong::DolevStrong;
 use sbc_primitives::drbg::Drbg;
 use sbc_uc::cert::IdealCert;
 use sbc_uc::ids::PartyId;
 use sbc_uc::value::Value;
-use std::time::Duration;
 
 fn run_ds(n: usize) -> u64 {
     let mut rng = Drbg::from_seed(b"ds-bench");
@@ -20,14 +19,9 @@ fn run_ds(n: usize) -> u64 {
     ds.stats().0
 }
 
-fn bench_dolev_strong(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dolev_strong_full_run");
-    g.measurement_time(Duration::from_secs(2)).sample_size(10);
+fn main() {
+    let g = harness::group("dolev_strong_full_run");
     for n in [4usize, 8, 16] {
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| b.iter(|| run_ds(n)));
+        g.bench(&format!("n={n}"), || run_ds(n));
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_dolev_strong);
-criterion_main!(benches);

@@ -1,38 +1,59 @@
-//! E5/E8: end-to-end simultaneous broadcast sessions over the full stack.
+//! E5/E8: end-to-end simultaneous broadcast sessions over the full stack,
+//! through the fallible v2 session API.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sbc_bench::harness;
 use sbc_core::api::SbcSession;
-use std::time::Duration;
 
 fn run_session(n: usize, phi: u64) -> usize {
-    let mut s = SbcSession::builder(n).phi(phi).seed(b"bench").build();
+    let mut s = SbcSession::builder(n)
+        .phi(phi)
+        .seed(b"bench")
+        .build()
+        .expect("valid params");
     for i in 0..n {
-        s.submit(i as u32, format!("message from {i}").as_bytes());
+        s.submit(i as u32, format!("message from {i}").as_bytes())
+            .expect("in period");
     }
-    s.run_to_completion().messages.len()
+    s.run_to_completion().expect("terminates").messages.len()
 }
 
-fn bench_sbc_n(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sbc_session_by_n");
-    g.measurement_time(Duration::from_secs(3)).sample_size(10);
+fn run_epochs(n: usize, epochs: u64) -> usize {
+    // Multi-epoch amortization: one world stack, `epochs` periods.
+    let mut s = SbcSession::builder(n)
+        .seed(b"bench-epochs")
+        .build()
+        .expect("valid params");
+    let mut total = 0;
+    for e in 0..epochs {
+        for i in 0..n {
+            s.submit(i as u32, format!("m{e}/{i}").as_bytes())
+                .expect("in period");
+        }
+        total += s.run_epoch().expect("terminates").messages.len();
+    }
+    total
+}
+
+fn main() {
+    let g = harness::group("sbc_session_by_n");
     for n in [2usize, 4, 8] {
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| run_session(n, 3))
-        });
+        g.bench(&format!("n={n}"), || run_session(n, 3));
     }
-    g.finish();
-}
 
-fn bench_sbc_phi(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sbc_session_by_phi");
-    g.measurement_time(Duration::from_secs(3)).sample_size(10);
+    let g = harness::group("sbc_session_by_phi");
     for phi in [3u64, 6, 12] {
-        g.bench_with_input(BenchmarkId::from_parameter(phi), &phi, |b, &phi| {
-            b.iter(|| run_session(4, phi))
+        g.bench(&format!("phi={phi}"), || run_session(4, phi));
+    }
+
+    // One session running E epochs vs E single-shot sessions: the epoch
+    // path skips world construction per period.
+    let g = harness::group("sbc_multi_epoch_vs_single_shot");
+    for epochs in [1u64, 4, 8] {
+        g.bench(&format!("one_session_{epochs}_epochs"), || {
+            run_epochs(4, epochs)
+        });
+        g.bench(&format!("{epochs}_fresh_sessions"), || {
+            (0..epochs).map(|_| run_session(4, 3)).sum::<usize>()
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_sbc_n, bench_sbc_phi);
-criterion_main!(benches);

@@ -24,7 +24,7 @@ use sbc_uc::value::{Command, Value};
 use sbc_uc::world::{run_env, AdvCommand, EnvDriver};
 use std::time::Instant;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
     let all = which == "all";
     if all || which == "e1" {
@@ -40,20 +40,21 @@ fn main() {
         e4_tle();
     }
     if all || which == "e5" {
-        e5_sbc();
+        e5_sbc()?;
     }
     if all || which == "e6" {
-        e6_durs();
+        e6_durs()?;
     }
     if all || which == "e7" {
-        e7_voting();
+        e7_voting()?;
     }
     if all || which == "e8" {
-        e8_composition();
+        e8_composition()?;
     }
     if all || which == "e9" {
         e9_crypto_costs();
     }
+    Ok(())
 }
 
 fn header(title: &str) {
@@ -106,13 +107,19 @@ fn e1_dolev_strong() {
         PartyId(0),
         PartyId(1),
         m1,
-        vec![ChainLink { signer: PartyId(0), signature: s1 }],
+        vec![ChainLink {
+            signer: PartyId(0),
+            signature: s1,
+        }],
     );
     ds.adversary_send(
         PartyId(0),
         PartyId(2),
         m2,
-        vec![ChainLink { signer: PartyId(0), signature: s2 }],
+        vec![ChainLink {
+            signer: PartyId(0),
+            signature: s2,
+        }],
     );
     ds.run_to_completion();
     let outs = ds.outputs();
@@ -134,7 +141,10 @@ fn e2_ubc() {
             for _ in 0..4 {
                 let p = PartyId(plan.gen_range(3) as u32);
                 if !env.is_corrupted(p) {
-                    env.input(p, Command::new("Broadcast", Value::U64(plan.gen_u64() % 50)));
+                    env.input(
+                        p,
+                        Command::new("Broadcast", Value::U64(plan.gen_u64() % 50)),
+                    );
                 }
                 if plan.gen_bool() {
                     let v = PartyId(plan.gen_range(3) as u32);
@@ -166,23 +176,35 @@ fn e3_fbc_fairness() {
     println!("FBC delivery rounds for a round-0 broadcast: {delays:?} (paper: Delta = 2)");
 
     let attack = |env: &mut EnvDriver<'_>| {
-        env.input(PartyId(0), Command::new("Broadcast", Value::bytes(b"original")));
+        env.input(
+            PartyId(0),
+            Command::new("Broadcast", Value::bytes(b"original")),
+        );
         env.advance_all();
         env.adversary(AdvCommand::Corrupt(PartyId(0)));
         env.adversary(AdvCommand::Control {
             target: "P0".into(),
-            cmd: Command::new("Substitute", Value::pair(Value::U64(0), Value::bytes(b"evil"))),
+            cmd: Command::new(
+                "Substitute",
+                Value::pair(Value::U64(0), Value::bytes(b"evil")),
+            ),
         });
         env.idle_rounds(3);
     };
     let mut fbc = RealFbcWorld::new(3, 3, b"e3-fair");
     let t = run_env(&mut fbc, attack);
-    let changed = t.outputs().iter().any(|(_, _, c)| c.value == Value::bytes(b"evil"));
+    let changed = t
+        .outputs()
+        .iter()
+        .any(|(_, _, c)| c.value == Value::bytes(b"evil"));
     println!("FBC: post-broadcast substitution changed delivered value: {changed} (paper: false)");
 
     let mut ubc = RealUbcWorld::new(3, b"e3-unfair");
     let t = run_env(&mut ubc, |env| {
-        env.input(PartyId(0), Command::new("Broadcast", Value::bytes(b"original")));
+        env.input(
+            PartyId(0),
+            Command::new("Broadcast", Value::bytes(b"original")),
+        );
         env.adversary(AdvCommand::Corrupt(PartyId(0)));
         env.adversary(AdvCommand::Control {
             target: "F_RBC[P0,1]".into(),
@@ -190,7 +212,10 @@ fn e3_fbc_fairness() {
         });
         env.advance_all();
     });
-    let changed = t.outputs().iter().any(|(_, _, c)| c.value == Value::bytes(b"evil"));
+    let changed = t
+        .outputs()
+        .iter()
+        .any(|(_, _, c)| c.value == Value::bytes(b"evil"));
     println!("UBC: post-input substitution changed delivered value:   {changed} (paper: true)");
 
     let mut equal = 0;
@@ -223,7 +248,9 @@ fn e4_tle() {
             let r = env.input_collect(PartyId(0), Command::new("Retrieve", Value::Unit));
             let have = r[0].value.as_list().map(|l| l.len()).unwrap_or(0);
             let expected = u64::from(round >= 3);
-            println!("  round {round}: Retrieve returns {have} records (delay=Delta+1 => {expected})");
+            println!(
+                "  round {round}: Retrieve returns {have} records (delay=Delta+1 => {expected})"
+            );
             env.advance_all();
         }
     });
@@ -253,25 +280,40 @@ fn e4_tle() {
         let ct = ast_enc(&h, b"m", tau, 16, &mut rng);
         let start = Instant::now();
         ast_solve_and_dec(&h, &ct).unwrap();
-        println!("  {:>6} {:>10} {:>10.2?}", tau, ct.solve_steps(), start.elapsed());
+        println!(
+            "  {:>6} {:>10} {:>10.2?}",
+            tau,
+            ct.solve_steps(),
+            start.elapsed()
+        );
     }
 }
 
 /// E5 — Theorem 2: SBC latency, liveness, simultaneity, baselines.
-fn e5_sbc() {
+fn e5_sbc() -> Result<(), sbc_core::api::SbcError> {
     header("E5  SBC (Theorem 2): latency, liveness, simultaneity");
-    println!("{:>4} {:>6} {:>6} {:>9} {:>9}", "n", "Phi", "Delta", "released", "msgs");
+    println!(
+        "{:>4} {:>6} {:>6} {:>9} {:>9}",
+        "n", "Phi", "Delta", "released", "msgs"
+    );
     for n in [2usize, 4, 8] {
-        let mut s = SbcSession::builder(n).seed(b"e5").build();
+        let mut s = SbcSession::builder(n).seed(b"e5").build()?;
         for i in 0..n {
-            s.submit(i as u32, format!("m{i}").as_bytes());
+            s.submit(i as u32, format!("m{i}").as_bytes())?;
         }
-        let r = s.run_to_completion();
-        println!("{:>4} {:>6} {:>6} {:>9} {:>9}", n, 3, 2, r.release_round, r.messages.len());
+        let r = s.run_to_completion()?;
+        println!(
+            "{:>4} {:>6} {:>6} {:>9} {:>9}",
+            n,
+            3,
+            2,
+            r.release_round,
+            r.messages.len()
+        );
     }
-    let mut s = SbcSession::builder(5).seed(b"e5-live").build();
-    s.submit(0, b"only one");
-    let r = s.run_to_completion();
+    let mut s = SbcSession::builder(5).seed(b"e5-live").build()?;
+    s.submit(0, b"only one")?;
+    let r = s.run_to_completion()?;
     println!(
         "partial participation (1/5 senders): released {} msg at round {} (liveness OK)",
         r.messages.len(),
@@ -286,13 +328,33 @@ fn e5_sbc() {
     let naive = copycat_attack_on_commit_free(b"honest bid");
     let sbc1 = copycat_attack_on_sbc(b"e5-cc1", b"honest bid");
     let sbc2 = copycat_attack_on_sbc(b"e5-cc2", b"honest bid");
-    println!("copy-cat correlation attack: naive channel {naive}, SBC {}", sbc1 || sbc2);
+    println!(
+        "copy-cat correlation attack: naive channel {naive}, SBC {}",
+        sbc1 || sbc2
+    );
+    // Multi-epoch amortization: one session, four beacon-style periods.
+    let mut s = SbcSession::builder(4).seed(b"e5-epochs").build()?;
+    for _ in 0..4 {
+        for i in 0..4u32 {
+            s.submit(i, format!("epoch-{}/{i}", s.epoch()).as_bytes())?;
+        }
+        let r = s.run_epoch()?;
+        println!(
+            "epoch {}: {} msgs released at round {} (same world stack)",
+            r.epoch,
+            r.messages.len(),
+            r.release_round
+        );
+    }
     let mut shape_eq = 0;
     let mut out_eq = 0;
     for trial in 0u8..10 {
         let seed = [b'e', b'5', trial];
         let script = |env: &mut EnvDriver<'_>| {
-            env.input(PartyId(0), Command::new("Broadcast", Value::bytes(b"alpha")));
+            env.input(
+                PartyId(0),
+                Command::new("Broadcast", Value::bytes(b"alpha")),
+            );
             env.advance_all();
             env.input(PartyId(1), Command::new("Broadcast", Value::bytes(b"beta")));
             env.idle_rounds(8);
@@ -306,26 +368,30 @@ fn e5_sbc() {
         out_eq += u32::from(tr.output_digest() == ti.output_digest());
     }
     println!("real-vs-ideal: shape equality {shape_eq}/10, exact output equality {out_eq}/10");
+    Ok(())
 }
 
 /// E6 — Theorem 3: DURS uniformity and bias-resistance.
-fn e6_durs() {
+fn e6_durs() -> Result<(), sbc_core::api::SbcError> {
     header("E6  DURS (Theorem 3): uniformity and bias-resistance");
     let mut counts = [0u64; 16];
     let mut total = 0u64;
     for i in 0..32u8 {
-        let mut s = DursSession::new(3, &[b'e', b'6', i]);
+        let mut s = DursSession::new(3, &[b'e', b'6', i])?;
         for p in 0..3 {
-            s.contribute(p);
+            s.contribute(p)?;
         }
-        for byte in s.finish().urs {
+        for byte in s.finish()?.urs {
             counts[(byte >> 4) as usize] += 1;
             counts[(byte & 0xf) as usize] += 1;
             total += 2;
         }
     }
     let expected = total as f64 / 16.0;
-    let chi2: f64 = counts.iter().map(|&c| (c as f64 - expected).powi(2) / expected).sum();
+    let chi2: f64 = counts
+        .iter()
+        .map(|&c| (c as f64 - expected).powi(2) / expected)
+        .sum();
     println!("chi^2 over {total} nibbles: {chi2:.2} (df=15, p=0.001 critical 37.70)");
     let target = [0x42u8; URS_LEN];
     let honest = [[0x13u8; URS_LEN]];
@@ -336,28 +402,29 @@ fn e6_durs() {
     );
     let mut hits = 0;
     for i in 0..16u8 {
-        let (_, hit) = last_revealer_attack_on_durs(&[b'a', i], &target);
+        let (_, hit) = last_revealer_attack_on_durs(&[b'a', i], &target)?;
         hits += u32::from(hit);
     }
     println!("DURS same attack over 16 runs: {hits}/16 hits (paper: bias impossible)");
+    Ok(())
 }
 
 /// E7 — Theorem 4: self-tallying correctness + fairness.
-fn e7_voting() {
+fn e7_voting() -> Result<(), sbc_apps::voting::VotingError> {
     header("E7  Self-tallying voting (Theorem 4): correctness and fairness");
     println!(
         "{:>7} {:>11} {:>9} {:>12} {:>10}",
         "voters", "candidates", "correct", "accepted", "round"
     );
     for (nv, nc) in [(3usize, 2usize), (7, 2), (5, 3), (9, 2)] {
-        let mut e = Election::new(SchnorrGroup::tiny(), nv, nc, b"e7");
+        let mut e = Election::new(SchnorrGroup::tiny(), nv, nc, b"e7")?;
         let mut expected = vec![0u64; nc];
         for v in 0..nv {
             let c = (v * 3 + 1) % nc;
             expected[c] += 1;
-            e.vote(v, c);
+            e.vote(v, c)?;
         }
-        let r = e.finish().unwrap();
+        let r = e.finish()?;
         println!(
             "{:>7} {:>11} {:>9} {:>12} {:>10}",
             nv,
@@ -373,21 +440,37 @@ fn e7_voting() {
     let partial = bb.partial_tally().unwrap();
     println!("bulletin-board baseline mid-phase partial tally: {partial:?} (fairness broken)");
     println!("SBC election: ballots sealed until t_end + Delta (tally round above)");
+    Ok(())
 }
 
 /// E8 — Corollary 1: the composed stack in the Φ>3, ∆>2 regime.
-fn e8_composition() {
+fn e8_composition() -> Result<(), sbc_core::api::SbcError> {
     header("E8  Composition (Corollary 1): Phi > 3, Delta > 2 end-to-end");
-    println!("{:>4} {:>4} {:>6} {:>9} {:>7}", "n", "Phi", "Delta", "released", "msgs");
+    println!(
+        "{:>4} {:>4} {:>6} {:>9} {:>7}",
+        "n", "Phi", "Delta", "released", "msgs"
+    );
     for (phi, delta) in [(4u64, 3u64), (5, 3), (6, 4)] {
-        let mut s = SbcSession::builder(4).phi(phi).delta(delta).seed(b"e8").build();
+        let mut s = SbcSession::builder(4)
+            .phi(phi)
+            .delta(delta)
+            .seed(b"e8")
+            .build()?;
         for i in 0..4u32 {
-            s.submit(i, format!("c{i}").as_bytes());
+            s.submit(i, format!("c{i}").as_bytes())?;
         }
-        let r = s.run_to_completion();
-        println!("{:>4} {:>4} {:>6} {:>9} {:>7}", 4, phi, delta, r.release_round, r.messages.len());
+        let r = s.run_to_completion()?;
+        println!(
+            "{:>4} {:>4} {:>6} {:>9} {:>7}",
+            4,
+            phi,
+            delta,
+            r.release_round,
+            r.messages.len()
+        );
     }
     println!("(release = t_end + Delta = Phi + Delta for a round-0 start; alpha = 3 is simulator-internal)");
+    Ok(())
 }
 
 /// E9 — substrate microcosts (see `cargo bench` for precise numbers).
@@ -395,14 +478,23 @@ fn e9_crypto_costs() {
     header("E9  Crypto substrate costs (one-shot; see `cargo bench` for statistics)");
     let start = Instant::now();
     let d = Sha256::digest(&vec![0u8; 1 << 20]);
-    println!("SHA-256 over 1 MiB: {:.2?} ({:02x}{:02x}...)", start.elapsed(), d[0], d[1]);
+    println!(
+        "SHA-256 over 1 MiB: {:.2?} ({:02x}{:02x}...)",
+        start.elapsed(),
+        d[0],
+        d[1]
+    );
     let mut rng = Drbg::from_seed(b"e9");
     let start = Instant::now();
     let mut sk = sbc_primitives::wots::SigningKey::generate(8, &mut rng);
     println!("WOTS keygen (256 sigs): {:.2?}", start.elapsed());
     let start = Instant::now();
     let sig = sk.sign(b"m").unwrap();
-    println!("WOTS sign: {:.2?} ({} B signature)", start.elapsed(), sig.size_bytes());
+    println!(
+        "WOTS sign: {:.2?} ({} B signature)",
+        start.elapsed(),
+        sig.size_bytes()
+    );
     let grp = SchnorrGroup::default_256();
     let x = grp.random_scalar(&mut rng);
     let start = Instant::now();

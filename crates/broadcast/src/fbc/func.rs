@@ -81,7 +81,12 @@ impl FbcFunc {
     /// a corrupted one. Leaks only `(tag, P)`. Returns the tag.
     pub fn broadcast(&mut self, sender: PartyId, msg: Value, ctx: &mut HybridCtx<'_>) -> Tag {
         let tag = Tag::random(&mut self.tag_rng);
-        self.pending.push(FbcRecord { tag, msg, sender, requested_at: ctx.time() });
+        self.pending.push(FbcRecord {
+            tag,
+            msg,
+            sender,
+            requested_at: ctx.time(),
+        });
         ctx.leak(
             FBC_SOURCE,
             Command::new(
@@ -107,7 +112,11 @@ impl FbcFunc {
     /// `Corruption_Request` from the simulator: the pending (unlocked)
     /// records of corrupted senders.
     pub fn corruption_request(&self, ctx: &HybridCtx<'_>) -> Vec<FbcRecord> {
-        self.pending.iter().filter(|r| ctx.is_corrupted(r.sender)).cloned().collect()
+        self.pending
+            .iter()
+            .filter(|r| ctx.is_corrupted(r.sender))
+            .cloned()
+            .collect()
     }
 
     /// `Allow` from the simulator: substitutes a *pending* record of a
@@ -125,7 +134,10 @@ impl FbcFunc {
         if self.locked.iter().any(|r| r.tag == tag) {
             return false; // locked records are immutable — fairness
         }
-        let Some(idx) = self.pending.iter().position(|r| r.tag == tag && r.sender == sender)
+        let Some(idx) = self
+            .pending
+            .iter()
+            .position(|r| r.tag == tag && r.sender == sender)
         else {
             return false;
         };
@@ -210,7 +222,10 @@ mod tests {
         let leaked = fx.leaks[0].cmd.value.encode();
         let needle = b"secret";
         let found = leaked.windows(needle.len()).any(|w| w == needle);
-        assert!(!found, "FBC must not leak message content at broadcast time");
+        assert!(
+            !found,
+            "FBC must not leak message content at broadcast time"
+        );
     }
 
     #[test]
@@ -256,7 +271,11 @@ mod tests {
         fx.tick(2);
         fx.tick(2);
         let ds = f.advance_clock(PartyId(1), &mut fx.ctx());
-        assert_eq!(ds[0].cmd.value, Value::U64(1), "locked value survives corruption");
+        assert_eq!(
+            ds[0].cmd.value,
+            Value::U64(1),
+            "locked value survives corruption"
+        );
     }
 
     #[test]
@@ -266,9 +285,15 @@ mod tests {
         let tag = f.broadcast(PartyId(0), Value::U64(1), &mut fx.ctx());
         assert!(f.output_request(tag, &mut fx.ctx()).is_none(), "too early");
         fx.tick(2);
-        assert!(f.output_request(tag, &mut fx.ctx()).is_none(), "still too early");
+        assert!(
+            f.output_request(tag, &mut fx.ctx()).is_none(),
+            "still too early"
+        );
         fx.tick(2);
-        assert!(f.output_request(tag, &mut fx.ctx()).is_some(), "exactly ∆-α");
+        assert!(
+            f.output_request(tag, &mut fx.ctx()).is_some(),
+            "exactly ∆-α"
+        );
     }
 
     #[test]
@@ -276,7 +301,10 @@ mod tests {
         let mut fx = Fx::new(2);
         let mut f = func(2);
         let tag = f.broadcast(PartyId(0), Value::U64(1), &mut fx.ctx());
-        assert!(!f.allow(tag, Value::U64(2), PartyId(0), &mut fx.ctx()), "honest: refused");
+        assert!(
+            !f.allow(tag, Value::U64(2), PartyId(0), &mut fx.ctx()),
+            "honest: refused"
+        );
         fx.corr.corrupt(PartyId(0), 0).unwrap();
         assert!(f.allow(tag, Value::U64(2), PartyId(0), &mut fx.ctx()));
         fx.tick(2);

@@ -15,9 +15,7 @@
 //! first chain step of every live solver; batches `Q_1 … Q_{q-1}` carry one
 //! further sequential step of every live solver each.
 
-use sbc_primitives::astrolabous::{
-    ast_enc_with_hashes, xor_mask, AstCiphertext,
-};
+use sbc_primitives::astrolabous::{ast_enc_with_hashes, xor_mask, AstCiphertext};
 use sbc_primitives::drbg::Drbg;
 use sbc_primitives::hashchain::{ChainSolver, Element};
 use sbc_uc::ids::PartyId;
@@ -114,7 +112,14 @@ pub struct FbcParty {
 impl FbcParty {
     /// Creates party state; `rng` is the party's private randomness stream.
     pub fn new(id: PartyId, q: u32, rng: Drbg) -> Self {
-        FbcParty { id, q, rng, pend: Vec::new(), wait: Vec::new(), last_advance: None }
+        FbcParty {
+            id,
+            q,
+            rng,
+            pend: Vec::new(),
+            wait: Vec::new(),
+            last_advance: None,
+        }
     }
 
     /// The party identity.
@@ -147,7 +152,12 @@ impl FbcParty {
     pub fn on_ubc_deliver(&mut self, payload: &Value, now: u64) {
         if let Some((ct, y)) = parse_fbc_wire(payload, self.q) {
             if let Ok(solver) = ChainSolver::new(&ct.chain) {
-                self.wait.push(WaitEntry { ct, y, recv_round: now, solver });
+                self.wait.push(WaitEntry {
+                    ct,
+                    y,
+                    recv_round: now,
+                    solver,
+                });
             }
         }
     }
@@ -173,8 +183,11 @@ impl FbcParty {
         self.last_advance = Some(now);
 
         // Step 1: chain randomness for every pending message.
-        let enc_rands: Vec<Vec<Element>> =
-            self.pend.iter().map(|_| draw_chain_randomness(&mut self.rng, self.q)).collect();
+        let enc_rands: Vec<Vec<Element>> = self
+            .pend
+            .iter()
+            .map(|_| draw_chain_randomness(&mut self.rng, self.q))
+            .collect();
         let mut enc_hashes: Vec<Vec<Element>> = vec![Vec::new(); self.pend.len()];
 
         // Steps 2–3: the q wrapper batches.
@@ -204,17 +217,13 @@ impl FbcParty {
             if batch.is_empty() {
                 continue;
             }
-            let responses = match wrapper.evaluate(
-                ro_star,
-                now,
-                WrapperClient::Party(self.id),
-                &batch,
-            ) {
-                Ok(r) => r,
-                // Unreachable for honest parties: the protocol issues at
-                // most q batches per round by construction.
-                Err(_) => return AdvanceResult::default(),
-            };
+            let responses =
+                match wrapper.evaluate(ro_star, now, WrapperClient::Party(self.id), &batch) {
+                    Ok(r) => r,
+                    // Unreachable for honest parties: the protocol issues at
+                    // most q batches per round by construction.
+                    Err(_) => return AdvanceResult::default(),
+                };
             for (slot, resp) in slots.into_iter().zip(responses) {
                 match slot {
                     Slot::Enc(mi) => enc_hashes[mi].push(resp),
@@ -240,8 +249,7 @@ impl FbcParty {
             if !entry.solver.is_done() {
                 return true;
             }
-            if let Ok(rho) =
-                sbc_primitives::astrolabous::ast_dec(&entry.ct, entry.solver.witness())
+            if let Ok(rho) = sbc_primitives::astrolabous::ast_dec(&entry.ct, entry.solver.witness())
             {
                 let eta = ro.query(Caller::Party(self.id), &rho);
                 outputs.push(decode_masked(&eta, &entry.y));
@@ -251,7 +259,10 @@ impl FbcParty {
 
         // Step 6: lexicographic delivery order.
         outputs.sort();
-        AdvanceResult { broadcasts, outputs }
+        AdvanceResult {
+            broadcasts,
+            outputs,
+        }
     }
 
     /// The corrupted semi-honest round step: encrypt and emit pending
@@ -268,10 +279,15 @@ impl FbcParty {
             return Vec::new();
         }
         self.last_advance = Some(now);
-        let enc_rands: Vec<Vec<Element>> =
-            self.pend.iter().map(|_| draw_chain_randomness(&mut self.rng, self.q)).collect();
-        let batch: Vec<Vec<u8>> =
-            enc_rands.iter().flat_map(|rs| rs.iter().map(|r| r.to_vec())).collect();
+        let enc_rands: Vec<Vec<Element>> = self
+            .pend
+            .iter()
+            .map(|_| draw_chain_randomness(&mut self.rng, self.q))
+            .collect();
+        let batch: Vec<Vec<u8>> = enc_rands
+            .iter()
+            .flat_map(|rs| rs.iter().map(|r| r.to_vec()))
+            .collect();
         let Ok(flat) = wrapper.evaluate(ro_star, now, WrapperClient::Corrupted, &batch) else {
             // Shared corrupted budget exhausted: the whole step is dropped.
             self.pend.clear();
@@ -360,7 +376,10 @@ mod tests {
         }
         receiver.advance_step(1, &mut w, &mut rs, &mut ro);
         let r2 = receiver.advance_step(2, &mut w, &mut rs, &mut ro);
-        assert_eq!(r2.outputs, vec![Value::bytes(b"apple"), Value::bytes(b"zebra")]);
+        assert_eq!(
+            r2.outputs,
+            vec![Value::bytes(b"apple"), Value::bytes(b"zebra")]
+        );
     }
 
     #[test]

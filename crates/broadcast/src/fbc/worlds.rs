@@ -175,7 +175,9 @@ impl World for RealFbcWorld {
             self.ubc.broadcast_honest(party, b, &mut ctx);
         }
         for m in res.outputs {
-            self.core.outputs.push((party, Command::new("Broadcast", m)));
+            self.core
+                .outputs
+                .push((party, Command::new("Broadcast", m)));
         }
         let ds = {
             let mut ctx = self.core.ctx();
@@ -288,7 +290,10 @@ impl SimFbc {
     }
 
     fn on_broadcast_leak(&mut self, tag: Tag, sender: PartyId) {
-        self.queues[sender.index()].push(SimEntry { tag, override_msg: None });
+        self.queues[sender.index()].push(SimEntry {
+            tag,
+            override_msg: None,
+        });
     }
 
     /// Simulates an honest party's round step: fabricate `(c, y)` per queued
@@ -317,8 +322,10 @@ impl SimFbc {
             .collect();
         let mut input_leaks = Vec::new();
         for (entry, rs) in entries.iter().zip(rand_sets.iter()) {
-            let hashes: Vec<Element> =
-                rs.iter().map(|r| ro_star.query(Caller::Simulator, r)).collect();
+            let hashes: Vec<Element> = rs
+                .iter()
+                .map(|r| ro_star.query(Caller::Simulator, r))
+                .collect();
             let (rho, ct) =
                 encrypt_with_randomness(&mut self.party_rngs[party.index()], rs, &hashes);
             let rec: FbcRecord = ffbc
@@ -376,8 +383,10 @@ impl SimFbc {
             .iter()
             .map(|_| draw_chain_randomness(&mut self.party_rngs[party.index()], self.q))
             .collect();
-        let batch: Vec<Vec<u8>> =
-            rand_sets.iter().flat_map(|rs| rs.iter().map(|r| r.to_vec())).collect();
+        let batch: Vec<Vec<u8>> = rand_sets
+            .iter()
+            .flat_map(|rs| rs.iter().map(|r| r.to_vec()))
+            .collect();
         let Ok(flat) = wrapper.evaluate(ro_star, now, WrapperClient::Corrupted, &batch) else {
             return;
         };
@@ -389,10 +398,12 @@ impl SimFbc {
             off += rs.len();
             let (rho, ct) =
                 encrypt_with_randomness(&mut self.party_rngs[party.index()], rs, hashes);
-            let msg = entry
-                .override_msg
-                .clone()
-                .or_else(|| pending.iter().find(|r| r.tag == entry.tag).map(|r| r.msg.clone()));
+            let msg = entry.override_msg.clone().or_else(|| {
+                pending
+                    .iter()
+                    .find(|r| r.tag == entry.tag)
+                    .map(|r| r.msg.clone())
+            });
             let Some(msg) = msg else { continue };
             let eta = ro.query(Caller::Simulator, &rho);
             let y = xor_mask_msg(&eta, &msg);
@@ -408,6 +419,7 @@ impl SimFbc {
 
     /// Handles an adversarial ciphertext injection: solve, extract, feed to
     /// the functionality on the corrupted sender's behalf.
+    #[allow(clippy::too_many_arguments)] // mirrors the full hybrid interface
     fn on_injection(
         &mut self,
         party: PartyId,
@@ -428,7 +440,9 @@ impl SimFbc {
         let Some((ct, y)) = parse_fbc_wire(wire, self.q) else {
             return; // malformed: real honest parties ignore it
         };
-        let Ok(mut solver) = ChainSolver::new(&ct.chain) else { return };
+        let Ok(mut solver) = ChainSolver::new(&ct.chain) else {
+            return;
+        };
         while let Some(qr) = solver.next_query() {
             let h = ro_star.query(Caller::Simulator, &qr);
             solver.feed(h);
@@ -589,7 +603,10 @@ impl World for IdealFbcWorld {
                     .iter()
                     .filter_map(|e| {
                         e.override_msg.clone().or_else(|| {
-                            pending.iter().find(|r| r.tag == e.tag).map(|r| r.msg.clone())
+                            pending
+                                .iter()
+                                .find(|r| r.tag == e.tag)
+                                .map(|r| r.msg.clone())
                         })
                     })
                     .collect();
@@ -683,7 +700,10 @@ mod tests {
         let mut ideal = IdealFbcWorld::new(n, Q, seed);
         let t_real = run_env(&mut real, script);
         let t_ideal = run_env(&mut ideal, script);
-        assert!(!ideal.simulator_would_abort(), "simulator abort event fired");
+        assert!(
+            !ideal.simulator_would_abort(),
+            "simulator abort event fired"
+        );
         assert_eq!(
             t_real.digest(),
             t_ideal.digest(),
@@ -694,7 +714,10 @@ mod tests {
     #[test]
     fn lemma2_single_honest_broadcast() {
         assert_indistinguishable(3, b"l2-a", |env| {
-            env.input(PartyId(0), Command::new("Broadcast", Value::bytes(b"fair hello")));
+            env.input(
+                PartyId(0),
+                Command::new("Broadcast", Value::bytes(b"fair hello")),
+            );
             env.idle_rounds(4);
         });
     }
@@ -702,10 +725,16 @@ mod tests {
     #[test]
     fn lemma2_multi_sender_concurrent() {
         assert_indistinguishable(3, b"l2-b", |env| {
-            env.input(PartyId(0), Command::new("Broadcast", Value::bytes(b"alpha")));
+            env.input(
+                PartyId(0),
+                Command::new("Broadcast", Value::bytes(b"alpha")),
+            );
             env.input(PartyId(1), Command::new("Broadcast", Value::bytes(b"beta")));
             env.advance_all();
-            env.input(PartyId(2), Command::new("Broadcast", Value::bytes(b"gamma")));
+            env.input(
+                PartyId(2),
+                Command::new("Broadcast", Value::bytes(b"gamma")),
+            );
             env.idle_rounds(4);
         });
     }
@@ -716,7 +745,10 @@ mod tests {
         // and substitute the pending message — the one window Fig. 10
         // allows.
         assert_indistinguishable(3, b"l2-c", |env| {
-            env.input(PartyId(1), Command::new("Broadcast", Value::bytes(b"original")));
+            env.input(
+                PartyId(1),
+                Command::new("Broadcast", Value::bytes(b"original")),
+            );
             env.adversary(AdvCommand::Corrupt(PartyId(1)));
             env.adversary(AdvCommand::Control {
                 target: "P1".into(),
@@ -751,7 +783,10 @@ mod tests {
         // deliver the message twice.
         let seed = b"l2-e";
         let script = |env: &mut EnvDriver<'_>| {
-            env.input(PartyId(0), Command::new("Broadcast", Value::bytes(b"replayable")));
+            env.input(
+                PartyId(0),
+                Command::new("Broadcast", Value::bytes(b"replayable")),
+            );
             env.adversary(AdvCommand::Corrupt(PartyId(2)));
             env.advance_all();
             // Leak index 0 is the UBC broadcast leak containing the wire.
@@ -774,7 +809,10 @@ mod tests {
         let outs = t.outputs();
         assert_eq!(outs.len(), 2, "both parties deliver");
         for (round, _, cmd) in outs {
-            assert_eq!(round, FBC_DELTA, "delivered exactly ∆ = 2 rounds after request");
+            assert_eq!(
+                round, FBC_DELTA,
+                "delivered exactly ∆ = 2 rounds after request"
+            );
             assert_eq!(cmd.value, Value::bytes(b"m"));
         }
     }
@@ -784,7 +822,10 @@ mod tests {
         // The adversary corrupts the sender AFTER the ciphertext went out
         // and tries to substitute: too late in both worlds.
         assert_indistinguishable(3, b"l2-f", |env| {
-            env.input(PartyId(0), Command::new("Broadcast", Value::bytes(b"locked-in")));
+            env.input(
+                PartyId(0),
+                Command::new("Broadcast", Value::bytes(b"locked-in")),
+            );
             env.advance_all(); // ciphertext broadcast; message locked
             env.adversary(AdvCommand::Corrupt(PartyId(0)));
             env.adversary(AdvCommand::Control {
@@ -799,7 +840,10 @@ mod tests {
         // And the delivered value is the original:
         let mut real = RealFbcWorld::new(3, Q, b"l2-f2");
         let t = run_env(&mut real, |env| {
-            env.input(PartyId(0), Command::new("Broadcast", Value::bytes(b"locked-in")));
+            env.input(
+                PartyId(0),
+                Command::new("Broadcast", Value::bytes(b"locked-in")),
+            );
             env.advance_all();
             env.adversary(AdvCommand::Corrupt(PartyId(0)));
             env.adversary(AdvCommand::Control {
@@ -824,10 +868,7 @@ mod tests {
             for i in 0..Q {
                 let resp = env.adversary(AdvCommand::Control {
                     target: "W_q".into(),
-                    cmd: Command::new(
-                        "Evaluate",
-                        Value::list([Value::bytes([i as u8])]),
-                    ),
+                    cmd: Command::new("Evaluate", Value::list([Value::bytes([i as u8])])),
                 });
                 assert!(matches!(resp, Value::List(_)), "within budget");
             }

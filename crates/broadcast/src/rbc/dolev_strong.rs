@@ -132,7 +132,10 @@ impl<C: Certifier> DolevStrong<C> {
     pub fn start_honest(&mut self, value: Value) {
         let payload = self.payload(&value);
         let sig = self.certs[self.sender.index()].sign(&payload);
-        let chain = vec![ChainLink { signer: self.sender, signature: sig }];
+        let chain = vec![ChainLink {
+            signer: self.sender,
+            signature: sig,
+        }];
         let wire = chain_to_value(&value, &chain);
         self.net.send_all(self.sender, wire);
         self.extracted[self.sender.index()].insert(value);
@@ -214,7 +217,10 @@ impl<C: Certifier> DolevStrong<C> {
                     let payload = self.payload(&msg);
                     let sig = self.certs[i].sign(&payload);
                     let mut new_chain = chain.clone();
-                    new_chain.push(ChainLink { signer: p, signature: sig });
+                    new_chain.push(ChainLink {
+                        signer: p,
+                        signature: sig,
+                    });
                     relays.push((p, msg.clone(), new_chain));
                 }
             }
@@ -259,7 +265,11 @@ impl<C: Certifier> DolevStrong<C> {
 
     /// `(messages sent, payload bytes, signatures verified)` cost counters.
     pub fn stats(&self) -> (u64, u64, u64) {
-        (self.net.sent_total(), self.net.bytes_total(), self.sigs_verified)
+        (
+            self.net.sent_total(),
+            self.net.bytes_total(),
+            self.sigs_verified,
+        )
     }
 }
 
@@ -318,8 +328,24 @@ mod tests {
         let m2 = Value::bytes(b"two");
         let s1 = ds.adversary_sign(PartyId(0), m1.clone()).unwrap();
         let s2 = ds.adversary_sign(PartyId(0), m2.clone()).unwrap();
-        ds.adversary_send(PartyId(0), PartyId(1), m1.clone(), vec![ChainLink { signer: PartyId(0), signature: s1 }]);
-        ds.adversary_send(PartyId(0), PartyId(2), m2.clone(), vec![ChainLink { signer: PartyId(0), signature: s2 }]);
+        ds.adversary_send(
+            PartyId(0),
+            PartyId(1),
+            m1.clone(),
+            vec![ChainLink {
+                signer: PartyId(0),
+                signature: s1,
+            }],
+        );
+        ds.adversary_send(
+            PartyId(0),
+            PartyId(2),
+            m2.clone(),
+            vec![ChainLink {
+                signer: PartyId(0),
+                signature: s2,
+            }],
+        );
         ds.run_to_completion();
         let outs = honest_outputs(&ds);
         assert!(outs.windows(2).all(|w| w[0] == w[1]), "agreement: {outs:?}");
@@ -335,7 +361,15 @@ mod tests {
         ds.corrupt(PartyId(0));
         let m = Value::bytes(b"partial");
         let s = ds.adversary_sign(PartyId(0), m.clone()).unwrap();
-        ds.adversary_send(PartyId(0), PartyId(2), m.clone(), vec![ChainLink { signer: PartyId(0), signature: s }]);
+        ds.adversary_send(
+            PartyId(0),
+            PartyId(2),
+            m.clone(),
+            vec![ChainLink {
+                signer: PartyId(0),
+                signature: s,
+            }],
+        );
         ds.run_to_completion();
         let outs = honest_outputs(&ds);
         for o in &outs {
@@ -352,15 +386,39 @@ mod tests {
         ds.corrupt(PartyId(1));
         let m_main = Value::bytes(b"main");
         let s_main = ds.adversary_sign(PartyId(0), m_main.clone()).unwrap();
-        ds.adversary_send(PartyId(0), PartyId(2), m_main.clone(), vec![ChainLink { signer: PartyId(0), signature: s_main.clone() }]);
-        ds.adversary_send(PartyId(0), PartyId(3), m_main.clone(), vec![ChainLink { signer: PartyId(0), signature: s_main }]);
+        ds.adversary_send(
+            PartyId(0),
+            PartyId(2),
+            m_main.clone(),
+            vec![ChainLink {
+                signer: PartyId(0),
+                signature: s_main.clone(),
+            }],
+        );
+        ds.adversary_send(
+            PartyId(0),
+            PartyId(3),
+            m_main.clone(),
+            vec![ChainLink {
+                signer: PartyId(0),
+                signature: s_main,
+            }],
+        );
         ds.step_round(); // round 1
         ds.step_round(); // round 2
-        // Now inject a fresh value with a 1-link chain into P2 only, for
-        // delivery in round 3 = t+1 (needs 3 signatures; has 1) → rejected.
+                         // Now inject a fresh value with a 1-link chain into P2 only, for
+                         // delivery in round 3 = t+1 (needs 3 signatures; has 1) → rejected.
         let m_late = Value::bytes(b"late");
         let s_late = ds.adversary_sign(PartyId(0), m_late.clone()).unwrap();
-        ds.adversary_send(PartyId(0), PartyId(2), m_late, vec![ChainLink { signer: PartyId(0), signature: s_late }]);
+        ds.adversary_send(
+            PartyId(0),
+            PartyId(2),
+            m_late,
+            vec![ChainLink {
+                signer: PartyId(0),
+                signature: s_late,
+            }],
+        );
         ds.step_round();
         assert!(ds.is_complete());
         let outs = honest_outputs(&ds);
@@ -391,8 +449,14 @@ mod tests {
             PartyId(2),
             m,
             vec![
-                ChainLink { signer: PartyId(0), signature: s0 },
-                ChainLink { signer: PartyId(1), signature: s1 },
+                ChainLink {
+                    signer: PartyId(0),
+                    signature: s0,
+                },
+                ChainLink {
+                    signer: PartyId(1),
+                    signature: s1,
+                },
             ],
         );
         ds.step_round();
@@ -411,7 +475,10 @@ mod tests {
             PartyId(1),
             PartyId(2),
             Value::bytes(b"forged"),
-            vec![ChainLink { signer: PartyId(0), signature: b"not-a-real-sig".to_vec() }],
+            vec![ChainLink {
+                signer: PartyId(0),
+                signature: b"not-a-real-sig".to_vec(),
+            }],
         );
         ds.run_to_completion();
         assert_eq!(honest_outputs(&ds)[1], bottom());
@@ -430,8 +497,14 @@ mod tests {
             PartyId(1),
             m,
             vec![
-                ChainLink { signer: PartyId(0), signature: s.clone() },
-                ChainLink { signer: PartyId(0), signature: s },
+                ChainLink {
+                    signer: PartyId(0),
+                    signature: s.clone(),
+                },
+                ChainLink {
+                    signer: PartyId(0),
+                    signature: s,
+                },
             ],
         );
         ds.step_round();

@@ -24,7 +24,12 @@ pub struct RbcFunc {
 impl RbcFunc {
     /// Creates an instance for `n` parties with a leakage `label`.
     pub fn new(n: usize, label: impl Into<String>) -> Self {
-        RbcFunc { pending: None, halted: false, n, label: label.into() }
+        RbcFunc {
+            pending: None,
+            halted: false,
+            n,
+            label: label.into(),
+        }
     }
 
     /// Whether the instance has delivered and halted.
@@ -46,10 +51,7 @@ impl RbcFunc {
         self.pending = Some((msg.clone(), sender));
         ctx.leak(
             self.label.clone(),
-            Command::new(
-                "Broadcast",
-                Value::pair(msg, Value::U64(sender.0 as u64)),
-            ),
+            Command::new("Broadcast", Value::pair(msg, Value::U64(sender.0 as u64))),
         );
     }
 

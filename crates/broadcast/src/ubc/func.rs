@@ -31,12 +31,24 @@ pub struct UbcFunc {
 impl UbcFunc {
     /// Creates the functionality for `n` parties with its own tag stream.
     pub fn new(n: usize, tag_rng: Drbg) -> Self {
-        UbcFunc { n, pending: Vec::new(), last_advance: HashMap::new(), tag_rng }
+        UbcFunc {
+            n,
+            pending: Vec::new(),
+            last_advance: HashMap::new(),
+            tag_rng,
+        }
     }
 
     /// Pending entries (for simulators / corruption requests).
     pub fn pending(&self) -> &[(Tag, Value, PartyId)] {
         &self.pending
+    }
+
+    /// Drops every queued-but-undelivered message. Used by multi-epoch
+    /// drivers when a broadcast period closes: stale wires from the ended
+    /// period must not bleed into the next one.
+    pub fn clear_pending(&mut self) {
+        self.pending.clear();
     }
 
     /// `Broadcast` from an honest party: queues the message and leaks
@@ -232,7 +244,9 @@ mod tests {
     fn allow_substitutes_for_corrupted_sender() {
         let mut fx = Fx::new(2);
         let mut f = UbcFunc::new(2, Drbg::from_seed(b"ubc-tags"));
-        let tag = f.broadcast_honest(PartyId(0), Value::U64(1), &mut fx.ctx()).unwrap();
+        let tag = f
+            .broadcast_honest(PartyId(0), Value::U64(1), &mut fx.ctx())
+            .unwrap();
         // Honest: Allow ignored.
         assert!(f.allow(tag, Value::U64(99), &mut fx.ctx()).is_empty());
         // Adaptive corruption mid-round → substitution succeeds (unfairness).
@@ -268,6 +282,8 @@ mod tests {
         let mut fx = Fx::new(2);
         fx.corr.corrupt(PartyId(0), 0).unwrap();
         let mut f = UbcFunc::new(2, Drbg::from_seed(b"ubc-tags"));
-        assert!(f.broadcast_honest(PartyId(0), Value::U64(1), &mut fx.ctx()).is_none());
+        assert!(f
+            .broadcast_honest(PartyId(0), Value::U64(1), &mut fx.ctx())
+            .is_none());
     }
 }

@@ -28,8 +28,7 @@ pub trait UbcLayer {
 
     /// Adversarial substitution of an in-flight message. The `handle` is
     /// layer-specific: a tag (ideal) or an instance label (real).
-    fn adv_allow(&mut self, handle: &Value, msg: Value, ctx: &mut HybridCtx<'_>)
-        -> Vec<Delivery>;
+    fn adv_allow(&mut self, handle: &Value, msg: Value, ctx: &mut HybridCtx<'_>) -> Vec<Delivery>;
 
     /// `Advance_Clock` pass-through from `party`; returns deliveries.
     fn advance(&mut self, party: PartyId, ctx: &mut HybridCtx<'_>) -> Vec<Delivery>;
@@ -49,12 +48,7 @@ impl UbcLayer for func::UbcFunc {
         self.broadcast_corrupted(sender, msg, ctx)
     }
 
-    fn adv_allow(
-        &mut self,
-        handle: &Value,
-        msg: Value,
-        ctx: &mut HybridCtx<'_>,
-    ) -> Vec<Delivery> {
+    fn adv_allow(&mut self, handle: &Value, msg: Value, ctx: &mut HybridCtx<'_>) -> Vec<Delivery> {
         let Some(bytes) = handle.as_bytes() else {
             return Vec::new();
         };

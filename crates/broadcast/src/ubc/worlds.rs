@@ -29,7 +29,10 @@ pub struct RealUbcWorld {
 impl RealUbcWorld {
     /// Creates the world for `n` parties from an experiment seed.
     pub fn new(n: usize, seed: &[u8]) -> Self {
-        RealUbcWorld { core: WorldCore::new(n, seed), proto: UbcProtocol::new(n) }
+        RealUbcWorld {
+            core: WorldCore::new(n, seed),
+            proto: UbcProtocol::new(n),
+        }
     }
 }
 
@@ -76,7 +79,8 @@ impl World for RealUbcWorld {
             AdvCommand::Control { target, cmd } if cmd.name == "Allow" => {
                 let ds = {
                     let mut ctx = self.core.ctx();
-                    self.proto.adv_allow(&Value::str(target), cmd.value, &mut ctx)
+                    self.proto
+                        .adv_allow(&Value::str(target), cmd.value, &mut ctx)
                 };
                 self.core.push_outputs(ds);
                 Value::Unit
@@ -150,10 +154,12 @@ impl SimUbc {
             }
             // (M, P): adversarial broadcast through a fresh instance.
             2 => {
-                let sender_id =
-                    PartyId(u32::try_from(items[1].as_u64().unwrap_or(0)).unwrap_or(0));
+                let sender_id = PartyId(u32::try_from(items[1].as_u64().unwrap_or(0)).unwrap_or(0));
                 let label = self.fresh_label(sender_id);
-                Leak { source: label, cmd: leak.cmd }
+                Leak {
+                    source: label,
+                    cmd: leak.cmd,
+                }
             }
             _ => leak,
         }
@@ -181,7 +187,11 @@ impl IdealUbcWorld {
     pub fn new(n: usize, seed: &[u8]) -> Self {
         let mut core = WorldCore::new(n, seed);
         let tag_rng = core.rng.fork(b"tags/F_UBC");
-        IdealUbcWorld { core, func: UbcFunc::new(n, tag_rng), sim: SimUbc::new() }
+        IdealUbcWorld {
+            core,
+            func: UbcFunc::new(n, tag_rng),
+            sim: SimUbc::new(),
+        }
     }
 
     fn translate_pending_leaks(&mut self) {
@@ -290,7 +300,10 @@ mod tests {
     #[test]
     fn lemma1_honest_single_broadcast() {
         assert_indistinguishable(3, b"l1-a", |env| {
-            env.input(PartyId(0), Command::new("Broadcast", Value::bytes(b"hello")));
+            env.input(
+                PartyId(0),
+                Command::new("Broadcast", Value::bytes(b"hello")),
+            );
             env.advance_all();
             env.idle_rounds(1);
         });
@@ -313,7 +326,10 @@ mod tests {
         // Corrupt the sender after seeing its message (non-atomic model),
         // substitute, and deliver.
         assert_indistinguishable(3, b"l1-c", |env| {
-            env.input(PartyId(1), Command::new("Broadcast", Value::bytes(b"original")));
+            env.input(
+                PartyId(1),
+                Command::new("Broadcast", Value::bytes(b"original")),
+            );
             env.adversary(AdvCommand::Corrupt(PartyId(1)));
             env.adversary(AdvCommand::Control {
                 target: "F_RBC[P1,1]".into(),

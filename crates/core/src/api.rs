@@ -2,33 +2,215 @@
 //! UC machinery.
 //!
 //! [`SbcSession`] wires the full real-world stack (`Π_SBC` over `F_UBC` +
-//! `F_TLE` + `F_RO` + `G_clock`), drives the rounds, and returns the
-//! agreed message vector. This is the entry point a downstream application
-//! (auctions, lotteries, elections, randomness beacons) would use.
+//! `F_TLE` + `F_RO` + `G_clock`), drives the rounds, and returns the agreed
+//! message vector. This is the entry point every downstream application
+//! (auctions, lotteries, elections, randomness beacons) builds on.
+//!
+//! # The v2 contract
+//!
+//! * **Fallible, never panicking.** Every method that can be misused
+//!   returns `Result<_, `[`SbcError`]`>`: invalid parameters are rejected
+//!   at [`SbcSessionBuilder::build`], out-of-range parties and
+//!   submissions after the period closed are rejected at
+//!   [`SbcSession::submit`], and a session that cannot terminate reports
+//!   [`SbcError::Timeout`] instead of aborting the process.
+//! * **Multi-epoch.** One session runs successive broadcast periods over
+//!   the same world: [`SbcSession::run_epoch`] releases the current
+//!   period's vector as an [`EpochResult`] and re-opens the stack for the
+//!   next one. Randomness beacons and repeated elections no longer rebuild
+//!   the whole world stack per round. (Note: epoch turnover exists in the
+//!   real world only — the Theorem 2 real-vs-ideal experiments cover
+//!   single periods; an ideal-world counterpart is a roadmap item.)
+//! * **Adversary as configuration.** Dishonest-majority scenarios are set
+//!   up through [`AdversaryConfig`] and driven through the session's
+//!   adversarial surface ([`SbcSession::corrupt`],
+//!   [`SbcSession::send_as`], [`SbcSession::inject_message`],
+//!   [`SbcSession::control`], leak capture) — no more poking
+//!   `World::adversary` by hand in tests and benches.
 //!
 //! # Examples
 //!
 //! ```
 //! use sbc_core::api::SbcSession;
 //!
-//! let mut session = SbcSession::builder(3).seed(b"quick").build();
-//! session.submit(0, b"alice's sealed bid");
-//! session.submit(1, b"bob's sealed bid");
-//! let result = session.run_to_completion();
+//! # fn main() -> Result<(), sbc_core::api::SbcError> {
+//! let mut session = SbcSession::builder(3).seed(b"quick").build()?;
+//! session.submit(0, b"alice's sealed bid")?;
+//! session.submit(1, b"bob's sealed bid")?;
+//! let result = session.run_to_completion()?;
 //! assert_eq!(result.messages.len(), 2);
 //! assert!(result.release_round > 0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Multi-epoch use — three beacon periods over one world stack:
+//!
+//! ```
+//! use sbc_core::api::SbcSession;
+//!
+//! # fn main() -> Result<(), sbc_core::api::SbcError> {
+//! let mut session = SbcSession::builder(2).seed(b"beacon").build()?;
+//! for epoch in 0u64..3 {
+//!     session.submit(0, format!("share-a/{epoch}").as_bytes())?;
+//!     session.submit(1, format!("share-b/{epoch}").as_bytes())?;
+//!     let r = session.run_epoch()?;
+//!     assert_eq!(r.epoch, epoch);
+//!     assert_eq!(r.messages.len(), 2);
+//! }
+//! # Ok(())
+//! # }
 //! ```
 
+use crate::protocol::sbc_wire;
 use crate::worlds::{RealSbcWorld, SbcParams};
+use sbc_primitives::drbg::Drbg;
 use sbc_uc::ids::PartyId;
 use sbc_uc::value::{Command, Value};
-use sbc_uc::world::World;
+use sbc_uc::world::{AdvCommand, Leak, World};
+use std::fmt;
+
+/// Errors of the fallible session API.
+///
+/// Every public [`SbcSession`] entry point returns one of these instead of
+/// panicking; match on the variant to distinguish caller mistakes
+/// (`InvalidParams`, `PartyOutOfRange`, `SubmitAfterClose`, …) from
+/// internal faults (`Internal`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SbcError {
+    /// The parameters violate Theorem 2's constraints (`Φ > delay`,
+    /// `∆ > α_TLE`) or are degenerate (`n = 0`).
+    InvalidParams {
+        /// Which constraint failed.
+        reason: &'static str,
+    },
+    /// A party index `≥ n` was used.
+    PartyOutOfRange {
+        /// The offending index.
+        party: u32,
+        /// The session size.
+        n: usize,
+    },
+    /// An honest-path operation targeted a corrupted party (or a party was
+    /// corrupted twice).
+    CorruptedParty {
+        /// The corrupted party.
+        party: u32,
+    },
+    /// Corrupting another party would leave no honest party (`t ≤ n − 1`
+    /// is the dishonest-majority budget).
+    CorruptionBudgetExceeded {
+        /// The party whose corruption was refused.
+        party: u32,
+    },
+    /// An adversarial operation targeted a party that is still honest.
+    HonestParty {
+        /// The honest party.
+        party: u32,
+    },
+    /// A submission arrived too late to complete before the broadcast
+    /// period closes (`Cl + delay ≥ t_end`).
+    SubmitAfterClose {
+        /// The round of the attempted submission.
+        round: u64,
+        /// The period end `t_end`.
+        t_end: u64,
+    },
+    /// An adversarial injection was attempted before any wake-up: the
+    /// release time `τ_rel` is not yet agreed.
+    PeriodNotOpen,
+    /// `run_epoch`/`run_to_completion` was called with nothing submitted —
+    /// the period would never open and the session would spin forever.
+    NoInput,
+    /// The session failed to release within its round budget.
+    Timeout {
+        /// The exhausted budget (rounds).
+        budget: u64,
+    },
+    /// An invariant of the underlying world machinery failed — honest
+    /// parties disagreed, or a release payload was malformed.
+    Internal {
+        /// Human-readable description of the broken invariant.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SbcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SbcError::InvalidParams { reason } => write!(f, "invalid SBC parameters: {reason}"),
+            SbcError::PartyOutOfRange { party, n } => {
+                write!(f, "party {party} out of range for a {n}-party session")
+            }
+            SbcError::CorruptedParty { party } => write!(f, "party {party} is corrupted"),
+            SbcError::CorruptionBudgetExceeded { party } => {
+                write!(f, "corrupting party {party} would leave no honest party")
+            }
+            SbcError::HonestParty { party } => {
+                write!(
+                    f,
+                    "party {party} is honest (adversarial operation requires corruption)"
+                )
+            }
+            SbcError::SubmitAfterClose { round, t_end } => {
+                write!(
+                    f,
+                    "submission at round {round} cannot complete before t_end = {t_end}"
+                )
+            }
+            SbcError::PeriodNotOpen => {
+                write!(f, "no broadcast period is open (τ_rel not yet agreed)")
+            }
+            SbcError::NoInput => write!(f, "nothing submitted: the period would never open"),
+            SbcError::Timeout { budget } => {
+                write!(f, "session failed to release within {budget} rounds")
+            }
+            SbcError::Internal { detail } => write!(f, "internal session fault: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SbcError {}
+
+/// Static adversary configuration applied when the session is built.
+///
+/// Dynamic adversarial actions (adaptive corruption, wire injection,
+/// control-channel commands) live on [`SbcSession`] itself; this struct
+/// covers what must be fixed before the first round.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AdversaryConfig {
+    /// Parties corrupted at session start (before any input).
+    pub corrupt_at_start: Vec<u32>,
+    /// Retain every adversary-visible leak for inspection through
+    /// [`SbcSession::leaks`] instead of discarding it.
+    pub capture_leaks: bool,
+}
+
+impl AdversaryConfig {
+    /// An empty configuration (no corruption, leaks discarded).
+    pub fn new() -> Self {
+        AdversaryConfig::default()
+    }
+
+    /// Corrupts `parties` at session start.
+    pub fn corrupt(mut self, parties: &[u32]) -> Self {
+        self.corrupt_at_start.extend_from_slice(parties);
+        self
+    }
+
+    /// Retains adversary-visible leaks for inspection.
+    pub fn capture_leaks(mut self) -> Self {
+        self.capture_leaks = true;
+        self
+    }
+}
 
 /// Builder for [`SbcSession`].
 #[derive(Clone, Debug)]
 pub struct SbcSessionBuilder {
     params: SbcParams,
     seed: Vec<u8>,
+    adversary: AdversaryConfig,
 }
 
 impl SbcSessionBuilder {
@@ -44,51 +226,143 @@ impl SbcSessionBuilder {
         self
     }
 
+    /// TLE leakage advantage `α_TLE` (`leak(Cl) = Cl + α_TLE`).
+    pub fn tle_alpha(mut self, alpha: u64) -> Self {
+        self.params.tle_alpha = alpha;
+        self
+    }
+
+    /// TLE ciphertext-generation delay.
+    pub fn tle_delay(mut self, delay: u64) -> Self {
+        self.params.tle_delay = delay;
+        self
+    }
+
     /// Experiment seed (determines all randomness).
     pub fn seed(mut self, seed: &[u8]) -> Self {
         self.seed = seed.to_vec();
         self
     }
 
+    /// Installs an adversary configuration.
+    pub fn adversary(mut self, cfg: AdversaryConfig) -> Self {
+        self.adversary = cfg;
+        self
+    }
+
+    /// Convenience: corrupt `parties` at session start.
+    pub fn corrupt(mut self, parties: &[u32]) -> Self {
+        self.adversary.corrupt_at_start.extend_from_slice(parties);
+        self
+    }
+
+    /// Convenience: retain adversary-visible leaks for inspection.
+    pub fn capture_leaks(mut self) -> Self {
+        self.adversary.capture_leaks = true;
+        self
+    }
+
     /// Builds the session.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the parameters violate Theorem 2's constraints
-    /// (`Φ > delay`, `∆ > α_TLE`).
-    pub fn build(self) -> SbcSession {
-        SbcSession {
+    /// * [`SbcError::InvalidParams`] if the parameters violate Theorem 2's
+    ///   constraints (`Φ > delay`, `∆ > α_TLE`) or `n = 0`.
+    /// * [`SbcError::PartyOutOfRange`] if the adversary configuration
+    ///   corrupts a party index `≥ n`.
+    pub fn build(self) -> Result<SbcSession, SbcError> {
+        if self.params.n == 0 {
+            return Err(SbcError::InvalidParams {
+                reason: "need at least one party",
+            });
+        }
+        self.params
+            .validate()
+            .map_err(|reason| SbcError::InvalidParams { reason })?;
+        for &p in &self.adversary.corrupt_at_start {
+            if p as usize >= self.params.n {
+                return Err(SbcError::PartyOutOfRange {
+                    party: p,
+                    n: self.params.n,
+                });
+            }
+        }
+        let mut adv_seed = self.seed.clone();
+        adv_seed.extend_from_slice(b"/session-adversary");
+        let mut session = SbcSession {
             world: RealSbcWorld::new(self.params, &self.seed),
             params: self.params,
+            capture_leaks: self.adversary.capture_leaks,
+            adv_rng: Drbg::from_seed(&adv_seed),
+            epoch: 0,
             submitted: 0,
+            released: None,
+            leaks: Vec::new(),
+        };
+        for &p in &self.adversary.corrupt_at_start {
+            // Range-checked above; double entries surface as CorruptedParty.
+            session.corrupt(p)?;
         }
+        Ok(session)
     }
 }
 
-/// The outcome of an SBC session.
+/// The outcome of a single-shot SBC run (or of one period inside a
+/// multi-epoch session — see [`EpochResult`]).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SbcResult {
     /// The agreed message vector (lexicographically sorted), identical at
     /// every honest party.
     pub messages: Vec<Vec<u8>>,
-    /// The round at which the vector was released (`t_end + ∆`).
+    /// The round at which the vector was released: `τ_rel = t_awake + Φ +
+    /// ∆`, taken from the parties' agreed wake-up time — correct even when
+    /// outputs are drained late.
     pub release_round: u64,
-    /// Total rounds executed.
+    /// Total rounds executed by the session so far.
     pub rounds: u64,
 }
 
+/// The outcome of one broadcast period of a multi-epoch session.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EpochResult {
+    /// Zero-based epoch counter.
+    pub epoch: u64,
+    /// The agreed message vector of this epoch (lexicographically sorted).
+    pub messages: Vec<Vec<u8>>,
+    /// The round the vector was released (`t_awake + Φ + ∆`).
+    pub release_round: u64,
+}
+
 /// A running simultaneous-broadcast session over the real protocol stack.
+///
+/// The session is *multi-epoch*: after [`run_epoch`](SbcSession::run_epoch)
+/// releases a period's vector, the same world (clock, random oracle,
+/// corruption state) hosts the next period. Submissions made after an
+/// epoch completes belong to the next epoch.
 #[derive(Debug)]
 pub struct SbcSession {
     world: RealSbcWorld,
     params: SbcParams,
+    capture_leaks: bool,
+    adv_rng: Drbg,
+    epoch: u64,
     submitted: usize,
+    /// The current period's released result, cached so that a release
+    /// consumed through a manual [`step_round`](SbcSession::step_round)
+    /// loop still lets [`run_epoch`](SbcSession::run_epoch) /
+    /// [`run_to_completion`](SbcSession::run_to_completion) observe it.
+    released: Option<SbcResult>,
+    leaks: Vec<Leak>,
 }
 
 impl SbcSession {
     /// Starts building a session for `n` parties.
     pub fn builder(n: usize) -> SbcSessionBuilder {
-        SbcSessionBuilder { params: SbcParams::default_for(n), seed: b"sbc-session".to_vec() }
+        SbcSessionBuilder {
+            params: SbcParams::default_for(n),
+            seed: b"sbc-session".to_vec(),
+            adversary: AdversaryConfig::default(),
+        }
     }
 
     /// The session parameters.
@@ -96,61 +370,333 @@ impl SbcSession {
         self.params
     }
 
-    /// Submits `message` for broadcast by party `party`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `party` is out of range.
-    pub fn submit(&mut self, party: u32, message: &[u8]) {
-        assert!((party as usize) < self.params.n, "party out of range");
-        self.submitted += 1;
-        self.world
-            .input(PartyId(party), Command::new("Broadcast", Value::bytes(message)));
+    /// The zero-based index of the epoch currently accepting submissions.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
-    /// Runs one full round (all parties advance). Returns any released
-    /// message vector.
-    pub fn step_round(&mut self) -> Option<SbcResult> {
+    /// The current global-clock round.
+    pub fn round(&self) -> u64 {
+        self.world.time()
+    }
+
+    /// Whether `party` is corrupted.
+    pub fn is_corrupted(&self, party: u32) -> bool {
+        (party as usize) < self.params.n && self.world.is_corrupted(PartyId(party))
+    }
+
+    fn check_party(&self, party: u32) -> Result<(), SbcError> {
+        if (party as usize) >= self.params.n {
+            return Err(SbcError::PartyOutOfRange {
+                party,
+                n: self.params.n,
+            });
+        }
+        Ok(())
+    }
+
+    /// Checks whether an honest submission by `party` would currently be
+    /// accepted, without submitting anything. Lets callers skip expensive
+    /// payload construction (e.g. ballot proofs) when the submission is
+    /// doomed to be rejected.
+    ///
+    /// # Errors
+    ///
+    /// The same errors [`submit`](SbcSession::submit) would return.
+    pub fn check_submittable(&self, party: u32) -> Result<(), SbcError> {
+        self.check_party(party)?;
+        if self.world.is_corrupted(PartyId(party)) {
+            return Err(SbcError::CorruptedParty { party });
+        }
+        if let Some(t_end) = self.world.period_end() {
+            let now = self.world.time();
+            if now + self.params.tle_delay >= t_end {
+                return Err(SbcError::SubmitAfterClose { round: now, t_end });
+            }
+        }
+        Ok(())
+    }
+
+    fn sync_leaks(&mut self) {
+        let drained = self.world.drain_leaks();
+        if self.capture_leaks {
+            self.leaks.extend(drained);
+        }
+    }
+
+    /// Submits `message` for broadcast by honest party `party` in the
+    /// current epoch.
+    ///
+    /// # Errors
+    ///
+    /// * [`SbcError::PartyOutOfRange`] if `party ≥ n`.
+    /// * [`SbcError::CorruptedParty`] if `party` is corrupted (corrupted
+    ///   inputs go through [`send_as`](SbcSession::send_as) /
+    ///   [`inject_message`](SbcSession::inject_message)).
+    /// * [`SbcError::SubmitAfterClose`] if the period is already too far
+    ///   along for the ciphertext to be ready before `t_end`.
+    pub fn submit(&mut self, party: u32, message: &[u8]) -> Result<(), SbcError> {
+        self.check_submittable(party)?;
+        self.submitted += 1;
+        self.world.input(
+            PartyId(party),
+            Command::new("Broadcast", Value::bytes(message)),
+        );
+        self.sync_leaks();
+        Ok(())
+    }
+
+    /// Runs one full round (all honest parties advance). Returns the
+    /// released message vector if this round was the release round.
+    ///
+    /// # Errors
+    ///
+    /// [`SbcError::Internal`] if honest parties released different vectors
+    /// or a malformed payload — a broken world invariant.
+    pub fn step_round(&mut self) -> Result<Option<SbcResult>, SbcError> {
         for i in 0..self.params.n {
             self.world.advance(PartyId(i as u32));
         }
+        self.sync_leaks();
         let outs = self.world.drain_outputs();
-        let _ = self.world.drain_leaks();
-        outs.into_iter().next().map(|(_, cmd)| {
-            let messages = cmd
-                .value
-                .as_list()
-                .unwrap_or(&[])
+        if outs.is_empty() {
+            return Ok(None);
+        }
+        let mut agreed: Option<Vec<Vec<u8>>> = None;
+        for (party, cmd) in outs {
+            let list = cmd.value.as_list().ok_or_else(|| SbcError::Internal {
+                detail: format!("party {} released a non-list payload", party.0),
+            })?;
+            let messages: Vec<Vec<u8>> = list
                 .iter()
                 .map(|v| match v {
                     Value::Bytes(b) => b.clone(),
                     other => other.encode(),
                 })
                 .collect();
-            SbcResult {
-                messages,
-                release_round: self.world.time().saturating_sub(1),
-                rounds: self.world.time(),
+            match &agreed {
+                None => agreed = Some(messages),
+                Some(prev) if *prev != messages => {
+                    return Err(SbcError::Internal {
+                        detail: format!(
+                            "agreement violation: party {} released a different vector",
+                            party.0
+                        ),
+                    })
+                }
+                Some(_) => {}
             }
+        }
+        let messages = agreed.expect("outs is non-empty");
+        let release_round = self
+            .world
+            .release_round()
+            .ok_or_else(|| SbcError::Internal {
+                detail: "release without an agreed τ_rel".to_string(),
+            })?;
+        let result = SbcResult {
+            messages,
+            release_round,
+            rounds: self.world.time(),
+        };
+        self.released = Some(result.clone());
+        Ok(Some(result))
+    }
+
+    fn drive_to_release(&mut self) -> Result<SbcResult, SbcError> {
+        // A release already observed through a manual step_round loop is
+        // the current period's result — return it instead of spinning.
+        if let Some(result) = self.released.clone() {
+            return Ok(result);
+        }
+        if self.submitted == 0 {
+            return Err(SbcError::NoInput);
+        }
+        let budget = self.params.phi + self.params.delta + 4;
+        for _ in 0..budget {
+            if let Some(result) = self.step_round()? {
+                return Ok(result);
+            }
+        }
+        Err(SbcError::Timeout { budget })
+    }
+
+    /// Runs rounds until the current period's vector is released.
+    ///
+    /// This is the single-shot driver: the period stays **closed**
+    /// afterwards and further submissions return
+    /// [`SbcError::SubmitAfterClose`]; calling it again (or after a
+    /// manual [`step_round`](SbcSession::step_round) loop already saw the
+    /// release) returns the same cached result. A session meant to host
+    /// several periods must drive every period — including the first —
+    /// with [`run_epoch`](SbcSession::run_epoch), which performs the
+    /// epoch turnover this method deliberately skips.
+    ///
+    /// # Errors
+    ///
+    /// * [`SbcError::NoInput`] if nothing was submitted this epoch.
+    /// * [`SbcError::Timeout`] if the stack fails to release within
+    ///   `Φ + ∆ + 4` rounds.
+    /// * [`SbcError::Internal`] on a broken world invariant.
+    pub fn run_to_completion(&mut self) -> Result<SbcResult, SbcError> {
+        self.drive_to_release()
+    }
+
+    /// Runs the current epoch to release and re-opens the stack for the
+    /// next one. Submissions made after this call belong to the next
+    /// epoch; the global clock, random oracle, and corruption state carry
+    /// over.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run_to_completion`](SbcSession::run_to_completion).
+    pub fn run_epoch(&mut self) -> Result<EpochResult, SbcError> {
+        let result = self.drive_to_release()?;
+        let epoch = self.epoch;
+        self.epoch += 1;
+        self.submitted = 0;
+        self.released = None;
+        self.world.begin_new_period();
+        Ok(EpochResult {
+            epoch,
+            messages: result.messages,
+            release_round: result.release_round,
         })
     }
 
-    /// Runs rounds until the broadcast result is released.
+    // ------------------------------------------------------------------
+    // Adversarial surface
+    // ------------------------------------------------------------------
+
+    /// Adaptively corrupts `party`, returning its pending (not yet
+    /// broadcast) messages — the corruption-request view of Fig. 13.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if nothing was ever submitted (the period never opens) or the
-    /// session fails to terminate within `Φ + ∆ + 4` rounds of the first
-    /// submission.
-    pub fn run_to_completion(&mut self) -> SbcResult {
-        assert!(self.submitted > 0, "submit at least one message first");
-        let budget = self.params.phi + self.params.delta + 4;
-        for _ in 0..budget {
-            if let Some(result) = self.step_round() {
-                return result;
-            }
+    /// * [`SbcError::PartyOutOfRange`] if `party ≥ n`.
+    /// * [`SbcError::CorruptedParty`] if `party` was already corrupted.
+    pub fn corrupt(&mut self, party: u32) -> Result<Vec<Value>, SbcError> {
+        self.check_party(party)?;
+        if self.world.is_corrupted(PartyId(party)) {
+            return Err(SbcError::CorruptedParty { party });
         }
-        panic!("SBC session failed to terminate within {budget} rounds");
+        let resp = self.world.adversary(AdvCommand::Corrupt(PartyId(party)));
+        self.sync_leaks();
+        match resp {
+            // `party` is known honest (checked above), so a refusal can
+            // only be the dishonest-majority budget `t ≤ n − 1`.
+            Value::Bool(false) => Err(SbcError::CorruptionBudgetExceeded { party }),
+            Value::List(pending) => Ok(pending),
+            other => Err(SbcError::Internal {
+                detail: format!("unexpected corruption response: {other:?}"),
+            }),
+        }
+    }
+
+    /// Sends a raw UBC wire on behalf of corrupted `party` (immediate
+    /// delivery — the unfairness of `F_UBC`). The payload must be a
+    /// `(c, τ_rel, y)` triple to be accepted by honest recipients; use
+    /// [`inject_message`](SbcSession::inject_message) for the full
+    /// fabricate-and-send recipe.
+    ///
+    /// # Errors
+    ///
+    /// * [`SbcError::PartyOutOfRange`] if `party ≥ n`.
+    /// * [`SbcError::HonestParty`] if `party` is not corrupted.
+    pub fn send_as(&mut self, party: u32, wire: Value) -> Result<(), SbcError> {
+        self.check_party(party)?;
+        if !self.world.is_corrupted(PartyId(party)) {
+            return Err(SbcError::HonestParty { party });
+        }
+        self.world.adversary(AdvCommand::SendAs {
+            party: PartyId(party),
+            cmd: Command::new("Broadcast", wire),
+        });
+        self.sync_leaks();
+        Ok(())
+    }
+
+    /// The full adversarial-broadcast recipe on behalf of corrupted
+    /// `party`: fabricates a time-lock ciphertext for a fresh `ρ`,
+    /// registers it with `F_TLE` (`Insert`), derives the honest mask
+    /// `η = H(ρ; |M|)` from `F_RO`, and sends `(c, τ_rel, M ⊕ η)` as the
+    /// corrupted party. Honest parties will open it to `message` at
+    /// `τ_rel` — but, exactly as the paper requires, the adversary had to
+    /// commit to `message` *during* the period, without seeing any honest
+    /// plaintext.
+    ///
+    /// # Errors
+    ///
+    /// * [`SbcError::PartyOutOfRange`] / [`SbcError::HonestParty`] as for
+    ///   [`send_as`](SbcSession::send_as).
+    /// * [`SbcError::PeriodNotOpen`] before the first wake-up (`τ_rel` is
+    ///   not yet agreed).
+    /// * [`SbcError::SubmitAfterClose`] once the period has closed.
+    pub fn inject_message(&mut self, party: u32, message: &[u8]) -> Result<(), SbcError> {
+        self.check_party(party)?;
+        if !self.world.is_corrupted(PartyId(party)) {
+            return Err(SbcError::HonestParty { party });
+        }
+        let Some(tau_rel) = self.world.release_round() else {
+            return Err(SbcError::PeriodNotOpen);
+        };
+        let t_end = self.world.period_end().ok_or_else(|| SbcError::Internal {
+            detail: "τ_rel agreed without t_end".to_string(),
+        })?;
+        let now = self.world.time();
+        if now >= t_end {
+            return Err(SbcError::SubmitAfterClose { round: now, t_end });
+        }
+        let ct = Value::bytes(self.adv_rng.gen_bytes(64));
+        let rho = self.adv_rng.gen_bytes(32);
+        self.control(
+            "F_TLE",
+            Command::new(
+                "Insert",
+                Value::list([ct.clone(), Value::bytes(&rho), Value::U64(tau_rel)]),
+            ),
+        );
+        let m_bytes = Value::bytes(message).encode();
+        let eta = self.control(
+            "F_RO",
+            Command::new(
+                "QueryBytes",
+                Value::list([Value::bytes(&rho), Value::U64(m_bytes.len() as u64)]),
+            ),
+        );
+        let eta = eta.as_bytes().ok_or_else(|| SbcError::Internal {
+            detail: "F_RO control hook returned a non-bytes mask".to_string(),
+        })?;
+        let y: Vec<u8> = m_bytes.iter().zip(eta.iter()).map(|(a, b)| a ^ b).collect();
+        self.send_as(party, sbc_wire(&ct, tau_rel, &y))
+    }
+
+    /// Raw control-channel access to the world's functionalities
+    /// (`F_TLE` `Insert`/`Leakage`, `F_RO` `QueryBytes`, …) — the escape
+    /// hatch for adversarial experiments the typed surface does not cover.
+    pub fn control(&mut self, target: &str, cmd: Command) -> Value {
+        let resp = self.world.adversary(AdvCommand::Control {
+            target: target.to_string(),
+            cmd,
+        });
+        self.sync_leaks();
+        resp
+    }
+
+    /// The adversary's `F_TLE` leakage view (`τ ≤ Cl + α_TLE` records).
+    pub fn tle_leakage(&mut self) -> Value {
+        self.control("F_TLE", Command::new("Leakage", Value::Unit))
+    }
+
+    /// Adversary-visible leaks captured so far (requires
+    /// [`AdversaryConfig::capture_leaks`]; empty otherwise).
+    pub fn leaks(&self) -> &[Leak] {
+        &self.leaks
+    }
+
+    /// Drains the captured leak buffer.
+    pub fn take_leaks(&mut self) -> Vec<Leak> {
+        std::mem::take(&mut self.leaks)
     }
 }
 
@@ -160,10 +706,10 @@ mod tests {
 
     #[test]
     fn quickstart_flow() {
-        let mut s = SbcSession::builder(3).seed(b"api-test").build();
-        s.submit(0, b"one");
-        s.submit(1, b"two");
-        let r = s.run_to_completion();
+        let mut s = SbcSession::builder(3).seed(b"api-test").build().unwrap();
+        s.submit(0, b"one").unwrap();
+        s.submit(1, b"two").unwrap();
+        let r = s.run_to_completion().unwrap();
         assert_eq!(r.messages.len(), 2);
         assert!(r.messages.contains(&b"one".to_vec()));
         assert!(r.messages.contains(&b"two".to_vec()));
@@ -172,39 +718,227 @@ mod tests {
 
     #[test]
     fn custom_parameters() {
-        let mut s = SbcSession::builder(2).phi(4).delta(3).seed(b"custom").build();
-        s.submit(0, b"m");
-        let r = s.run_to_completion();
+        let mut s = SbcSession::builder(2)
+            .phi(4)
+            .delta(3)
+            .seed(b"custom")
+            .build()
+            .unwrap();
+        s.submit(0, b"m").unwrap();
+        let r = s.run_to_completion().unwrap();
         assert_eq!(r.release_round, 4 + 3);
     }
 
     #[test]
     fn messages_sorted_deterministically() {
-        let mut s = SbcSession::builder(3).seed(b"sorted").build();
-        s.submit(2, b"zzz");
-        s.submit(0, b"aaa");
-        s.submit(1, b"mmm");
-        let r = s.run_to_completion();
-        assert_eq!(r.messages, vec![b"aaa".to_vec(), b"mmm".to_vec(), b"zzz".to_vec()]);
+        let mut s = SbcSession::builder(3).seed(b"sorted").build().unwrap();
+        s.submit(2, b"zzz").unwrap();
+        s.submit(0, b"aaa").unwrap();
+        s.submit(1, b"mmm").unwrap();
+        let r = s.run_to_completion().unwrap();
+        assert_eq!(
+            r.messages,
+            vec![b"aaa".to_vec(), b"mmm".to_vec(), b"zzz".to_vec()]
+        );
     }
 
     #[test]
     fn single_submitter_liveness() {
-        let mut s = SbcSession::builder(5).seed(b"solo").build();
-        s.submit(3, b"alone");
-        let r = s.run_to_completion();
+        let mut s = SbcSession::builder(5).seed(b"solo").build().unwrap();
+        s.submit(3, b"alone").unwrap();
+        let r = s.run_to_completion().unwrap();
         assert_eq!(r.messages, vec![b"alone".to_vec()]);
     }
 
     #[test]
-    #[should_panic(expected = "submit at least one message")]
-    fn empty_session_panics() {
-        SbcSession::builder(2).seed(b"empty").build().run_to_completion();
+    fn empty_session_is_no_input_error() {
+        let mut s = SbcSession::builder(2).seed(b"empty").build().unwrap();
+        assert_eq!(s.run_to_completion(), Err(SbcError::NoInput));
     }
 
     #[test]
-    #[should_panic(expected = "party out of range")]
-    fn out_of_range_party_panics() {
-        SbcSession::builder(2).seed(b"oops").build().submit(7, b"x");
+    fn out_of_range_party_is_error() {
+        let mut s = SbcSession::builder(2).seed(b"oops").build().unwrap();
+        assert_eq!(
+            s.submit(7, b"x"),
+            Err(SbcError::PartyOutOfRange { party: 7, n: 2 })
+        );
+    }
+
+    #[test]
+    fn invalid_params_rejected_at_build() {
+        // Φ ≤ delay violates Theorem 2.
+        let err = SbcSession::builder(3)
+            .phi(1)
+            .tle_delay(1)
+            .seed(b"bad")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SbcError::InvalidParams { .. }));
+        // ∆ ≤ α_TLE violates Theorem 2.
+        let err = SbcSession::builder(3)
+            .delta(1)
+            .tle_alpha(1)
+            .seed(b"bad2")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SbcError::InvalidParams { .. }));
+        // n = 0 is degenerate.
+        let err = SbcSession::builder(0).seed(b"bad3").build().unwrap_err();
+        assert!(matches!(err, SbcError::InvalidParams { .. }));
+    }
+
+    #[test]
+    fn submit_after_close_rejected() {
+        let mut s = SbcSession::builder(2).seed(b"late").build().unwrap();
+        s.submit(0, b"on-time").unwrap();
+        // Period = [0, 3); with tle_delay = 1, submissions from round 2 on
+        // cannot complete.
+        for _ in 0..2 {
+            s.step_round().unwrap();
+        }
+        let err = s.submit(1, b"too-late").unwrap_err();
+        assert_eq!(err, SbcError::SubmitAfterClose { round: 2, t_end: 3 });
+        let r = s.run_to_completion().unwrap();
+        assert_eq!(r.messages, vec![b"on-time".to_vec()]);
+    }
+
+    #[test]
+    fn release_round_correct_when_drained_late() {
+        // Drive rounds manually well past τ_rel before draining: the
+        // reported release round is still t_awake + Φ + ∆.
+        let mut s = SbcSession::builder(2).seed(b"late-drain").build().unwrap();
+        // Idle rounds first: wake-up at round 2.
+        s.step_round().unwrap();
+        s.step_round().unwrap();
+        s.submit(0, b"m").unwrap();
+        let r = s.run_to_completion().unwrap();
+        assert_eq!(r.release_round, 2 + 3 + 2, "t_awake + Φ + ∆");
+    }
+
+    #[test]
+    fn three_epochs_on_one_session() {
+        let mut s = SbcSession::builder(3).seed(b"epochs").build().unwrap();
+        for epoch in 0u64..3 {
+            s.submit(0, format!("a{epoch}").as_bytes()).unwrap();
+            s.submit(1, format!("b{epoch}").as_bytes()).unwrap();
+            let r = s.run_epoch().unwrap();
+            assert_eq!(r.epoch, epoch);
+            assert_eq!(
+                r.messages,
+                vec![
+                    format!("a{epoch}").into_bytes(),
+                    format!("b{epoch}").into_bytes()
+                ]
+            );
+        }
+        assert_eq!(s.epoch(), 3);
+    }
+
+    #[test]
+    fn manual_step_round_release_still_turns_epoch_over() {
+        // A caller draining the release through step_round must not wedge
+        // the session: run_epoch sees the cached release, turns the epoch
+        // over, and the next period accepts submissions.
+        let mut s = SbcSession::builder(2).seed(b"manual").build().unwrap();
+        s.submit(0, b"first").unwrap();
+        let manual = loop {
+            if let Some(r) = s.step_round().unwrap() {
+                break r;
+            }
+        };
+        let epoch = s.run_epoch().unwrap();
+        assert_eq!(epoch.messages, manual.messages);
+        assert_eq!(epoch.release_round, manual.release_round);
+        s.submit(1, b"second").unwrap();
+        assert_eq!(s.run_epoch().unwrap().messages, vec![b"second".to_vec()]);
+    }
+
+    #[test]
+    fn run_to_completion_is_idempotent_after_release() {
+        let mut s = SbcSession::builder(2).seed(b"idem").build().unwrap();
+        s.submit(0, b"m").unwrap();
+        let first = s.run_to_completion().unwrap();
+        assert_eq!(s.run_to_completion().unwrap(), first, "cached result");
+    }
+
+    #[test]
+    fn corruption_budget_is_a_distinct_error() {
+        // n = 2 allows t ≤ 1 corruption: the second is refused for the
+        // budget, not misreported as "already corrupted".
+        let mut s = SbcSession::builder(2).seed(b"budget").build().unwrap();
+        s.corrupt(0).unwrap();
+        assert_eq!(
+            s.corrupt(1),
+            Err(SbcError::CorruptionBudgetExceeded { party: 1 })
+        );
+        assert!(!s.is_corrupted(1), "party 1 stayed honest");
+    }
+
+    #[test]
+    fn epoch_release_rounds_advance_monotonically() {
+        let mut s = SbcSession::builder(2).seed(b"mono").build().unwrap();
+        let mut last = 0;
+        for _ in 0..3 {
+            s.submit(0, b"x").unwrap();
+            let r = s.run_epoch().unwrap();
+            assert!(r.release_round > last, "epochs share one global clock");
+            last = r.release_round;
+        }
+    }
+
+    #[test]
+    fn corrupt_and_inject_through_public_api() {
+        let mut s = SbcSession::builder(3)
+            .seed(b"adv")
+            .adversary(AdversaryConfig::new().corrupt(&[2]).capture_leaks())
+            .build()
+            .unwrap();
+        s.submit(0, b"honest").unwrap();
+        // Wake the stack so τ_rel is agreed, then inject as the corrupted
+        // party mid-period.
+        s.step_round().unwrap();
+        s.inject_message(2, b"adversarial").unwrap();
+        let r = s.run_to_completion().unwrap();
+        assert!(r.messages.contains(&b"honest".to_vec()));
+        assert!(r.messages.contains(&b"adversarial".to_vec()));
+        assert!(!s.leaks().is_empty(), "leak capture is on");
+    }
+
+    #[test]
+    fn adversarial_surface_error_paths() {
+        let mut s = SbcSession::builder(2).seed(b"adv-err").build().unwrap();
+        assert_eq!(
+            s.send_as(0, Value::Unit),
+            Err(SbcError::HonestParty { party: 0 })
+        );
+        assert_eq!(
+            s.inject_message(1, b"m"),
+            Err(SbcError::HonestParty { party: 1 })
+        );
+        assert_eq!(
+            s.corrupt(9),
+            Err(SbcError::PartyOutOfRange { party: 9, n: 2 })
+        );
+        s.corrupt(1).unwrap();
+        assert_eq!(s.corrupt(1), Err(SbcError::CorruptedParty { party: 1 }));
+        assert_eq!(
+            s.submit(1, b"m"),
+            Err(SbcError::CorruptedParty { party: 1 })
+        );
+        // No wake-up yet: τ_rel unknown.
+        assert_eq!(s.inject_message(1, b"m"), Err(SbcError::PeriodNotOpen));
+    }
+
+    #[test]
+    fn corruption_returns_pending_messages() {
+        let mut s = SbcSession::builder(2)
+            .seed(b"pend")
+            .capture_leaks()
+            .build()
+            .unwrap();
+        s.submit(0, b"secret-draft").unwrap();
+        let pending = s.corrupt(0).unwrap();
+        assert_eq!(pending, vec![Value::bytes(b"secret-draft")]);
     }
 }

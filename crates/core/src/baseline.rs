@@ -58,8 +58,11 @@ impl HeviaStyleSbc {
             return None; // security void under a dishonest majority
         }
         if self.submissions.iter().all(|s| s.is_some()) {
-            let mut msgs: Vec<Value> =
-                self.submissions.iter().map(|s| s.clone().expect("checked")).collect();
+            let mut msgs: Vec<Value> = self
+                .submissions
+                .iter()
+                .map(|s| s.clone().expect("checked"))
+                .collect();
             msgs.sort();
             Some(msgs)
         } else {

@@ -166,12 +166,18 @@ impl SbcFunc {
 
     /// `Allow` from the simulator: substitutes and finalizes an unfinalized
     /// record of a corrupted sender, within the broadcast period.
-    pub fn allow(&mut self, tag: Tag, msg: Value, sender: PartyId, ctx: &mut HybridCtx<'_>) -> bool {
+    pub fn allow(
+        &mut self,
+        tag: Tag,
+        msg: Value,
+        sender: PartyId,
+        ctx: &mut HybridCtx<'_>,
+    ) -> bool {
         let now = ctx.time();
         let Some((start, end)) = self.t_start.zip(self.t_end) else {
             return false;
         };
-        if !(start <= now && now < end) || !ctx.is_corrupted(sender) {
+        if now < start || now >= end || !ctx.is_corrupted(sender) {
             return false;
         }
         let Some(rec) = self
@@ -218,7 +224,9 @@ impl SbcFunc {
             return Vec::new();
         }
         self.last_advance.insert(party, now);
-        let Some(end) = self.t_end else { return Vec::new() };
+        let Some(end) = self.t_end else {
+            return Vec::new();
+        };
         // Once-per-round global steps (first Advance_Clock of the round).
         if self.round_seen != Some(now) {
             self.round_seen = Some(now);
@@ -249,9 +257,16 @@ impl SbcFunc {
             }
         }
         if now == end + self.delta {
-            let msgs: Vec<Value> =
-                self.records.iter().filter(|r| r.finalized).map(|r| r.msg.clone()).collect();
-            return vec![Delivery::new(party, Command::new("Broadcast", Value::List(msgs)))];
+            let msgs: Vec<Value> = self
+                .records
+                .iter()
+                .filter(|r| r.finalized)
+                .map(|r| r.msg.clone())
+                .collect();
+            return vec![Delivery::new(
+                party,
+                Command::new("Broadcast", Value::List(msgs)),
+            )];
         }
         Vec::new()
     }
@@ -312,7 +327,11 @@ mod tests {
     fn honest_leak_hides_content() {
         let mut fx = Fx::new(2);
         let mut f = func(2);
-        f.broadcast(PartyId(0), Value::bytes(b"very secret ballot"), &mut fx.ctx());
+        f.broadcast(
+            PartyId(0),
+            Value::bytes(b"very secret ballot"),
+            &mut fx.ctx(),
+        );
         let leak = fx.leaks[0].cmd.value.encode();
         let needle = b"very secret ballot";
         assert!(!leak.windows(needle.len()).any(|w| w == needle));
@@ -337,7 +356,9 @@ mod tests {
             fx.tick(1);
         }
         // Cl = 3 = t_end: outside the period.
-        assert!(f.broadcast(PartyId(0), Value::U64(2), &mut fx.ctx()).is_none());
+        assert!(f
+            .broadcast(PartyId(0), Value::U64(2), &mut fx.ctx())
+            .is_none());
         assert_eq!(f.records().len(), 1);
     }
 
@@ -420,7 +441,9 @@ mod tests {
     fn allow_substitutes_and_finalizes() {
         let mut fx = Fx::new(2);
         let mut f = func(2);
-        let tag = f.broadcast(PartyId(1), Value::U64(2), &mut fx.ctx()).unwrap();
+        let tag = f
+            .broadcast(PartyId(1), Value::U64(2), &mut fx.ctx())
+            .unwrap();
         fx.corr.corrupt(PartyId(1), 0).unwrap();
         assert!(f.allow(tag, Value::U64(99), PartyId(1), &mut fx.ctx()));
         // Double-allow fails (already finalized).

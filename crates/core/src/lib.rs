@@ -17,19 +17,22 @@
 //! * [`worlds`] — Theorem 2's real/ideal experiment worlds and simulator.
 //! * [`baseline`] — the comparison systems: an \[Hev06]-style
 //!   full-participation SBC and a naive commit-free simultaneous channel.
-//! * [`api`] — a high-level [`api::SbcSession`] for running SBC rounds
-//!   without touching the UC machinery.
+//! * [`api`] — the fallible, multi-epoch [`api::SbcSession`] for running
+//!   SBC periods without touching the UC machinery.
 //!
 //! # Examples
 //!
 //! ```
 //! use sbc_core::api::SbcSession;
 //!
-//! let mut session = SbcSession::builder(4).phi(3).seed(b"docs").build();
-//! session.submit(0, b"bid: 42");
-//! session.submit(2, b"bid: 17");
-//! let result = session.run_to_completion();
+//! # fn main() -> Result<(), sbc_core::api::SbcError> {
+//! let mut session = SbcSession::builder(4).phi(3).seed(b"docs").build()?;
+//! session.submit(0, b"bid: 42")?;
+//! session.submit(2, b"bid: 17")?;
+//! let result = session.run_to_completion()?;
 //! assert_eq!(result.messages.len(), 2);
+//! # Ok(())
+//! # }
 //! ```
 
 #![forbid(unsafe_code)]

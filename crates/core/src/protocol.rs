@@ -32,7 +32,11 @@ pub fn parse_sbc_wire(v: &Value) -> Option<(Value, u64, Vec<u8>)> {
         return None;
     }
     items[0].as_bytes()?;
-    Some((items[0].clone(), items[1].as_u64()?, items[2].as_bytes()?.to_vec()))
+    Some((
+        items[0].clone(),
+        items[1].as_u64()?,
+        items[2].as_bytes()?.to_vec(),
+    ))
 }
 
 #[derive(Clone, Debug)]
@@ -96,9 +100,31 @@ impl SbcParty {
         self.tau_rel
     }
 
+    /// The end of the broadcast period, once awake.
+    pub fn t_end(&self) -> Option<u64> {
+        self.t_end
+    }
+
+    /// Forgets the closed broadcast period so the party can take part in a
+    /// fresh one (multi-epoch sessions). Queued, received and timing state
+    /// is dropped; the party's randomness stream and round-dedup guard
+    /// carry over, so successive epochs draw fresh `ρ` values.
+    pub fn reset_period(&mut self) {
+        self.pend.clear();
+        self.rec.clear();
+        self.t_awake = None;
+        self.t_end = None;
+        self.tau_rel = None;
+        self.woke_up_sent = false;
+    }
+
     /// Pending (not yet broadcast) messages — revealed on corruption.
     pub fn pending_messages(&self) -> Vec<Value> {
-        self.pend.iter().filter(|e| !e.broadcast).map(|e| e.msg.clone()).collect()
+        self.pend
+            .iter()
+            .filter(|e| !e.broadcast)
+            .map(|e| e.msg.clone())
+            .collect()
     }
 
     /// `(sid, Broadcast, M)` input.
@@ -113,7 +139,12 @@ impl SbcParty {
             None => {
                 // First activity: queue the message and wake everyone up.
                 let rho = self.rng.gen_bytes(32);
-                self.pend.push(PendEntry { rho, msg, encrypted: false, broadcast: false });
+                self.pend.push(PendEntry {
+                    rho,
+                    msg,
+                    encrypted: false,
+                    broadcast: false,
+                });
                 if !self.woke_up_sent {
                     self.woke_up_sent = true;
                     ubc.broadcast(self.id, wake_up(), ctx);
@@ -128,7 +159,12 @@ impl SbcParty {
                 let rho = self.rng.gen_bytes(32);
                 let tau_rel = self.tau_rel.expect("awake implies tau_rel");
                 ftle.enc(self.id, Value::bytes(&rho), tau_rel as i64, ctx);
-                self.pend.push(PendEntry { rho, msg, encrypted: true, broadcast: false });
+                self.pend.push(PendEntry {
+                    rho,
+                    msg,
+                    encrypted: true,
+                    broadcast: false,
+                });
             }
         }
     }
@@ -191,9 +227,10 @@ impl SbcParty {
             // Fetch ciphertexts that became ready and broadcast them.
             let triples = ftle.retrieve(self.id, ctx);
             for (rho_v, ct, _tau) in triples {
-                let Some(rho) = rho_v.as_bytes() else { continue };
-                let Some(entry) =
-                    self.pend.iter_mut().find(|e| e.rho == rho && !e.broadcast)
+                let Some(rho) = rho_v.as_bytes() else {
+                    continue;
+                };
+                let Some(entry) = self.pend.iter_mut().find(|e| e.rho == rho && !e.broadcast)
                 else {
                     continue;
                 };
@@ -212,8 +249,12 @@ impl SbcParty {
                     Some(r) => r,
                     None => continue, // unknown ciphertext: ⊥, skipped
                 };
-                let DecResponse::Message(rho_v) = resp else { continue };
-                let Some(rho) = rho_v.as_bytes() else { continue };
+                let DecResponse::Message(rho_v) = resp else {
+                    continue;
+                };
+                let Some(rho) = rho_v.as_bytes() else {
+                    continue;
+                };
                 let eta = ro.query_bytes(Caller::Party(self.id), rho, y.len());
                 let m_bytes: Vec<u8> = y.iter().zip(eta.iter()).map(|(a, b)| a ^ b).collect();
                 out.push(Value::decode(&m_bytes).unwrap_or(Value::Bytes(m_bytes)));
@@ -410,22 +451,21 @@ mod tests {
         let mut s = Stack::new(2);
         s.input(0, Value::bytes(b"once"));
         s.round(); // round 0: wake-up flush, enc
-        // Extract the wire from the UBC leak after broadcast (round 1).
+                   // Extract the wire from the UBC leak after broadcast (round 1).
         s.round();
-        let wire = s
-            .fx
-            .leaks
-            .iter()
-            .rev()
-            .find_map(|l| {
-                let items = l.cmd.value.as_list()?;
-                if items.len() == 3 && items[1].as_list().map(|w| w.len()) == Some(3) {
-                    Some(items[1].clone())
-                } else {
-                    None
-                }
-            })
-            .expect("broadcast wire leaked");
+        let wire =
+            s.fx.leaks
+                .iter()
+                .rev()
+                .find_map(|l| {
+                    let items = l.cmd.value.as_list()?;
+                    if items.len() == 3 && items[1].as_list().map(|w| w.len()) == Some(3) {
+                        Some(items[1].clone())
+                    } else {
+                        None
+                    }
+                })
+                .expect("broadcast wire leaked");
         {
             let mut ctx = s.fx.ctx();
             s.parties[1].on_ubc_deliver(&wire, &mut s.ftle, &mut ctx);

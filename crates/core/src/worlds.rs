@@ -45,7 +45,13 @@ impl SbcParams {
     /// The default Theorem 2 instantiation over the ideal `F_TLE`:
     /// `Φ = 3, ∆ = 2, α_TLE = 1, delay = 1` (so `α_SBC = 2`).
     pub fn default_for(n: usize) -> Self {
-        SbcParams { n, phi: 3, delta: 2, tle_alpha: 1, tle_delay: 1 }
+        SbcParams {
+            n,
+            phi: 3,
+            delta: 2,
+            tle_alpha: 1,
+            tle_delay: 1,
+        }
     }
 
     /// The SBC simulator advantage `α = max(leak(Cl) − Cl) + 1`.
@@ -82,11 +88,7 @@ fn leakage_response(records: &[(Value, Option<Value>, u64)]) -> Value {
         records
             .iter()
             .map(|(m, c, t)| {
-                Value::list([
-                    m.clone(),
-                    c.clone().unwrap_or(Value::Unit),
-                    Value::U64(*t),
-                ])
+                Value::list([m.clone(), c.clone().unwrap_or(Value::Unit), Value::U64(*t)])
             })
             .collect(),
     )
@@ -113,13 +115,18 @@ impl RealSbcWorld {
     pub fn new(params: SbcParams, seed: &[u8]) -> Self {
         params.validate().expect("invalid SBC parameters");
         let mut core = WorldCore::new(params.n, seed);
-        let (ro_rng, ubc_tags, tle_tags, _sbc_tags, party_rngs, _equiv) =
-            fork_streams(&mut core);
+        let (ro_rng, ubc_tags, tle_tags, _sbc_tags, party_rngs, _equiv) = fork_streams(&mut core);
         let parties = party_rngs
             .into_iter()
             .enumerate()
             .map(|(i, rng)| {
-                SbcParty::new(PartyId(i as u32), params.phi, params.delta, params.tle_delay, rng)
+                SbcParty::new(
+                    PartyId(i as u32),
+                    params.phi,
+                    params.delta,
+                    params.tle_delay,
+                    rng,
+                )
             })
             .collect();
         RealSbcWorld {
@@ -130,6 +137,32 @@ impl RealSbcWorld {
             ftle: TleFunc::new(params.tle_alpha, params.tle_delay, tle_tags),
             ro: RandomOracle::new(ro_rng),
         }
+    }
+
+    /// The end of the current broadcast period `t_end = t_awake + Φ`, once
+    /// any party has woken up.
+    pub fn period_end(&self) -> Option<u64> {
+        self.parties.iter().find_map(|p| p.t_end())
+    }
+
+    /// The agreed release round `τ_rel = t_end + ∆` of the current period,
+    /// once any party has woken up. This is the authoritative release-round
+    /// value: it is correct even when the environment drains outputs late.
+    pub fn release_round(&self) -> Option<u64> {
+        self.parties.iter().find_map(|p| p.tau_rel())
+    }
+
+    /// Closes the books on a released broadcast period so the same world
+    /// can host another one (multi-epoch sessions): every party forgets its
+    /// period state, undelivered UBC wires are dropped, and the released
+    /// `F_TLE` records are pruned. The global clock, the random oracle and
+    /// the corruption state carry over.
+    pub fn begin_new_period(&mut self) {
+        for p in &mut self.parties {
+            p.reset_period();
+        }
+        self.ubc.clear_pending();
+        self.ftle.clear_records();
     }
 
     fn distribute(&mut self, deliveries: Vec<sbc_uc::hybrid::Delivery>) {
@@ -216,16 +249,15 @@ impl World for RealSbcWorld {
             }
             AdvCommand::Control { target, cmd } => match (target.as_str(), cmd.name.as_str()) {
                 ("F_TLE", "Insert") => {
-                    let Some(items) = cmd.value.as_list() else { return Value::Unit };
+                    let Some(items) = cmd.value.as_list() else {
+                        return Value::Unit;
+                    };
                     if items.len() == 3 {
                         if let (Some(_), Some(_), Some(tau)) =
                             (items[0].as_bytes(), items[1].as_bytes(), items[2].as_u64())
                         {
-                            self.ftle.insert_adversarial(
-                                items[0].clone(),
-                                items[1].clone(),
-                                tau,
-                            );
+                            self.ftle
+                                .insert_adversarial(items[0].clone(), items[1].clone(), tau);
                             return Value::Bool(true);
                         }
                     }
@@ -244,7 +276,9 @@ impl World for RealSbcWorld {
                     )
                 }
                 ("F_RO", "QueryBytes") => {
-                    let Some(items) = cmd.value.as_list() else { return Value::Unit };
+                    let Some(items) = cmd.value.as_list() else {
+                        return Value::Unit;
+                    };
                     if items.len() == 2 {
                         if let (Some(x), Some(len)) = (items[0].as_bytes(), items[1].as_u64()) {
                             return Value::Bytes(self.ro.query_bytes(
@@ -467,8 +501,7 @@ impl SimSbc {
                 }
             }
         }
-        let (Some(awake), Some(end), Some(tau_rel)) =
-            (self.t_awake, self.t_end(), self.tau_rel())
+        let (Some(awake), Some(end), Some(tau_rel)) = (self.t_awake, self.t_end(), self.tau_rel())
         else {
             return;
         };
@@ -544,8 +577,7 @@ impl SimSbc {
                     if m_bytes.len() != y.len() {
                         continue;
                     }
-                    let eta: Vec<u8> =
-                        y.iter().zip(m_bytes.iter()).map(|(a, b)| a ^ b).collect();
+                    let eta: Vec<u8> = y.iter().zip(m_bytes.iter()).map(|(a, b)| a ^ b).collect();
                     if ro.adversary_queried_bytes(&entry.rho, eta.len()) {
                         self.would_abort = true;
                     }
@@ -602,10 +634,15 @@ impl IdealSbcWorld {
     pub fn new(params: SbcParams, seed: &[u8]) -> Self {
         params.validate().expect("invalid SBC parameters");
         let mut core = WorldCore::new(params.n, seed);
-        let (ro_rng, ubc_tags, tle_tags, sbc_tags, party_rngs, equiv) =
-            fork_streams(&mut core);
+        let (ro_rng, ubc_tags, tle_tags, sbc_tags, party_rngs, equiv) = fork_streams(&mut core);
         IdealSbcWorld {
-            fsbc: SbcFunc::new(params.n, params.phi, params.delta, params.sbc_alpha(), sbc_tags),
+            fsbc: SbcFunc::new(
+                params.n,
+                params.phi,
+                params.delta,
+                params.sbc_alpha(),
+                sbc_tags,
+            ),
             sim: SimSbc::new(params, party_rngs, ubc_tags, tle_tags, equiv),
             ro: RandomOracle::new(ro_rng),
             core,
@@ -646,7 +683,8 @@ impl World for IdealSbcWorld {
         };
         if let Some(tag) = tag {
             let mut leaks = Vec::new();
-            self.sim.on_sender_leak(party, tag, msg_len, now, &mut leaks);
+            self.sim
+                .on_sender_leak(party, tag, msg_len, now, &mut leaks);
             self.core.leaks.extend(leaks);
         }
     }
@@ -709,7 +747,9 @@ impl World for IdealSbcWorld {
                     .iter()
                     .filter(|e| !e.broadcast)
                     .filter_map(|e| {
-                        recs.iter().find(|r| r.tag == e.sbc_tag).map(|r| r.msg.clone())
+                        recs.iter()
+                            .find(|r| r.tag == e.sbc_tag)
+                            .map(|r| r.msg.clone())
                     })
                     .collect();
                 // Already-broadcast records of the newly corrupted sender
@@ -745,12 +785,21 @@ impl World for IdealSbcWorld {
                 let Some((ct, tau, y)) = parse_sbc_wire(&cmd.value) else {
                     return Value::Unit;
                 };
-                let Some(tau_rel) = self.sim.tau_rel() else { return Value::Unit };
-                let Some(end) = self.sim.t_end() else { return Value::Unit };
+                let Some(tau_rel) = self.sim.tau_rel() else {
+                    return Value::Unit;
+                };
+                let Some(end) = self.sim.t_end() else {
+                    return Value::Unit;
+                };
                 if tau != tau_rel || now >= end {
                     return Value::Unit;
                 }
-                if self.sim.seen_wires.iter().any(|(c, yy)| c == &ct || yy == &y) {
+                if self
+                    .sim
+                    .seen_wires
+                    .iter()
+                    .any(|(c, yy)| c == &ct || yy == &y)
+                {
                     return Value::Unit; // replay: recipients ignore it
                 }
                 self.sim.seen_wires.push((ct.clone(), y.clone()));
@@ -758,7 +807,9 @@ impl World for IdealSbcWorld {
                 let Some(ins) = self.sim.inserts.iter().find(|i| i.ct == ct) else {
                     return Value::Unit; // unknown ciphertext → ⊥ at τ_rel
                 };
-                let Some(rho) = ins.rho.as_bytes() else { return Value::Unit };
+                let Some(rho) = ins.rho.as_bytes() else {
+                    return Value::Unit;
+                };
                 let eta = self.ro.query_bytes(Caller::Simulator, rho, y.len());
                 let m_bytes: Vec<u8> = y.iter().zip(eta.iter()).map(|(a, b)| a ^ b).collect();
                 let msg = Value::decode(&m_bytes).unwrap_or(Value::Bytes(m_bytes));
@@ -776,7 +827,9 @@ impl World for IdealSbcWorld {
             }
             AdvCommand::Control { target, cmd } => match (target.as_str(), cmd.name.as_str()) {
                 ("F_TLE", "Insert") => {
-                    let Some(items) = cmd.value.as_list() else { return Value::Unit };
+                    let Some(items) = cmd.value.as_list() else {
+                        return Value::Unit;
+                    };
                     if items.len() == 3 {
                         if let (Some(_), Some(_), Some(tau)) =
                             (items[0].as_bytes(), items[1].as_bytes(), items[2].as_u64())
@@ -793,7 +846,9 @@ impl World for IdealSbcWorld {
                 }
                 ("F_TLE", "Leakage") => self.sim.tle_leakage(now),
                 ("F_RO", "QueryBytes") => {
-                    let Some(items) = cmd.value.as_list() else { return Value::Unit };
+                    let Some(items) = cmd.value.as_list() else {
+                        return Value::Unit;
+                    };
                     if items.len() == 2 {
                         if let (Some(x), Some(len)) = (items[0].as_bytes(), items[1].as_u64()) {
                             return Value::Bytes(self.ro.query_bytes(
@@ -868,7 +923,10 @@ mod tests {
     #[test]
     fn theorem2_single_sender() {
         assert_theorem2(3, b"t2-a", |env| {
-            env.input(PartyId(0), Command::new("Broadcast", Value::bytes(b"lone message")));
+            env.input(
+                PartyId(0),
+                Command::new("Broadcast", Value::bytes(b"lone message")),
+            );
             env.idle_rounds(8);
         });
     }
@@ -876,10 +934,19 @@ mod tests {
     #[test]
     fn theorem2_full_participation() {
         assert_theorem2(3, b"t2-b", |env| {
-            env.input(PartyId(0), Command::new("Broadcast", Value::bytes(b"foxtrot")));
+            env.input(
+                PartyId(0),
+                Command::new("Broadcast", Value::bytes(b"foxtrot")),
+            );
             env.advance_all();
-            env.input(PartyId(1), Command::new("Broadcast", Value::bytes(b"bravo")));
-            env.input(PartyId(2), Command::new("Broadcast", Value::bytes(b"tango")));
+            env.input(
+                PartyId(1),
+                Command::new("Broadcast", Value::bytes(b"bravo")),
+            );
+            env.input(
+                PartyId(2),
+                Command::new("Broadcast", Value::bytes(b"tango")),
+            );
             env.idle_rounds(8);
         });
     }
@@ -887,7 +954,10 @@ mod tests {
     #[test]
     fn theorem2_partial_participation_liveness() {
         assert_theorem2(4, b"t2-c", |env| {
-            env.input(PartyId(2), Command::new("Broadcast", Value::bytes(b"only me")));
+            env.input(
+                PartyId(2),
+                Command::new("Broadcast", Value::bytes(b"only me")),
+            );
             env.idle_rounds(8);
         });
     }
@@ -895,7 +965,10 @@ mod tests {
     #[test]
     fn theorem2_adversary_leakage_queries() {
         assert_theorem2(3, b"t2-d", |env| {
-            env.input(PartyId(0), Command::new("Broadcast", Value::bytes(b"watched")));
+            env.input(
+                PartyId(0),
+                Command::new("Broadcast", Value::bytes(b"watched")),
+            );
             env.adversary(AdvCommand::Corrupt(PartyId(2)));
             for _ in 0..8 {
                 env.adversary(AdvCommand::Control {
@@ -910,7 +983,10 @@ mod tests {
     #[test]
     fn theorem2_corruption_after_broadcast_keeps_message() {
         assert_theorem2(3, b"t2-e", |env| {
-            env.input(PartyId(0), Command::new("Broadcast", Value::bytes(b"committed")));
+            env.input(
+                PartyId(0),
+                Command::new("Broadcast", Value::bytes(b"committed")),
+            );
             env.advance_all(); // wake-up + enc
             env.advance_all(); // ciphertext broadcast
             env.adversary(AdvCommand::Corrupt(PartyId(0)));
@@ -940,7 +1016,10 @@ mod tests {
         // nothing until τ_rel ≤ Cl + α_TLE.
         let mut real = RealSbcWorld::new(params(2), b"sim-leak");
         run_env(&mut real, |env| {
-            env.input(PartyId(0), Command::new("Broadcast", Value::bytes(b"hidden")));
+            env.input(
+                PartyId(0),
+                Command::new("Broadcast", Value::bytes(b"hidden")),
+            );
             env.adversary(AdvCommand::Corrupt(PartyId(1)));
             for round in 0..4 {
                 let resp = env.adversary(AdvCommand::Control {

@@ -110,7 +110,11 @@ impl AstCiphertext {
         if pos != bytes.len() || chain.len() < 2 {
             return None;
         }
-        Some(AstCiphertext { tau_dec, ske_ct, chain })
+        Some(AstCiphertext {
+            tau_dec,
+            ske_ct,
+            chain,
+        })
     }
 }
 
@@ -159,7 +163,11 @@ pub fn ast_enc_with_hashes(
     let key = SkeKey::generate(rng);
     let ske_ct = ske::encrypt(&key, msg, rng);
     let chain = hashchain::chain_encode_with_hashes(rs, hashes, &key.0);
-    AstCiphertext { tau_dec, ske_ct, chain }
+    AstCiphertext {
+        tau_dec,
+        ske_ct,
+        chain,
+    }
 }
 
 /// `AST.Dec` given a precomputed decryption witness.
@@ -230,7 +238,11 @@ mod tests {
         for (tau, q) in [(1u64, 1u32), (2, 3), (3, 5)] {
             let ct = ast_enc(&h, b"secret message", tau, q, &mut r);
             assert_eq!(ct.solve_steps(), (tau * q as u64) as usize);
-            assert_eq!(ast_solve_and_dec(&h, &ct).unwrap(), b"secret message", "tau={tau} q={q}");
+            assert_eq!(
+                ast_solve_and_dec(&h, &ct).unwrap(),
+                b"secret message",
+                "tau={tau} q={q}"
+            );
         }
     }
 

@@ -88,13 +88,11 @@ impl U256 {
         let s = s.trim_start_matches("0x");
         assert!(s.len() <= 64, "hex literal too long for U256");
         let mut limbs = [0u64; 4];
-        let mut nibbles = 0usize;
-        for c in s.chars().rev() {
+        for (nibbles, c) in s.chars().rev().enumerate() {
             let d = c.to_digit(16).expect("invalid hex digit in U256 literal") as u64;
             let limb = nibbles / 16;
             let shift = (nibbles % 16) * 4;
             limbs[limb] |= d << shift;
-            nibbles += 1;
         }
         U256(limbs)
     }
@@ -106,7 +104,11 @@ impl U256 {
             s.push_str(&format!("{limb:016x}"));
         }
         let trimmed = s.trim_start_matches('0');
-        if trimmed.is_empty() { "0".to_string() } else { trimmed.to_string() }
+        if trimmed.is_empty() {
+            "0".to_string()
+        } else {
+            trimmed.to_string()
+        }
     }
 
     /// Builds a value from 32 big-endian bytes.
@@ -161,10 +163,10 @@ impl U256 {
     pub fn overflowing_add(&self, rhs: &U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut carry = false;
-        for i in 0..4 {
+        for (i, o) in out.iter_mut().enumerate() {
             let (s1, c1) = self.0[i].overflowing_add(rhs.0[i]);
             let (s2, c2) = s1.overflowing_add(carry as u64);
-            out[i] = s2;
+            *o = s2;
             carry = c1 || c2;
         }
         (U256(out), carry)
@@ -174,10 +176,10 @@ impl U256 {
     pub fn overflowing_sub(&self, rhs: &U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut borrow = false;
-        for i in 0..4 {
+        for (i, o) in out.iter_mut().enumerate() {
             let (d1, b1) = self.0[i].overflowing_sub(rhs.0[i]);
             let (d2, b2) = d1.overflowing_sub(borrow as u64);
-            out[i] = d2;
+            *o = d2;
             borrow = b1 || b2;
         }
         (U256(out), borrow)
@@ -186,13 +188,21 @@ impl U256 {
     /// Checked addition; `None` on overflow.
     pub fn checked_add(&self, rhs: &U256) -> Option<U256> {
         let (s, c) = self.overflowing_add(rhs);
-        if c { None } else { Some(s) }
+        if c {
+            None
+        } else {
+            Some(s)
+        }
     }
 
     /// Checked subtraction; `None` on underflow.
     pub fn checked_sub(&self, rhs: &U256) -> Option<U256> {
         let (d, b) = self.overflowing_sub(rhs);
-        if b { None } else { Some(d) }
+        if b {
+            None
+        } else {
+            Some(d)
+        }
     }
 
     /// Full 256×256→512-bit multiplication.
@@ -201,9 +211,7 @@ impl U256 {
         for i in 0..4 {
             let mut carry = 0u128;
             for j in 0..4 {
-                let cur = out[i + j] as u128
-                    + (self.0[i] as u128) * (rhs.0[j] as u128)
-                    + carry;
+                let cur = out[i + j] as u128 + (self.0[i] as u128) * (rhs.0[j] as u128) + carry;
                 out[i + j] = cur as u64;
                 carry = cur >> 64;
             }
@@ -227,7 +235,11 @@ impl U256 {
     pub fn submod(&self, rhs: &U256, m: &U256) -> U256 {
         debug_assert!(self < m && rhs < m);
         let (diff, borrow) = self.overflowing_sub(rhs);
-        if borrow { diff.overflowing_add(m).0 } else { diff }
+        if borrow {
+            diff.overflowing_add(m).0
+        } else {
+            diff
+        }
     }
 
     /// `(self * rhs) mod m`.
@@ -283,10 +295,10 @@ impl U256 {
     /// Right shift by one bit.
     pub fn shr1(&self) -> U256 {
         let mut out = [0u64; 4];
-        for i in 0..4 {
-            out[i] = self.0[i] >> 1;
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.0[i] >> 1;
             if i + 1 < 4 {
-                out[i] |= self.0[i + 1] << 63;
+                *o |= self.0[i + 1] << 63;
             }
         }
         U256(out)
@@ -463,7 +475,10 @@ mod tests {
         let m = U256::from_u64(97);
         assert_eq!(U256::from_u64(5).powmod(&U256::ZERO, &m), U256::ONE);
         assert_eq!(U256::from_u64(5).powmod(&U256::ONE, &m), U256::from_u64(5));
-        assert_eq!(U256::from_u64(5).powmod(&U256::from_u64(10), &U256::ONE), U256::ZERO);
+        assert_eq!(
+            U256::from_u64(5).powmod(&U256::from_u64(10), &U256::ONE),
+            U256::ZERO
+        );
     }
 
     #[test]

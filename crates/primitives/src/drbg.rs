@@ -27,7 +27,10 @@ pub struct Drbg {
 impl Drbg {
     /// Instantiates the DRBG from arbitrary seed material.
     pub fn from_seed(seed: &[u8]) -> Self {
-        let mut drbg = Drbg { key: [0u8; DIGEST_LEN], value: [1u8; DIGEST_LEN] };
+        let mut drbg = Drbg {
+            key: [0u8; DIGEST_LEN],
+            value: [1u8; DIGEST_LEN],
+        };
         drbg.reseed(seed);
         drbg
     }

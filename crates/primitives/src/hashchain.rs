@@ -71,7 +71,10 @@ pub fn chain_encode<H>(hash: &H, rs: &[Element], payload: &Element) -> Vec<Eleme
 where
     H: Fn(&[u8]) -> Element,
 {
-    assert!(!rs.is_empty(), "chain must have at least one randomness element");
+    assert!(
+        !rs.is_empty(),
+        "chain must have at least one randomness element"
+    );
     let hashes: Vec<Element> = rs.iter().map(|r| hash(r)).collect();
     chain_encode_with_hashes(rs, &hashes, payload)
 }
@@ -87,7 +90,10 @@ pub fn chain_encode_with_hashes(
     hashes: &[Element],
     payload: &Element,
 ) -> Vec<Element> {
-    assert!(!rs.is_empty(), "chain must have at least one randomness element");
+    assert!(
+        !rs.is_empty(),
+        "chain must have at least one randomness element"
+    );
     assert_eq!(rs.len(), hashes.len(), "one hash per randomness element");
     let mut out = Vec::with_capacity(rs.len() + 1);
     out.push(rs[0]);
@@ -114,7 +120,10 @@ where
     while !solver.is_done() {
         solver.step(hash);
     }
-    Ok((solver.payload().expect("solver done"), solver.into_witness()))
+    Ok((
+        solver.payload().expect("solver done"),
+        solver.into_witness(),
+    ))
 }
 
 /// Recovers the payload from a chain given a precomputed witness

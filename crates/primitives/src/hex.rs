@@ -50,18 +50,20 @@ pub fn encode(bytes: &[u8]) -> String {
 /// Returns [`DecodeHexError`] if the input has odd length or contains a
 /// non-hex character.
 pub fn decode(s: &str) -> Result<Vec<u8>, DecodeHexError> {
-    if s.len() % 2 != 0 {
-        return Err(DecodeHexError { kind: DecodeHexErrorKind::OddLength(s.len()) });
+    if !s.len().is_multiple_of(2) {
+        return Err(DecodeHexError {
+            kind: DecodeHexErrorKind::OddLength(s.len()),
+        });
     }
     let mut out = Vec::with_capacity(s.len() / 2);
     let chars: Vec<char> = s.chars().collect();
     for pair in chars.chunks_exact(2) {
-        let hi = pair[0]
-            .to_digit(16)
-            .ok_or(DecodeHexError { kind: DecodeHexErrorKind::InvalidDigit(pair[0]) })?;
-        let lo = pair[1]
-            .to_digit(16)
-            .ok_or(DecodeHexError { kind: DecodeHexErrorKind::InvalidDigit(pair[1]) })?;
+        let hi = pair[0].to_digit(16).ok_or(DecodeHexError {
+            kind: DecodeHexErrorKind::InvalidDigit(pair[0]),
+        })?;
+        let lo = pair[1].to_digit(16).ok_or(DecodeHexError {
+            kind: DecodeHexErrorKind::InvalidDigit(pair[1]),
+        })?;
         out.push(((hi << 4) | lo) as u8);
     }
     Ok(out)

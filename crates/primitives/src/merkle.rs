@@ -52,8 +52,10 @@ impl MerkleTree {
         let mut levels = vec![level];
         while levels.last().expect("nonempty").len() > 1 {
             let prev = levels.last().expect("nonempty");
-            let next: Vec<Node> =
-                prev.chunks_exact(2).map(|pair| inner_hash(&pair[0], &pair[1])).collect();
+            let next: Vec<Node> = prev
+                .chunks_exact(2)
+                .map(|pair| inner_hash(&pair[0], &pair[1]))
+                .collect();
             levels.push(next);
         }
         MerkleTree { levels, leaf_count }
@@ -104,7 +106,11 @@ impl MerkleTree {
         let mut node = leaf_hash(leaf_data);
         let mut idx = index;
         for sibling in proof {
-            node = if idx & 1 == 0 { inner_hash(&node, sibling) } else { inner_hash(sibling, &node) };
+            node = if idx & 1 == 0 {
+                inner_hash(&node, sibling)
+            } else {
+                inner_hash(sibling, &node)
+            };
             idx >>= 1;
         }
         &node == root
@@ -124,9 +130,12 @@ mod tests {
         for n in [1usize, 2, 3, 4, 5, 8, 9, 16, 33] {
             let ls = leaves(n);
             let tree = MerkleTree::build(&ls);
-            for i in 0..n {
+            for (i, leaf) in ls.iter().enumerate() {
                 let proof = tree.prove(i);
-                assert!(MerkleTree::verify(&tree.root(), &ls[i], i, &proof, n), "n={n} i={i}");
+                assert!(
+                    MerkleTree::verify(&tree.root(), leaf, i, &proof, n),
+                    "n={n} i={i}"
+                );
             }
         }
     }
@@ -136,7 +145,13 @@ mod tests {
         let ls = leaves(8);
         let tree = MerkleTree::build(&ls);
         let proof = tree.prove(2);
-        assert!(!MerkleTree::verify(&tree.root(), b"not-the-leaf", 2, &proof, 8));
+        assert!(!MerkleTree::verify(
+            &tree.root(),
+            b"not-the-leaf",
+            2,
+            &proof,
+            8
+        ));
     }
 
     #[test]

@@ -85,7 +85,10 @@ pub fn schnorr_prove(
     let h = grp.exp(g, x);
     let c = challenge(grp, context, &[g, &h, &a]);
     let z = grp.scalar_add(&s, &grp.scalar_mul(&c, x));
-    SchnorrProof { commitment: a, response: z }
+    SchnorrProof {
+        commitment: a,
+        response: z,
+    }
 }
 
 /// Verifies a [`SchnorrProof`] for statement `h = g^x`.
@@ -120,7 +123,10 @@ pub fn dleq_prove(
     let h2 = grp.exp(g2, x);
     let c = challenge(grp, context, &[g1, g2, &h1, &h2, &a, &b]);
     let z = grp.scalar_add(&s, &grp.scalar_mul(&c, x));
-    DleqProof { commitment: (a, b), response: z }
+    DleqProof {
+        commitment: (a, b),
+        response: z,
+    }
 }
 
 /// Verifies a [`DleqProof`] for statement `h1 = g1^x ∧ h2 = g2^x`.
@@ -176,6 +182,7 @@ fn or_challenge(
 /// # Panics
 ///
 /// Panics if `real_index` is out of range or `targets` is empty.
+#[allow(clippy::too_many_arguments)] // the statement of the OR-relation is 8-ary
 pub fn dleq_or_prove(
     grp: &SchnorrGroup,
     g1: &Element,
@@ -224,7 +231,11 @@ pub fn dleq_or_prove(
     challenges[real_index] = c_real;
     responses[real_index] = grp.scalar_add(&s, &grp.scalar_mul(&c_real, x));
 
-    DleqOrProof { commitments, challenges, responses }
+    DleqOrProof {
+        commitments,
+        challenges,
+        responses,
+    }
 }
 
 /// Verifies a [`DleqOrProof`] against the candidate statement list.
@@ -259,8 +270,7 @@ pub fn dleq_or_verify(
         return false;
     }
     // Per-branch verification equations.
-    for j in 0..k {
-        let (h1j, h2j) = &targets[j];
+    for (j, (h1j, h2j)) in targets.iter().enumerate() {
         let (a, b) = &proof.commitments[j];
         let cj = &proof.challenges[j];
         let zj = &proof.responses[j];
@@ -379,8 +389,7 @@ mod tests {
         for k in [2usize, 3, 5] {
             for real in 0..k {
                 let (g1, g2, targets, x) = or_setup(&grp, &mut rng, k, real);
-                let proof =
-                    dleq_or_prove(&grp, &g1, &g2, &targets, real, &x, b"or", &mut rng);
+                let proof = dleq_or_prove(&grp, &g1, &g2, &targets, real, &x, b"or", &mut rng);
                 assert!(
                     dleq_or_verify(&grp, &g1, &g2, &targets, b"or", &proof),
                     "k={k} real={real}"
@@ -397,8 +406,10 @@ mod tests {
         let g2 = grp.hash_to_element(b"or-g2");
         let x = grp.random_scalar(&mut rng);
         let y = grp.scalar_add(&x, &grp.scalar_from_u64(1));
-        let targets =
-            vec![(grp.exp(&g1, &y), grp.exp(&g2, &y)), (grp.exp(&g1, &y), grp.exp(&g2, &x))];
+        let targets = vec![
+            (grp.exp(&g1, &y), grp.exp(&g2, &y)),
+            (grp.exp(&g1, &y), grp.exp(&g2, &x)),
+        ];
         let proof = dleq_or_prove(&grp, &g1, &g2, &targets, 0, &x, b"or", &mut rng);
         assert!(!dleq_or_verify(&grp, &g1, &g2, &targets, b"or", &proof));
     }

@@ -96,7 +96,12 @@ pub struct Signature {
 
 impl fmt::Debug for Signature {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Signature(leaf={}, {} chains)", self.leaf_index, self.chain_values.len())
+        write!(
+            f,
+            "Signature(leaf={}, {} chains)",
+            self.leaf_index,
+            self.chain_values.len()
+        )
     }
 }
 
@@ -117,7 +122,11 @@ impl Signature {
         chain_values: Vec<[u8; 32]>,
         auth_path: Vec<[u8; 32]>,
     ) -> Self {
-        Signature { leaf_index, chain_values, auth_path }
+        Signature {
+            leaf_index,
+            chain_values,
+            auth_path,
+        }
     }
 }
 
@@ -132,7 +141,11 @@ pub struct VerificationKey {
 
 impl fmt::Debug for VerificationKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "VerificationKey({}…)", crate::hex::encode(&self.root[..4]))
+        write!(
+            f,
+            "VerificationKey({}…)",
+            crate::hex::encode(&self.root[..4])
+        )
     }
 }
 
@@ -209,7 +222,13 @@ impl SigningKey {
             })
             .collect();
         let tree = MerkleTree::build(&leaves);
-        SigningKey { master, seed, tree, next_leaf: 0, capacity }
+        SigningKey {
+            master,
+            seed,
+            tree,
+            next_leaf: 0,
+            capacity,
+        }
     }
 
     fn leaf_secrets(master: &[u8; 32], leaf: u32) -> [[u8; 32]; CHAINS] {
@@ -227,7 +246,11 @@ impl SigningKey {
 
     /// The matching verification key.
     pub fn verification_key(&self) -> VerificationKey {
-        VerificationKey { root: self.tree.root(), seed: self.seed, capacity: self.capacity }
+        VerificationKey {
+            root: self.tree.root(),
+            seed: self.seed,
+            capacity: self.capacity,
+        }
     }
 
     /// Remaining signature capacity.
@@ -254,7 +277,11 @@ impl SigningKey {
             .map(|(pos, &d)| apply_chain(&self.seed, pos, 0, d as u32, &secrets[pos]))
             .collect();
         let auth_path = self.tree.prove(leaf as usize);
-        Ok(Signature { leaf_index: leaf, chain_values, auth_path })
+        Ok(Signature {
+            leaf_index: leaf,
+            chain_values,
+            auth_path,
+        })
     }
 }
 

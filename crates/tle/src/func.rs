@@ -77,13 +77,15 @@ pub struct TleFunc {
 impl TleFunc {
     /// Creates the functionality with `leak(Cl) = Cl + alpha` and the given
     /// ciphertext-generation `delay`.
-    pub fn new(
-        alpha: u64,
-        delay: u64,
-        mut tag_rng: sbc_primitives::drbg::Drbg,
-    ) -> Self {
+    pub fn new(alpha: u64, delay: u64, mut tag_rng: sbc_primitives::drbg::Drbg) -> Self {
         let fill_rng = tag_rng.fork(b"fill");
-        TleFunc { alpha, delay, records: Vec::new(), tag_rng, fill_rng }
+        TleFunc {
+            alpha,
+            delay,
+            records: Vec::new(),
+            tag_rng,
+            fill_rng,
+        }
     }
 
     /// The leakage head start α.
@@ -101,10 +103,23 @@ impl TleFunc {
         &self.records
     }
 
+    /// Drops every recorded tuple. Used by multi-epoch drivers when a
+    /// broadcast period is fully released: keeping the dead records would
+    /// only grow `Retrieve`/`Dec` scans without changing any output.
+    pub fn clear_records(&mut self) {
+        self.records.clear();
+    }
+
     /// `Enc` from an honest party. Returns the tag, or `None` for `τ < 0`
     /// (the caller translates to `⊥`). Leaks `(Enc, τ, tag, Cl, 0^|M|, P)`
     /// to the adversary (Fig. 7).
-    pub fn enc(&mut self, party: PartyId, msg: Value, tau: i64, ctx: &mut HybridCtx<'_>) -> Option<Tag> {
+    pub fn enc(
+        &mut self,
+        party: PartyId,
+        msg: Value,
+        tau: i64,
+        ctx: &mut HybridCtx<'_>,
+    ) -> Option<Tag> {
         if tau < 0 {
             return None;
         }
@@ -137,8 +152,10 @@ impl TleFunc {
     /// `Update` from the simulator: attaches ciphertexts to `Null` records.
     pub fn update_ciphertexts(&mut self, updates: &[(Value, Tag)]) {
         for (ct, tag) in updates {
-            if let Some(rec) =
-                self.records.iter_mut().find(|r| r.tag == Some(*tag) && r.ct.is_none())
+            if let Some(rec) = self
+                .records
+                .iter_mut()
+                .find(|r| r.tag == Some(*tag) && r.ct.is_none())
             {
                 rec.ct = Some(ct.clone());
             }
@@ -161,7 +178,11 @@ impl TleFunc {
     /// old, as `(M, c, τ)` triples. Records whose ciphertext the simulator
     /// never set are filled with functionality-sampled randomness (Fig. 7
     /// step 1 of `Retrieve`).
-    pub fn retrieve(&mut self, party: PartyId, ctx: &mut HybridCtx<'_>) -> Vec<(Value, Value, u64)> {
+    pub fn retrieve(
+        &mut self,
+        party: PartyId,
+        ctx: &mut HybridCtx<'_>,
+    ) -> Vec<(Value, Value, u64)> {
         let now = ctx.time();
         let mut out = Vec::new();
         for rec in &mut self.records {
@@ -189,12 +210,18 @@ impl TleFunc {
         if now < tau {
             return Some(DecResponse::MoreTime);
         }
-        let matching: Vec<&TleRecord> =
-            self.records.iter().filter(|r| r.ct.as_ref() == Some(ct)).collect();
+        let matching: Vec<&TleRecord> = self
+            .records
+            .iter()
+            .filter(|r| r.ct.as_ref() == Some(ct))
+            .collect();
         // Ambiguity: two different plaintexts for one ciphertext.
         if matching.len() >= 2 {
             let m0 = &matching[0].msg;
-            if matching.iter().any(|r| &r.msg != m0 && tau >= r.tau.max(matching[0].tau)) {
+            if matching
+                .iter()
+                .any(|r| &r.msg != m0 && tau >= r.tau.max(matching[0].tau))
+            {
                 return Some(DecResponse::Bottom);
             }
         }
@@ -232,10 +259,7 @@ impl TleFunc {
         let horizon = ctx.time() + self.alpha;
         self.records
             .iter()
-            .filter(|r| {
-                r.tau <= horizon
-                    || r.owner.map(|p| ctx.is_corrupted(p)).unwrap_or(false)
-            })
+            .filter(|r| r.tau <= horizon || r.owner.map(|p| ctx.is_corrupted(p)).unwrap_or(false))
             .cloned()
             .collect()
     }
@@ -288,17 +312,27 @@ mod tests {
     fn negative_tau_rejected() {
         let mut fx = Fx::new(1);
         let mut f = func();
-        assert!(f.enc(PartyId(0), Value::U64(1), -1, &mut fx.ctx()).is_none());
-        assert_eq!(f.dec(&Value::bytes(b"c"), -5, &fx.ctx()), Some(DecResponse::Bottom));
+        assert!(f
+            .enc(PartyId(0), Value::U64(1), -1, &mut fx.ctx())
+            .is_none());
+        assert_eq!(
+            f.dec(&Value::bytes(b"c"), -5, &fx.ctx()),
+            Some(DecResponse::Bottom)
+        );
     }
 
     #[test]
     fn retrieve_respects_delay_and_ownership() {
         let mut fx = Fx::new(2);
         let mut f = func();
-        let tag = f.enc(PartyId(0), Value::bytes(b"m"), 10, &mut fx.ctx()).unwrap();
+        let tag = f
+            .enc(PartyId(0), Value::bytes(b"m"), 10, &mut fx.ctx())
+            .unwrap();
         f.update_ciphertexts(&[(Value::bytes(b"ct"), tag)]);
-        assert!(f.retrieve(PartyId(0), &mut fx.ctx()).is_empty(), "before delay");
+        assert!(
+            f.retrieve(PartyId(0), &mut fx.ctx()).is_empty(),
+            "before delay"
+        );
         for _ in 0..3 {
             fx.tick(2);
         }
@@ -306,7 +340,10 @@ mod tests {
         assert_eq!(r.len(), 1);
         assert_eq!(r[0].0, Value::bytes(b"m"));
         assert_eq!(r[0].1, Value::bytes(b"ct"));
-        assert!(f.retrieve(PartyId(1), &mut fx.ctx()).is_empty(), "not the owner");
+        assert!(
+            f.retrieve(PartyId(1), &mut fx.ctx()).is_empty(),
+            "not the owner"
+        );
     }
 
     #[test]
@@ -319,17 +356,26 @@ mod tests {
         }
         let r = f.retrieve(PartyId(0), &mut fx.ctx());
         assert_eq!(r.len(), 1);
-        assert!(r[0].1.as_bytes().is_some(), "functionality sampled a ciphertext");
+        assert!(
+            r[0].1.as_bytes().is_some(),
+            "functionality sampled a ciphertext"
+        );
     }
 
     #[test]
     fn dec_time_lock_enforced() {
         let mut fx = Fx::new(1);
         let mut f = func();
-        let tag = f.enc(PartyId(0), Value::bytes(b"secret"), 2, &mut fx.ctx()).unwrap();
+        let tag = f
+            .enc(PartyId(0), Value::bytes(b"secret"), 2, &mut fx.ctx())
+            .unwrap();
         let ct = Value::bytes(b"ct");
         f.update_ciphertexts(&[(ct.clone(), tag)]);
-        assert_eq!(f.dec(&ct, 2, &fx.ctx()), Some(DecResponse::MoreTime), "Cl=0 < τ=2");
+        assert_eq!(
+            f.dec(&ct, 2, &fx.ctx()),
+            Some(DecResponse::MoreTime),
+            "Cl=0 < τ=2"
+        );
         fx.tick(1);
         fx.tick(1);
         assert_eq!(
@@ -381,16 +427,26 @@ mod tests {
     fn leakage_respects_horizon() {
         let mut fx = Fx::new(2);
         let mut f = func(); // α = 2
-        f.enc(PartyId(0), Value::bytes(b"near"), 2, &mut fx.ctx()).unwrap();
-        f.enc(PartyId(0), Value::bytes(b"far"), 9, &mut fx.ctx()).unwrap();
-        f.enc(PartyId(1), Value::bytes(b"corrupted-owner"), 9, &mut fx.ctx()).unwrap();
+        f.enc(PartyId(0), Value::bytes(b"near"), 2, &mut fx.ctx())
+            .unwrap();
+        f.enc(PartyId(0), Value::bytes(b"far"), 9, &mut fx.ctx())
+            .unwrap();
+        f.enc(
+            PartyId(1),
+            Value::bytes(b"corrupted-owner"),
+            9,
+            &mut fx.ctx(),
+        )
+        .unwrap();
         fx.corr.corrupt(PartyId(1), 0).unwrap();
         let ctx = fx.ctx();
         let leaked = f.leakage(&ctx);
         // τ=2 ≤ 0+2 leaks; τ=9 doesn't; corrupted owner's does.
         assert_eq!(leaked.len(), 2);
         assert!(leaked.iter().any(|r| r.msg == Value::bytes(b"near")));
-        assert!(leaked.iter().any(|r| r.msg == Value::bytes(b"corrupted-owner")));
+        assert!(leaked
+            .iter()
+            .any(|r| r.msg == Value::bytes(b"corrupted-owner")));
     }
 
     #[test]

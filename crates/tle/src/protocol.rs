@@ -59,7 +59,15 @@ impl TleParty {
     /// Creates party state over an `F_FBC(∆, ·)` channel with `q` wrapper
     /// batches per round.
     pub fn new(id: PartyId, q: u32, delta: u64, rng: Drbg) -> Self {
-        TleParty { id, q, delta, rng, rec: Vec::new(), puzzles: Vec::new(), last_advance: None }
+        TleParty {
+            id,
+            q,
+            delta,
+            rng,
+            rec: Vec::new(),
+            puzzles: Vec::new(),
+            last_advance: None,
+        }
     }
 
     /// The party identity.
@@ -72,7 +80,13 @@ impl TleParty {
         if tau < 0 {
             return false;
         }
-        self.rec.push(RecEntry { msg, ct: None, tau: tau as u64, enc_round: now, broadcast: false });
+        self.rec.push(RecEntry {
+            msg,
+            ct: None,
+            tau: tau as u64,
+            enc_round: now,
+            broadcast: false,
+        });
         true
     }
 
@@ -106,8 +120,9 @@ impl TleParty {
         self.last_advance = Some(now);
 
         // Step 1: chain randomness for every unencrypted record.
-        let todo: Vec<usize> =
-            (0..self.rec.len()).filter(|&i| self.rec[i].ct.is_none()).collect();
+        let todo: Vec<usize> = (0..self.rec.len())
+            .filter(|&i| self.rec[i].ct.is_none())
+            .collect();
         let rand_sets: Vec<Vec<Element>> = todo
             .iter()
             .map(|&i| {
@@ -170,7 +185,8 @@ impl TleParty {
         for (k, &i) in todo.iter().enumerate() {
             let tau_dec = difficulty_for(self.rec[i].tau, now, self.delta);
             let rho = self.rng.gen_bytes(32);
-            let c1 = ast_enc_with_hashes(&rho, tau_dec, &rand_sets[k], &hash_sets[k], &mut self.rng);
+            let c1 =
+                ast_enc_with_hashes(&rho, tau_dec, &rand_sets[k], &hash_sets[k], &mut self.rng);
             let caller = match client {
                 WrapperClient::Party(p) => Caller::Party(p),
                 WrapperClient::Corrupted => Caller::Adversary,
@@ -202,8 +218,11 @@ impl TleParty {
     pub fn retrieve(&self, now: u64) -> Vec<(Value, Value, u64)> {
         self.rec
             .iter()
-            .filter(|r| r.broadcast && now.saturating_sub(r.enc_round) >= self.delta + 1)
-            .filter_map(|r| r.ct.as_ref().map(|ct| (r.msg.clone(), ct.to_value(), r.tau)))
+            .filter(|r| r.broadcast && now.saturating_sub(r.enc_round) > self.delta)
+            .filter_map(|r| {
+                r.ct.as_ref()
+                    .map(|ct| (r.msg.clone(), ct.to_value(), r.tau))
+            })
             .collect()
     }
 
@@ -263,7 +282,12 @@ mod tests {
     const DELTA: u64 = 2;
 
     fn party(i: u32) -> TleParty {
-        TleParty::new(PartyId(i), Q, DELTA, Drbg::from_seed(format!("p{i}").as_bytes()))
+        TleParty::new(
+            PartyId(i),
+            Q,
+            DELTA,
+            Drbg::from_seed(format!("p{i}").as_bytes()),
+        )
     }
 
     fn oracles() -> (QueryWrapper, RandomOracle, RandomOracle) {
@@ -286,8 +310,13 @@ mod tests {
         let (mut w, mut rs, mut ro) = oracles();
         let mut p = party(0);
         assert!(p.on_enc(Value::bytes(b"msg"), 10, 0));
-        let wires =
-            p.encrypt_and_solve(0, &mut w, &mut rs, &mut ro, WrapperClient::Party(PartyId(0)));
+        let wires = p.encrypt_and_solve(
+            0,
+            &mut w,
+            &mut rs,
+            &mut ro,
+            WrapperClient::Party(PartyId(0)),
+        );
         assert_eq!(wires.len(), 1);
         let (ct, tau) = parse_tle_wire(&wires[0]).unwrap();
         assert_eq!(tau, 10);
@@ -308,16 +337,30 @@ mod tests {
         let mut bob = party(1);
         let tau = 6i64; // now=0, ∆=2 → τ_dec = 3
         alice.on_enc(Value::bytes(b"time capsule"), tau, 0);
-        let wires =
-            alice.encrypt_and_solve(0, &mut w, &mut rs, &mut ro, WrapperClient::Party(PartyId(0)));
+        let wires = alice.encrypt_and_solve(
+            0,
+            &mut w,
+            &mut rs,
+            &mut ro,
+            WrapperClient::Party(PartyId(0)),
+        );
         let (ct, t) = parse_tle_wire(&wires[0]).unwrap();
         // Delivered to Bob ∆ = 2 rounds later:
         bob.on_fbc_deliver(ct.clone(), t);
         // Before τ: More_Time regardless of solving state.
-        assert_eq!(bob.dec(&ct.to_value(), tau, 2, &mut ro), DecResponse::MoreTime);
+        assert_eq!(
+            bob.dec(&ct.to_value(), tau, 2, &mut ro),
+            DecResponse::MoreTime
+        );
         // Solve: τ_dec = 3 rounds of q batches.
         for round in 2..5 {
-            bob.encrypt_and_solve(round, &mut w, &mut rs, &mut ro, WrapperClient::Party(PartyId(1)));
+            bob.encrypt_and_solve(
+                round,
+                &mut w,
+                &mut rs,
+                &mut ro,
+                WrapperClient::Party(PartyId(1)),
+            );
         }
         assert_eq!(bob.unsolved(), 0);
         assert_eq!(
@@ -332,14 +375,25 @@ mod tests {
         let mut alice = party(0);
         let mut bob = party(1);
         alice.on_enc(Value::U64(7), 10, 0); // τ_dec = 7
-        let wires =
-            alice.encrypt_and_solve(0, &mut w, &mut rs, &mut ro, WrapperClient::Party(PartyId(0)));
+        let wires = alice.encrypt_and_solve(
+            0,
+            &mut w,
+            &mut rs,
+            &mut ro,
+            WrapperClient::Party(PartyId(0)),
+        );
         let (ct, t) = parse_tle_wire(&wires[0]).unwrap();
         bob.on_fbc_deliver(ct, t);
         let mut rounds = 0;
         let mut round = 2;
         while bob.unsolved() > 0 {
-            bob.encrypt_and_solve(round, &mut w, &mut rs, &mut ro, WrapperClient::Party(PartyId(1)));
+            bob.encrypt_and_solve(
+                round,
+                &mut w,
+                &mut rs,
+                &mut ro,
+                WrapperClient::Party(PartyId(1)),
+            );
             round += 1;
             rounds += 1;
             assert!(rounds <= 8, "should finish in τ_dec = 7 rounds");
@@ -356,16 +410,33 @@ mod tests {
         let mut bob = party(1);
         alice.on_enc(Value::U64(1), 5, 0);
         alice.on_enc(Value::U64(2), 5, 0);
-        let wires =
-            alice.encrypt_and_solve(0, &mut w, &mut rs, &mut ro, WrapperClient::Party(PartyId(0)));
+        let wires = alice.encrypt_and_solve(
+            0,
+            &mut w,
+            &mut rs,
+            &mut ro,
+            WrapperClient::Party(PartyId(0)),
+        );
         assert_eq!(wires.len(), 2);
         for wtp in &wires {
             let (ct, t) = parse_tle_wire(wtp).unwrap();
             bob.on_fbc_deliver(ct, t);
         }
-        bob.encrypt_and_solve(2, &mut w, &mut rs, &mut ro, WrapperClient::Party(PartyId(1)));
+        bob.encrypt_and_solve(
+            2,
+            &mut w,
+            &mut rs,
+            &mut ro,
+            WrapperClient::Party(PartyId(1)),
+        );
         assert_eq!(bob.unsolved(), 2, "difficulty 2: one round is not enough");
-        bob.encrypt_and_solve(3, &mut w, &mut rs, &mut ro, WrapperClient::Party(PartyId(1)));
+        bob.encrypt_and_solve(
+            3,
+            &mut w,
+            &mut rs,
+            &mut ro,
+            WrapperClient::Party(PartyId(1)),
+        );
         assert_eq!(bob.unsolved(), 0);
     }
 
@@ -374,7 +445,13 @@ mod tests {
         let (mut w, mut rs, mut ro) = oracles();
         let mut p = party(0);
         p.on_enc(Value::bytes(b"mine"), 9, 0);
-        p.encrypt_and_solve(0, &mut w, &mut rs, &mut ro, WrapperClient::Party(PartyId(0)));
+        p.encrypt_and_solve(
+            0,
+            &mut w,
+            &mut rs,
+            &mut ro,
+            WrapperClient::Party(PartyId(0)),
+        );
         assert!(p.retrieve(DELTA).is_empty(), "too early");
         let r = p.retrieve(DELTA + 1);
         assert_eq!(r.len(), 1);
@@ -388,13 +465,24 @@ mod tests {
         let mut alice = party(0);
         let mut bob = party(1);
         alice.on_enc(Value::U64(5), 5, 0);
-        let wires =
-            alice.encrypt_and_solve(0, &mut w, &mut rs, &mut ro, WrapperClient::Party(PartyId(0)));
+        let wires = alice.encrypt_and_solve(
+            0,
+            &mut w,
+            &mut rs,
+            &mut ro,
+            WrapperClient::Party(PartyId(0)),
+        );
         let (mut ct, t) = parse_tle_wire(&wires[0]).unwrap();
         ct.c3[0] ^= 1;
         bob.on_fbc_deliver(ct.clone(), t);
         for round in 2..4 {
-            bob.encrypt_and_solve(round, &mut w, &mut rs, &mut ro, WrapperClient::Party(PartyId(1)));
+            bob.encrypt_and_solve(
+                round,
+                &mut w,
+                &mut rs,
+                &mut ro,
+                WrapperClient::Party(PartyId(1)),
+            );
         }
         assert_eq!(bob.dec(&ct.to_value(), 5, 5, &mut ro), DecResponse::Bottom);
     }
@@ -403,7 +491,13 @@ mod tests {
     fn unknown_ciphertext_bottom() {
         let (_, _, mut ro) = oracles();
         let p = party(0);
-        assert_eq!(p.dec(&Value::bytes(b"unknown"), 0, 1, &mut ro), DecResponse::Bottom);
-        assert_eq!(p.dec(&Value::bytes(b"x"), -2, 1, &mut ro), DecResponse::Bottom);
+        assert_eq!(
+            p.dec(&Value::bytes(b"unknown"), 0, 1, &mut ro),
+            DecResponse::Bottom
+        );
+        assert_eq!(
+            p.dec(&Value::bytes(b"x"), -2, 1, &mut ro),
+            DecResponse::Bottom
+        );
     }
 }

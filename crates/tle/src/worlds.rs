@@ -19,10 +19,10 @@
 use crate::ciphertext::{parse_tle_wire, TleCiphertext};
 use crate::func::{DecResponse, TleFunc};
 use crate::protocol::{difficulty_for, TleParty};
+use sbc_broadcast::fbc::func::FbcFunc;
 use sbc_primitives::astrolabous::{ast_dec, ast_enc_with_hashes, xor_mask};
 use sbc_primitives::drbg::Drbg;
 use sbc_primitives::hashchain::{ChainSolver, Element};
-use sbc_broadcast::fbc::func::FbcFunc;
 use sbc_uc::ids::{PartyId, Tag};
 use sbc_uc::ro::{Caller, RandomOracle};
 use sbc_uc::value::{Command, Value};
@@ -225,7 +225,14 @@ pub struct SimTle {
 impl SimTle {
     fn new(q: u32, delta: u64, party_rngs: Vec<Drbg>, fbc_tag_rng: Drbg, equiv_rng: Drbg) -> Self {
         let n = party_rngs.len();
-        SimTle { q, delta, party_rngs, fbc_tag_rng, equiv_rng, queues: vec![Vec::new(); n] }
+        SimTle {
+            q,
+            delta,
+            party_rngs,
+            fbc_tag_rng,
+            equiv_rng,
+            queues: vec![Vec::new(); n],
+        }
     }
 
     fn on_enc_leak(&mut self, party: PartyId, tag: Tag, tau: u64, msg_len: usize) {
@@ -265,8 +272,10 @@ impl SimTle {
         let mut updates = Vec::new();
         for (e, rs) in entries.iter().zip(rand_sets.iter()) {
             let tau_dec = difficulty_for(e.tau, now, self.delta);
-            let hashes: Vec<Element> =
-                rs.iter().map(|r| ro_star.query(Caller::Simulator, r)).collect();
+            let hashes: Vec<Element> = rs
+                .iter()
+                .map(|r| ro_star.query(Caller::Simulator, r))
+                .collect();
             let rho = self.party_rngs[party.index()].gen_bytes(32);
             let c1 = ast_enc_with_hashes(
                 &rho,
@@ -288,10 +297,7 @@ impl SimTle {
                 source: sbc_broadcast::fbc::func::FBC_SOURCE.into(),
                 cmd: Command::new(
                     "Broadcast",
-                    Value::pair(
-                        Value::bytes(fbc_tag.as_bytes()),
-                        Value::U64(party.0 as u64),
-                    ),
+                    Value::pair(Value::bytes(fbc_tag.as_bytes()), Value::U64(party.0 as u64)),
                 ),
             });
             updates.push((ct.to_value(), e.tag));
@@ -421,7 +427,9 @@ impl World for IdealTleWorld {
                         // parties' c3 check.
                         None => DecResponse::Bottom,
                     };
-                    self.core.outputs.push((party, Command::new("Dec", resp.to_value())));
+                    self.core
+                        .outputs
+                        .push((party, Command::new("Dec", resp.to_value())));
                 }
             }
             _ => {}
@@ -434,7 +442,9 @@ impl World for IdealTleWorld {
         }
         let now = self.core.clock.read();
         let mut leaks = Vec::new();
-        let updates = self.sim.honest_advance(party, now, &mut self.ro_star, &mut leaks);
+        let updates = self
+            .sim
+            .honest_advance(party, now, &mut self.ro_star, &mut leaks);
         self.core.leaks.extend(leaks);
         let tagged: Vec<(Value, Tag)> = updates;
         self.ftle.update_ciphertexts(&tagged);
@@ -460,7 +470,8 @@ impl World for IdealTleWorld {
                         ),
                     });
                     if let Some((ct, msg, tau_eff)) =
-                        self.sim.extract(&cmd.value, now, &mut self.ro_star, &mut self.ro)
+                        self.sim
+                            .extract(&cmd.value, now, &mut self.ro_star, &mut self.ro)
                     {
                         self.ftle.insert_adversarial(ct, msg, tau_eff);
                     }
@@ -546,7 +557,10 @@ mod tests {
                 PartyId(1),
                 Command::new("Dec", Value::pair(ct.clone(), Value::I64(6))),
             );
-            env.input(PartyId(0), Command::new("Dec", Value::pair(ct, Value::I64(6))));
+            env.input(
+                PartyId(0),
+                Command::new("Dec", Value::pair(ct, Value::I64(6))),
+            );
         });
     }
 
@@ -570,8 +584,11 @@ mod tests {
             let r = env.input_collect(PartyId(0), Command::new("Retrieve", Value::Unit));
             let ct = r[0].value.as_list().unwrap()[0].as_list().unwrap()[1].clone();
             env.idle_rounds(5); // Cl = 9 > τ = 8
-            // Claimed τ' = 5 < true τ = 8 ≤ Cl → Invalid_Time in both worlds.
-            env.input(PartyId(1), Command::new("Dec", Value::pair(ct, Value::I64(5))));
+                                // Claimed τ' = 5 < true τ = 8 ≤ Cl → Invalid_Time in both worlds.
+            env.input(
+                PartyId(1),
+                Command::new("Dec", Value::pair(ct, Value::I64(5))),
+            );
         });
     }
 

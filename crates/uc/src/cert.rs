@@ -146,7 +146,13 @@ impl RealCert {
     pub fn new(signer: PartyId, height: u32, rng: &mut Drbg) -> Self {
         let key = wots::SigningKey::generate(height, rng);
         let vk = key.verification_key();
-        RealCert { signer, key, vk, corrupted: false, forged: HashMap::new() }
+        RealCert {
+            signer,
+            key,
+            vk,
+            corrupted: false,
+            forged: HashMap::new(),
+        }
     }
 }
 
@@ -156,7 +162,10 @@ impl Certifier for RealCert {
     }
 
     fn sign(&mut self, message: &[u8]) -> Vec<u8> {
-        let sig = self.key.sign(message).expect("signature capacity exhausted");
+        let sig = self
+            .key
+            .sign(message)
+            .expect("signature capacity exhausted");
         // Frame: [leaf_index u32][n_chains u8][chains..][n_path u8][path..].
         let mut out = Vec::with_capacity(sig.size_bytes());
         out.extend_from_slice(&sig.leaf_index.to_be_bytes());
@@ -173,7 +182,10 @@ impl Certifier for RealCert {
     }
 
     fn verify(&mut self, message: &[u8], signature: &[u8]) -> bool {
-        if self.forged.contains_key(&(message.to_vec(), signature.to_vec())) {
+        if self
+            .forged
+            .contains_key(&(message.to_vec(), signature.to_vec()))
+        {
             return true;
         }
         let Some(sig) = decode_wots_sig(signature) else {
@@ -190,7 +202,8 @@ impl Certifier for RealCert {
         if !self.corrupted {
             return false;
         }
-        self.forged.insert((message.to_vec(), signature.to_vec()), ());
+        self.forged
+            .insert((message.to_vec(), signature.to_vec()), ());
         true
     }
 }

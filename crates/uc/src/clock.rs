@@ -96,7 +96,8 @@ impl GlobalClock {
         if !self.functionalities.contains(name) {
             return false;
         }
-        self.advanced.insert(ClockEntity::Functionality(name.to_string()));
+        self.advanced
+            .insert(ClockEntity::Functionality(name.to_string()));
         self.try_tick()
     }
 
@@ -114,7 +115,10 @@ impl GlobalClock {
             }
         }
         for f in &self.functionalities {
-            if !self.advanced.contains(&ClockEntity::Functionality(f.clone())) {
+            if !self
+                .advanced
+                .contains(&ClockEntity::Functionality(f.clone()))
+            {
                 out.push(ClockEntity::Functionality(f.clone()));
             }
         }
@@ -122,7 +126,9 @@ impl GlobalClock {
     }
 
     fn try_tick(&mut self) -> bool {
-        if self.waiting_on().is_empty() && !(self.parties.is_empty() && self.functionalities.is_empty()) {
+        if self.waiting_on().is_empty()
+            && !(self.parties.is_empty() && self.functionalities.is_empty())
+        {
             self.time += 1;
             self.ticks += 1;
             self.advanced.clear();

@@ -46,7 +46,11 @@ pub struct CorruptionTracker {
 impl CorruptionTracker {
     /// Creates a tracker for `n` parties, enforcing `t < n`.
     pub fn new(n: usize) -> Self {
-        CorruptionTracker { n, corrupted: BTreeSet::new(), history: Vec::new() }
+        CorruptionTracker {
+            n,
+            corrupted: BTreeSet::new(),
+            history: Vec::new(),
+        }
     }
 
     /// Corrupts `party` at clock time `round`.
@@ -59,7 +63,7 @@ impl CorruptionTracker {
         if self.corrupted.contains(&party) {
             return Ok(()); // idempotent
         }
-        if self.corrupted.len() + 1 >= self.n + 1 || self.corrupted.len() + 1 > self.n - 1 {
+        if self.corrupted.len() + 1 > self.n || self.corrupted.len() + 1 > self.n - 1 {
             return Err(CorruptionBudgetExceeded);
         }
         self.corrupted.insert(party);
@@ -79,7 +83,10 @@ impl CorruptionTracker {
 
     /// The honest parties.
     pub fn honest(&self) -> Vec<PartyId> {
-        (0..self.n as u32).map(PartyId).filter(|p| !self.corrupted.contains(p)).collect()
+        (0..self.n as u32)
+            .map(PartyId)
+            .filter(|p| !self.corrupted.contains(p))
+            .collect()
     }
 
     /// Number of honest parties remaining.

@@ -30,7 +30,9 @@ impl Delivery {
 
     /// The same command delivered to every party in `0..n`.
     pub fn to_all(n: usize, cmd: Command) -> Vec<Delivery> {
-        (0..n as u32).map(|i| Delivery::new(PartyId(i), cmd.clone())).collect()
+        (0..n as u32)
+            .map(|i| Delivery::new(PartyId(i), cmd.clone()))
+            .collect()
     }
 }
 
@@ -54,7 +56,10 @@ impl HybridCtx<'_> {
 
     /// Records leakage from `source` to the adversary.
     pub fn leak(&mut self, source: impl Into<String>, cmd: Command) {
-        self.leaks.push(Leak { source: source.into(), cmd });
+        self.leaks.push(Leak {
+            source: source.into(),
+            cmd,
+        });
     }
 
     /// Whether `party` is corrupted.
@@ -82,7 +87,12 @@ mod tests {
         let mut leaks = Vec::new();
         let mut corr = CorruptionTracker::new(2);
         corr.corrupt(PartyId(1), 0).unwrap();
-        let mut ctx = HybridCtx { clock: &mut clock, rng: &mut rng, leaks: &mut leaks, corr: &mut corr };
+        let mut ctx = HybridCtx {
+            clock: &mut clock,
+            rng: &mut rng,
+            leaks: &mut leaks,
+            corr: &mut corr,
+        };
         assert_eq!(ctx.time(), 0);
         assert!(ctx.is_corrupted(PartyId(1)));
         assert!(!ctx.is_corrupted(PartyId(0)));

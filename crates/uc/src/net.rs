@@ -62,7 +62,10 @@ impl SyncNet {
     ///
     /// Panics if either party index is out of range.
     pub fn send(&mut self, from: PartyId, to: PartyId, payload: Value) {
-        assert!(from.index() < self.n && to.index() < self.n, "party out of range");
+        assert!(
+            from.index() < self.n && to.index() < self.n,
+            "party out of range"
+        );
         self.sent_total += 1;
         self.bytes_total += payload.encode().len() as u64;
         self.staged.push(NetMsg { from, to, payload });

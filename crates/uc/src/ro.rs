@@ -221,7 +221,10 @@ mod tests {
     #[test]
     fn distinct_points_distinct_outputs() {
         let mut r = ro();
-        assert_ne!(r.query(Caller::Adversary, b"a"), r.query(Caller::Adversary, b"b"));
+        assert_ne!(
+            r.query(Caller::Adversary, b"a"),
+            r.query(Caller::Adversary, b"b")
+        );
     }
 
     #[test]
@@ -261,7 +264,10 @@ mod tests {
     fn deterministic_given_seed() {
         let mut a = ro();
         let mut b = ro();
-        assert_eq!(a.query(Caller::Adversary, b"x"), b.query(Caller::Adversary, b"x"));
+        assert_eq!(
+            a.query(Caller::Adversary, b"x"),
+            b.query(Caller::Adversary, b"x")
+        );
     }
 
     #[test]
@@ -305,7 +311,10 @@ mod tests {
     fn program_bytes_equivocation() {
         let mut r = ro();
         r.program_bytes(b"rho", vec![7u8; 20]).unwrap();
-        assert_eq!(r.query_bytes(Caller::Party(PartyId(0)), b"rho", 20), vec![7u8; 20]);
+        assert_eq!(
+            r.query_bytes(Caller::Party(PartyId(0)), b"rho", 20),
+            vec![7u8; 20]
+        );
         // Same point again: already defined.
         assert_eq!(r.program_bytes(b"rho", vec![8u8; 20]), Err(AlreadyDefined));
         // Different length: a fresh point, still programmable.
@@ -326,6 +335,10 @@ mod tests {
         let mut r = ro();
         let fixed = r.query(Caller::Simulator, b"x");
         let vl = r.query_bytes(Caller::Simulator, b"x", 32);
-        assert_ne!(fixed.to_vec(), vl, "32-byte VL point is not the fixed point");
+        assert_ne!(
+            fixed.to_vec(),
+            vl,
+            "32-byte VL point is not the fixed point"
+        );
     }
 }

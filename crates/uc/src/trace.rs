@@ -249,10 +249,28 @@ mod tests {
 
     fn sample() -> Transcript {
         let mut t = Transcript::new();
-        t.push(0, EventKind::Input { party: PartyId(0), cmd: Command::new("Broadcast", Value::U64(1)) });
+        t.push(
+            0,
+            EventKind::Input {
+                party: PartyId(0),
+                cmd: Command::new("Broadcast", Value::U64(1)),
+            },
+        );
         t.push(0, EventKind::Advance { party: PartyId(0) });
-        t.push(1, EventKind::Output { party: PartyId(1), cmd: Command::new("Broadcast", Value::U64(1)) });
-        t.push(1, EventKind::Leak { source: "F_UBC".into(), cmd: Command::new("Broadcast", Value::Unit) });
+        t.push(
+            1,
+            EventKind::Output {
+                party: PartyId(1),
+                cmd: Command::new("Broadcast", Value::U64(1)),
+            },
+        );
+        t.push(
+            1,
+            EventKind::Leak {
+                source: "F_UBC".into(),
+                cmd: Command::new("Broadcast", Value::Unit),
+            },
+        );
         t
     }
 
@@ -279,7 +297,13 @@ mod tests {
         let mut b = sample();
         b.push(2, EventKind::Note("only in b".into()));
         assert_eq!(a.digest(), b.digest());
-        a.push(2, EventKind::Output { party: PartyId(0), cmd: Command::new("X", Value::Unit) });
+        a.push(
+            2,
+            EventKind::Output {
+                party: PartyId(0),
+                cmd: Command::new("X", Value::Unit),
+            },
+        );
         assert_ne!(a.digest(), b.digest());
     }
 
@@ -296,7 +320,13 @@ mod tests {
     fn output_digest_ignores_leaks() {
         let mut a = sample();
         let base = a.output_digest();
-        a.push(3, EventKind::Leak { source: "X".into(), cmd: Command::new("L", Value::Unit) });
+        a.push(
+            3,
+            EventKind::Leak {
+                source: "X".into(),
+                cmd: Command::new("L", Value::Unit),
+            },
+        );
         assert_eq!(a.output_digest(), base);
     }
 

@@ -47,7 +47,12 @@ impl fmt::Debug for Value {
             Value::I64(v) => write!(f, "{v}i64"),
             Value::Bytes(b) if b.len() <= 8 => write!(f, "0x{}", sbc_primitives::hex::encode(b)),
             Value::Bytes(b) => {
-                write!(f, "0x{}…({}B)", sbc_primitives::hex::encode(&b[..8]), b.len())
+                write!(
+                    f,
+                    "0x{}…({}B)",
+                    sbc_primitives::hex::encode(&b[..8]),
+                    b.len()
+                )
             }
             Value::Str(s) => write!(f, "{s:?}"),
             Value::List(items) => f.debug_list().entries(items).finish(),
@@ -246,7 +251,10 @@ impl fmt::Debug for Command {
 impl Command {
     /// Builds a command.
     pub fn new(name: impl Into<String>, value: Value) -> Self {
-        Command { name: name.into(), value }
+        Command {
+            name: name.into(),
+            value,
+        }
     }
 
     /// Canonical encoding (name, then value).
@@ -315,7 +323,10 @@ mod tests {
         assert_eq!(Value::Bool(true).as_bool(), Some(true));
         assert_eq!(Value::bytes(b"x").as_bytes(), Some(&b"x"[..]));
         assert_eq!(Value::str("s").as_str(), Some("s"));
-        assert_eq!(Value::list([Value::Unit]).as_list().map(|l| l.len()), Some(1));
+        assert_eq!(
+            Value::list([Value::Unit]).as_list().map(|l| l.len()),
+            Some(1)
+        );
         assert_eq!(Value::Unit.as_u64(), None);
     }
 

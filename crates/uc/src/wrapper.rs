@@ -72,7 +72,12 @@ impl QueryWrapper {
     /// Panics if `q == 0`.
     pub fn new(q: u32) -> Self {
         assert!(q > 0, "q must be positive");
-        QueryWrapper { q, usage: HashMap::new(), batches_served: 0, queries_served: 0 }
+        QueryWrapper {
+            q,
+            usage: HashMap::new(),
+            batches_served: 0,
+            queries_served: 0,
+        }
     }
 
     /// The per-round batch budget `q`.
@@ -137,7 +142,10 @@ mod tests {
     use sbc_primitives::drbg::Drbg;
 
     fn setup() -> (RandomOracle, QueryWrapper) {
-        (RandomOracle::new(Drbg::from_seed(b"w")), QueryWrapper::new(3))
+        (
+            RandomOracle::new(Drbg::from_seed(b"w")),
+            QueryWrapper::new(3),
+        )
     }
 
     #[test]
@@ -147,7 +155,10 @@ mod tests {
         for i in 0..3 {
             assert!(w.evaluate(&mut ro, 5, p, &[vec![i]]).is_ok());
         }
-        assert_eq!(w.evaluate(&mut ro, 5, p, &[vec![9]]), Err(BudgetExhausted { round: 5 }));
+        assert_eq!(
+            w.evaluate(&mut ro, 5, p, &[vec![9]]),
+            Err(BudgetExhausted { round: 5 })
+        );
         assert_eq!(w.remaining(5, p), 0);
     }
 

@@ -1,4 +1,5 @@
-//! An unbiasable randomness beacon (DURS, paper §6.1).
+//! An unbiasable randomness beacon (DURS, paper §6.1), run as a
+//! multi-epoch service: one SBC world, a fresh beacon value per epoch.
 //!
 //! Parties XOR their contributions through simultaneous broadcast. The
 //! last-revealer attack that fully biases a naive beacon does nothing
@@ -9,27 +10,43 @@
 //! ```
 
 use sbc_apps::durs::{last_revealer_attack, last_revealer_attack_on_durs, DursSession, URS_LEN};
+use sbc_core::api::SbcError;
 
-fn main() {
-    // Honest beacon run.
-    let mut session = DursSession::new(4, b"beacon-demo");
-    for p in 0..4 {
-        session.contribute(p);
+fn main() -> Result<(), SbcError> {
+    // A beacon service: three epochs over the same session — the world
+    // stack (clock, oracle, functionalities) is built exactly once.
+    let mut session = DursSession::new(4, b"beacon-demo")?;
+    for _ in 0..3 {
+        for p in 0..4 {
+            session.contribute(p)?;
+        }
+        let result = session.run_epoch()?;
+        println!(
+            "epoch {} beacon output ({} contributions, round {}):",
+            session.epoch() - 1,
+            result.contributions,
+            result.release_round
+        );
+        println!("  {}", sbc_primitives::hex::encode(&result.urs));
     }
-    let result = session.finish();
-    println!(
-        "beacon output ({} contributions, round {}):",
-        result.contributions, result.release_round
-    );
-    println!("  {}", sbc_primitives::hex::encode(&result.urs));
 
     // Attack comparison: the adversary wants the output to be all-0x42.
     let target = [0x42u8; URS_LEN];
     let biased = last_revealer_attack(&[[7u8; URS_LEN], [9u8; URS_LEN]], &target);
-    println!("naive beacon under last-revealer attack: {}", sbc_primitives::hex::encode(&biased));
+    println!(
+        "naive beacon under last-revealer attack: {}",
+        sbc_primitives::hex::encode(&biased)
+    );
     assert_eq!(biased, target.to_vec(), "naive beacon is fully biased");
 
-    let (out, hit) = last_revealer_attack_on_durs(b"beacon-attack", &target);
-    println!("DURS under the same attack:             {}", sbc_primitives::hex::encode(&out));
-    assert!(!hit, "DURS resists: the adversary's share cannot depend on the others");
+    let (out, hit) = last_revealer_attack_on_durs(b"beacon-attack", &target)?;
+    println!(
+        "DURS under the same attack:             {}",
+        sbc_primitives::hex::encode(&out)
+    );
+    assert!(
+        !hit,
+        "DURS resists: the adversary's share cannot depend on the others"
+    );
+    Ok(())
 }

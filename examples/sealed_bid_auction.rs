@@ -9,18 +9,18 @@
 //! cargo run -p sbc-bench --example sealed_bid_auction
 //! ```
 
-use sbc_core::api::SbcSession;
+use sbc_core::api::{SbcError, SbcSession};
 use sbc_core::baseline::copycat_attack_on_commit_free;
 
-fn main() {
+fn main() -> Result<(), SbcError> {
     let bids: [(u32, u64); 4] = [(0, 420), (1, 333), (2, 407), (3, 390)];
 
-    let mut session = SbcSession::builder(4).phi(4).seed(b"auction").build();
+    let mut session = SbcSession::builder(4).phi(4).seed(b"auction").build()?;
     for (bidder, amount) in bids {
         let bid = format!("bidder-{bidder}:{amount:08}");
-        session.submit(bidder, bid.as_bytes());
+        session.submit(bidder, bid.as_bytes())?;
     }
-    let result = session.run_to_completion();
+    let result = session.run_to_completion()?;
 
     // Everyone opens the same set of bids at the same round; highest wins.
     let winner = result
@@ -36,8 +36,16 @@ fn main() {
     println!("winner: {winner}");
     assert!(winner.starts_with("bidder-0"));
 
+    // A late bid — after the period closed — is rejected as an error value,
+    // not silently dropped.
+    assert!(matches!(
+        session.submit(1, b"bidder-1:99999999"),
+        Err(SbcError::SubmitAfterClose { .. })
+    ));
+
     // The baseline shows what SBC prevents: on a commit-free channel a
     // rushing adversary trivially correlates with honest bids.
     assert!(copycat_attack_on_commit_free(b"bid:420"));
     println!("naive channel: copy-cat attack succeeds (as expected)");
+    Ok(())
 }

@@ -80,9 +80,7 @@ fn theorem2_randomized_schedules() {
             t.events
                 .iter()
                 .filter_map(|e| match &e.kind {
-                    EventKind::Output { party, cmd } => {
-                        Some((e.round, *party, cmd.value.clone()))
-                    }
+                    EventKind::Output { party, cmd } => Some((e.round, *party, cmd.value.clone())),
                     _ => None,
                 })
                 .collect()
@@ -109,7 +107,8 @@ fn simultaneity_view_independence() {
     // Shapes identical; the only difference is inside ciphertext bytes.
     let strip_inputs = |t: &sbc_uc::trace::Transcript| {
         let mut c = t.clone();
-        c.events.retain(|e| !matches!(e.kind, EventKind::Input { .. }));
+        c.events
+            .retain(|e| !matches!(e.kind, EventKind::Input { .. }));
         c
     };
     assert_eq!(

@@ -1,6 +1,10 @@
-//! Property-based tests (proptest) over the public APIs of the stack.
+//! Property-style tests over the public APIs of the stack.
+//!
+//! The build container has no crates.io access, so instead of proptest
+//! these are deterministic randomized sweeps: a seeded [`Drbg`] drives a
+//! generator and each property is checked over a few hundred cases. Every
+//! failure reproduces exactly from the fixed seeds.
 
-use proptest::prelude::*;
 use sbc_primitives::astrolabous::{ast_enc, ast_solve_and_dec, xor_mask};
 use sbc_primitives::bigint::U256;
 use sbc_primitives::drbg::Drbg;
@@ -9,108 +13,187 @@ use sbc_primitives::hashchain::{chain_encode, chain_solve, payload_from_witness}
 use sbc_primitives::sha256::Sha256;
 use sbc_uc::value::Value;
 
-fn arb_value() -> impl Strategy<Value = Value> {
-    let leaf = prop_oneof![
-        Just(Value::Unit),
-        any::<bool>().prop_map(Value::Bool),
-        any::<u64>().prop_map(Value::U64),
-        any::<i64>().prop_map(Value::I64),
-        proptest::collection::vec(any::<u8>(), 0..64).prop_map(Value::Bytes),
-        "[a-z]{0,12}".prop_map(Value::Str),
-    ];
-    leaf.prop_recursive(3, 32, 6, |inner| {
-        proptest::collection::vec(inner, 0..6).prop_map(Value::List)
-    })
+/// Generates an arbitrary `Value` tree of bounded depth.
+fn arb_value(rng: &mut Drbg, depth: usize) -> Value {
+    let n_variants = if depth == 0 { 6 } else { 7 };
+    match rng.gen_range(n_variants) {
+        0 => Value::Unit,
+        1 => Value::Bool(rng.gen_bool()),
+        2 => Value::U64(rng.gen_u64()),
+        3 => Value::I64(rng.gen_u64() as i64),
+        4 => {
+            let len = rng.gen_range(64) as usize;
+            Value::Bytes(rng.gen_bytes(len))
+        }
+        5 => {
+            let len = rng.gen_range(12) as usize;
+            let s: String = (0..len)
+                .map(|_| (b'a' + rng.gen_range(26) as u8) as char)
+                .collect();
+            Value::Str(s)
+        }
+        _ => {
+            let len = rng.gen_range(6) as usize;
+            Value::List((0..len).map(|_| arb_value(rng, depth - 1)).collect())
+        }
+    }
 }
 
-proptest! {
-    #[test]
-    fn value_codec_round_trip(v in arb_value()) {
-        prop_assert_eq!(Value::decode(&v.encode()), Some(v));
+#[test]
+fn value_codec_round_trip() {
+    let mut rng = Drbg::from_seed(b"prop-codec");
+    for case in 0..300 {
+        let v = arb_value(&mut rng, 3);
+        assert_eq!(
+            Value::decode(&v.encode()),
+            Some(v.clone()),
+            "case {case}: {v:?}"
+        );
     }
+}
 
-    #[test]
-    fn value_ordering_consistent_with_encoding_identity(a in arb_value(), b in arb_value()) {
-        // Equal values have equal encodings; distinct values distinct ones.
-        prop_assert_eq!(a == b, a.encode() == b.encode());
+#[test]
+fn value_ordering_consistent_with_encoding_identity() {
+    // Equal values have equal encodings; distinct values distinct ones.
+    let mut rng = Drbg::from_seed(b"prop-order");
+    for case in 0..300 {
+        let a = arb_value(&mut rng, 3);
+        let b = arb_value(&mut rng, 3);
+        assert_eq!(
+            a == b,
+            a.encode() == b.encode(),
+            "case {case}: {a:?} vs {b:?}"
+        );
     }
+}
 
-    #[test]
-    fn u256_add_sub_round_trip(a in any::<[u8; 32]>(), b in any::<[u8; 32]>()) {
-        let x = U256::from_be_bytes(&a);
-        let y = U256::from_be_bytes(&b);
+#[test]
+fn u256_add_sub_round_trip() {
+    let mut rng = Drbg::from_seed(b"prop-u256");
+    for case in 0..300 {
+        let x = U256::from_be_bytes(&rng.gen_bytes(32).try_into().unwrap());
+        let y = U256::from_be_bytes(&rng.gen_bytes(32).try_into().unwrap());
         let (sum, carry) = x.overflowing_add(&y);
         let (back, borrow) = sum.overflowing_sub(&y);
-        prop_assert_eq!(back, x);
-        prop_assert_eq!(carry, borrow);
-    }
-
-    #[test]
-    fn u256_mulmod_commutative(a in any::<[u8; 32]>(), b in any::<[u8; 32]>(), m in 2u64..u64::MAX) {
-        let x = U256::from_be_bytes(&a);
-        let y = U256::from_be_bytes(&b);
-        let m = U256::from_u64(m);
-        prop_assert_eq!(x.mulmod(&y, &m), y.mulmod(&x, &m));
-    }
-
-    #[test]
-    fn group_exponent_laws(e1 in 1u64..1000, e2 in 1u64..1000) {
-        let grp = SchnorrGroup::tiny();
-        let g = grp.generator();
-        let a = grp.exp(&g, &grp.scalar_from_u64(e1));
-        let b = grp.exp(&g, &grp.scalar_from_u64(e2));
-        prop_assert_eq!(grp.mul(&a, &b), grp.exp(&g, &grp.scalar_from_u64(e1 + e2)));
-    }
-
-    #[test]
-    fn hashchain_round_trip(len in 1usize..24, payload in any::<[u8; 32]>(), seed in any::<[u8; 16]>()) {
-        let h = |x: &[u8]| Sha256::digest(x);
-        let mut rng = Drbg::from_seed(&seed);
-        let rs: Vec<[u8; 32]> = (0..len).map(|_| {
-            let b = rng.gen_bytes(32);
-            let mut e = [0u8; 32]; e.copy_from_slice(&b); e
-        }).collect();
-        let chain = chain_encode(&h, &rs, &payload);
-        let (p, w) = chain_solve(&h, &chain).unwrap();
-        prop_assert_eq!(p, payload);
-        prop_assert_eq!(payload_from_witness(&chain, &w).unwrap(), payload);
-    }
-
-    #[test]
-    fn astrolabous_round_trip(msg in proptest::collection::vec(any::<u8>(), 0..128),
-                              tau in 1u64..4, q in 1u32..5, seed in any::<[u8; 16]>()) {
-        let h = |x: &[u8]| Sha256::digest(x);
-        let mut rng = Drbg::from_seed(&seed);
-        let ct = ast_enc(&h, &msg, tau, q, &mut rng);
-        prop_assert_eq!(ast_solve_and_dec(&h, &ct).unwrap(), msg);
-    }
-
-    #[test]
-    fn xor_mask_involution(data in proptest::collection::vec(any::<u8>(), 0..200), seed in any::<[u8; 32]>()) {
-        prop_assert_eq!(xor_mask(&seed, &xor_mask(&seed, &data)), data);
-    }
-
-    #[test]
-    fn drbg_fork_independence(label_a in "[a-z]{1,8}", label_b in "[a-z]{1,8}") {
-        prop_assume!(label_a != label_b);
-        let mut root = Drbg::from_seed(b"prop");
-        let mut a = root.fork(label_a.as_bytes());
-        let mut b = root.fork(label_b.as_bytes());
-        prop_assert_ne!(a.gen_bytes(16), b.gen_bytes(16));
+        assert_eq!(back, x, "case {case}");
+        assert_eq!(carry, borrow, "case {case}");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+#[test]
+fn u256_mulmod_commutative() {
+    let mut rng = Drbg::from_seed(b"prop-mulmod");
+    for case in 0..200 {
+        let x = U256::from_be_bytes(&rng.gen_bytes(32).try_into().unwrap());
+        let y = U256::from_be_bytes(&rng.gen_bytes(32).try_into().unwrap());
+        let m = U256::from_u64(2 + rng.gen_u64() % (u64::MAX - 2));
+        assert_eq!(x.mulmod(&y, &m), y.mulmod(&x, &m), "case {case}");
+    }
+}
 
-    /// Dolev–Strong agreement holds under random Byzantine strategies.
-    #[test]
-    fn dolev_strong_agreement_random_byzantine(seed in any::<[u8; 8]>()) {
-        use sbc_broadcast::rbc::dolev_strong::{ChainLink, DolevStrong};
-        use sbc_uc::cert::IdealCert;
-        use sbc_uc::ids::PartyId;
+#[test]
+fn group_exponent_laws() {
+    let grp = SchnorrGroup::tiny();
+    let g = grp.generator();
+    let mut rng = Drbg::from_seed(b"prop-group");
+    for case in 0..100 {
+        let e1 = 1 + rng.gen_range(999);
+        let e2 = 1 + rng.gen_range(999);
+        let a = grp.exp(&g, &grp.scalar_from_u64(e1));
+        let b = grp.exp(&g, &grp.scalar_from_u64(e2));
+        assert_eq!(
+            grp.mul(&a, &b),
+            grp.exp(&g, &grp.scalar_from_u64(e1 + e2)),
+            "case {case}: e1={e1} e2={e2}"
+        );
+    }
+}
 
-        let mut plan = Drbg::from_seed(&seed);
+#[test]
+fn hashchain_round_trip() {
+    let h = |x: &[u8]| Sha256::digest(x);
+    let mut plan = Drbg::from_seed(b"prop-chain");
+    for case in 0..40 {
+        let len = 1 + plan.gen_range(23) as usize;
+        let payload: [u8; 32] = plan.gen_bytes(32).try_into().unwrap();
+        let mut rng = plan.fork(format!("chain/{case}").as_bytes());
+        let rs: Vec<[u8; 32]> = (0..len)
+            .map(|_| rng.gen_bytes(32).try_into().unwrap())
+            .collect();
+        let chain = chain_encode(&h, &rs, &payload);
+        let (p, w) = chain_solve(&h, &chain).unwrap();
+        assert_eq!(p, payload, "case {case}");
+        assert_eq!(
+            payload_from_witness(&chain, &w).unwrap(),
+            payload,
+            "case {case}"
+        );
+    }
+}
+
+#[test]
+fn astrolabous_round_trip() {
+    let h = |x: &[u8]| Sha256::digest(x);
+    let mut plan = Drbg::from_seed(b"prop-ast");
+    for case in 0..40 {
+        let msg_len = plan.gen_range(128) as usize;
+        let msg = plan.gen_bytes(msg_len);
+        let tau = 1 + plan.gen_range(3);
+        let q = 1 + plan.gen_range(4) as u32;
+        let mut rng = plan.fork(format!("ast/{case}").as_bytes());
+        let ct = ast_enc(&h, &msg, tau, q, &mut rng);
+        assert_eq!(
+            ast_solve_and_dec(&h, &ct).unwrap(),
+            msg,
+            "case {case}: tau={tau} q={q}"
+        );
+    }
+}
+
+#[test]
+fn xor_mask_involution() {
+    let mut rng = Drbg::from_seed(b"prop-xor");
+    for case in 0..200 {
+        let data_len = rng.gen_range(200) as usize;
+        let data = rng.gen_bytes(data_len);
+        let seed: [u8; 32] = rng.gen_bytes(32).try_into().unwrap();
+        assert_eq!(
+            xor_mask(&seed, &xor_mask(&seed, &data)),
+            data,
+            "case {case}"
+        );
+    }
+}
+
+#[test]
+fn drbg_fork_independence() {
+    let mut plan = Drbg::from_seed(b"prop-fork-labels");
+    for case in 0..100 {
+        let la: Vec<u8> = (0..1 + plan.gen_range(8))
+            .map(|_| b'a' + plan.gen_range(26) as u8)
+            .collect();
+        let lb: Vec<u8> = (0..1 + plan.gen_range(8))
+            .map(|_| b'a' + plan.gen_range(26) as u8)
+            .collect();
+        if la == lb {
+            continue;
+        }
+        let mut root = Drbg::from_seed(b"prop");
+        let mut a = root.fork(&la);
+        let mut b = root.fork(&lb);
+        assert_ne!(a.gen_bytes(16), b.gen_bytes(16), "case {case}");
+    }
+}
+
+/// Dolev–Strong agreement holds under random Byzantine strategies.
+#[test]
+fn dolev_strong_agreement_random_byzantine() {
+    use sbc_broadcast::rbc::dolev_strong::{ChainLink, DolevStrong};
+    use sbc_uc::cert::IdealCert;
+    use sbc_uc::ids::PartyId;
+
+    for trial in 0u8..12 {
+        let mut plan = Drbg::from_seed(&[b'd', b's', trial]);
         let n = 4usize;
         let t = 2usize;
         let mut rng = Drbg::from_seed(b"ds-prop");
@@ -122,26 +205,31 @@ proptest! {
         ds.corrupt(PartyId(1));
         // Random adversarial schedule: signed sends of random values to
         // random recipients in random rounds.
-        for round in 0..=t as u64 {
+        for _round in 0..=t as u64 {
             for _ in 0..plan.gen_range(3) {
                 let m = Value::U64(plan.gen_range(3));
                 let from = PartyId(plan.gen_range(2) as u32);
                 let to = PartyId(2 + plan.gen_range(2) as u32);
                 let mut chain = vec![];
                 if let Some(sig) = ds.adversary_sign(PartyId(0), m.clone()) {
-                    chain.push(ChainLink { signer: PartyId(0), signature: sig });
+                    chain.push(ChainLink {
+                        signer: PartyId(0),
+                        signature: sig,
+                    });
                 }
                 if plan.gen_bool() {
                     if let Some(sig) = ds.adversary_sign(PartyId(1), m.clone()) {
-                        chain.push(ChainLink { signer: PartyId(1), signature: sig });
+                        chain.push(ChainLink {
+                            signer: PartyId(1),
+                            signature: sig,
+                        });
                     }
                 }
                 ds.adversary_send(from, to, m, chain);
             }
             ds.step_round();
-            let _ = round;
         }
         let outs = ds.outputs();
-        prop_assert_eq!(&outs[2], &outs[3], "honest agreement");
+        assert_eq!(&outs[2], &outs[3], "trial {trial}: honest agreement");
     }
 }

@@ -1,0 +1,155 @@
+//! Error-path coverage for the fallible session API: every public misuse
+//! of `SbcSession` returns the right `SbcError` variant — no panics.
+
+use sbc_core::api::{AdversaryConfig, SbcError, SbcSession};
+
+#[test]
+fn invalid_params_rejected_at_build() {
+    // Φ ≤ delay (Theorem 2 violated).
+    assert!(matches!(
+        SbcSession::builder(3)
+            .phi(1)
+            .tle_delay(2)
+            .seed(b"p1")
+            .build(),
+        Err(SbcError::InvalidParams { .. })
+    ));
+    // ∆ ≤ α_TLE (Theorem 2 violated).
+    assert!(matches!(
+        SbcSession::builder(3).delta(0).seed(b"p2").build(),
+        Err(SbcError::InvalidParams { .. })
+    ));
+    // Degenerate party count.
+    assert!(matches!(
+        SbcSession::builder(0).seed(b"p3").build(),
+        Err(SbcError::InvalidParams { .. })
+    ));
+    // Adversary config referencing a non-existent party.
+    assert!(matches!(
+        SbcSession::builder(2)
+            .adversary(AdversaryConfig::new().corrupt(&[5]))
+            .seed(b"p4")
+            .build(),
+        Err(SbcError::PartyOutOfRange { party: 5, n: 2 })
+    ));
+}
+
+#[test]
+fn out_of_range_party_rejected_at_submit() {
+    let mut s = SbcSession::builder(3).seed(b"range").build().unwrap();
+    assert_eq!(
+        s.submit(3, b"x"),
+        Err(SbcError::PartyOutOfRange { party: 3, n: 3 })
+    );
+    // The session is still usable after the error.
+    s.submit(0, b"ok").unwrap();
+    assert_eq!(
+        s.run_to_completion().unwrap().messages,
+        vec![b"ok".to_vec()]
+    );
+}
+
+#[test]
+fn submit_after_period_close_rejected() {
+    let mut s = SbcSession::builder(2).seed(b"close").build().unwrap();
+    s.submit(0, b"opens the period").unwrap();
+    // Period = [0, Φ); a submission whose ciphertext cannot be ready
+    // before t_end is rejected with the closing round in the error.
+    for _ in 0..2 {
+        s.step_round().unwrap();
+    }
+    assert_eq!(
+        s.submit(1, b"too late"),
+        Err(SbcError::SubmitAfterClose { round: 2, t_end: 3 })
+    );
+    // After release (no epoch turnover) the period stays closed.
+    let r = s.run_to_completion().unwrap();
+    assert_eq!(r.messages.len(), 1);
+    assert!(matches!(
+        s.submit(1, b"still closed"),
+        Err(SbcError::SubmitAfterClose { .. })
+    ));
+}
+
+#[test]
+fn empty_epoch_is_no_input() {
+    let mut s = SbcSession::builder(2).seed(b"noinput").build().unwrap();
+    assert_eq!(s.run_to_completion(), Err(SbcError::NoInput));
+    assert_eq!(s.run_epoch().unwrap_err(), SbcError::NoInput);
+    // An epoch that did run resets the submission counter: the next
+    // run_epoch without submissions is NoInput again.
+    s.submit(0, b"m").unwrap();
+    s.run_epoch().unwrap();
+    assert_eq!(s.run_epoch().unwrap_err(), SbcError::NoInput);
+}
+
+#[test]
+fn wake_up_suppressed_by_corruption_times_out() {
+    // The only submitter is corrupted before its wake-up flushes: the
+    // period never opens, and the session reports Timeout instead of
+    // spinning or panicking.
+    let mut s = SbcSession::builder(3).seed(b"timeout").build().unwrap();
+    s.submit(0, b"never flushed").unwrap();
+    s.corrupt(0).unwrap();
+    let err = s.run_to_completion().unwrap_err();
+    assert!(
+        matches!(err, SbcError::Timeout { budget } if budget == 3 + 2 + 4),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn corrupted_party_cannot_submit_honestly() {
+    let mut s = SbcSession::builder(3).seed(b"corr").build().unwrap();
+    s.corrupt(2).unwrap();
+    assert_eq!(
+        s.submit(2, b"m"),
+        Err(SbcError::CorruptedParty { party: 2 })
+    );
+    // Double corruption is also a typed error.
+    assert_eq!(s.corrupt(2), Err(SbcError::CorruptedParty { party: 2 }));
+}
+
+#[test]
+fn adversarial_ops_require_corruption() {
+    let mut s = SbcSession::builder(2).seed(b"adv").build().unwrap();
+    assert_eq!(
+        s.inject_message(0, b"m"),
+        Err(SbcError::HonestParty { party: 0 })
+    );
+    s.corrupt(0).unwrap();
+    // Before any wake-up there is no agreed τ_rel to inject towards.
+    assert_eq!(s.inject_message(0, b"m"), Err(SbcError::PeriodNotOpen));
+}
+
+#[test]
+fn errors_display_and_propagate() {
+    // SbcError implements Display + Error and survives the `?` operator
+    // through app-level error enums.
+    let err = SbcSession::builder(0).build().unwrap_err();
+    assert!(err.to_string().contains("invalid SBC parameters"));
+    let as_voting: sbc_apps::voting::VotingError = err.into();
+    assert!(matches!(
+        as_voting,
+        sbc_apps::voting::VotingError::Sbc(SbcError::InvalidParams { .. })
+    ));
+}
+
+#[test]
+fn multi_epoch_with_mid_session_corruption() {
+    // Corruption persists across epochs: a party corrupted in epoch 0
+    // cannot submit in epoch 1, but the rest of the electorate continues.
+    let mut s = SbcSession::builder(3).seed(b"epochs-corr").build().unwrap();
+    s.submit(0, b"e0-a").unwrap();
+    s.submit(1, b"e0-b").unwrap();
+    s.corrupt(2).unwrap();
+    let r = s.run_epoch().unwrap();
+    assert_eq!(r.messages.len(), 2);
+    assert_eq!(
+        s.submit(2, b"e1-c"),
+        Err(SbcError::CorruptedParty { party: 2 })
+    );
+    s.submit(0, b"e1-a").unwrap();
+    let r = s.run_epoch().unwrap();
+    assert_eq!(r.messages, vec![b"e1-a".to_vec()]);
+}

@@ -1,23 +1,24 @@
 //! Cross-crate integration: the Corollary 1 composition and the round/cost
 //! accounting of every layer of the stack.
 
-use sbc_broadcast::rbc::dolev_strong::{bottom, DolevStrong};
 use sbc_broadcast::fbc::worlds::{IdealFbcWorld, RealFbcWorld};
+use sbc_broadcast::rbc::dolev_strong::DolevStrong;
 use sbc_core::api::SbcSession;
 use sbc_core::worlds::{RealSbcWorld, SbcParams};
 use sbc_primitives::drbg::Drbg;
 use sbc_uc::cert::{IdealCert, RealCert};
 use sbc_uc::ids::PartyId;
 use sbc_uc::value::{Command, Value};
-use sbc_uc::world::{run_env, World};
+use sbc_uc::world::run_env;
 
 /// Fact 1 over *real* WOTS signatures instead of the ideal F_cert: the
 /// Dolev–Strong realization is certifier-agnostic.
 #[test]
 fn dolev_strong_over_real_signatures() {
     let mut rng = Drbg::from_seed(b"ds-real-certs");
-    let certs: Vec<RealCert> =
-        (0..4u32).map(|i| RealCert::new(PartyId(i), 4, &mut rng)).collect();
+    let certs: Vec<RealCert> = (0..4u32)
+        .map(|i| RealCert::new(PartyId(i), 4, &mut rng))
+        .collect();
     let mut ds = DolevStrong::new(b"sid".to_vec(), 2, PartyId(0), certs);
     ds.start_honest(Value::bytes(b"over real PKI"));
     ds.run_to_completion();
@@ -46,13 +47,41 @@ fn dolev_strong_round_complexity_sweep() {
 /// Corollary 1 parameters: the composed stack runs with Φ > 3, ∆ > 2.
 #[test]
 fn corollary1_parameter_regime() {
-    let mut s = SbcSession::builder(4).phi(4).delta(3).seed(b"cor1").build();
-    s.submit(0, b"a");
-    s.submit(1, b"b");
-    s.submit(2, b"c");
-    let r = s.run_to_completion();
+    let mut s = SbcSession::builder(4)
+        .phi(4)
+        .delta(3)
+        .seed(b"cor1")
+        .build()
+        .unwrap();
+    s.submit(0, b"a").unwrap();
+    s.submit(1, b"b").unwrap();
+    s.submit(2, b"c").unwrap();
+    let r = s.run_to_completion().unwrap();
     assert_eq!(r.messages.len(), 3);
     assert_eq!(r.release_round, 4 + 3, "t_end + ∆ with Φ=4, ∆=3");
+}
+
+/// Corollary 1, repeated: successive Φ > 3, ∆ > 2 periods on one composed
+/// stack via the multi-epoch session API.
+#[test]
+fn corollary1_regime_multi_epoch() {
+    let mut s = SbcSession::builder(4)
+        .phi(4)
+        .delta(3)
+        .seed(b"cor1-epochs")
+        .build()
+        .unwrap();
+    let mut last_release = 0;
+    for epoch in 0u64..3 {
+        for i in 0..3u32 {
+            s.submit(i, format!("e{epoch}-m{i}").as_bytes()).unwrap();
+        }
+        let r = s.run_epoch().unwrap();
+        assert_eq!(r.epoch, epoch);
+        assert_eq!(r.messages.len(), 3);
+        assert!(r.release_round > last_release);
+        last_release = r.release_round;
+    }
 }
 
 /// FBC delivery delay is exactly ∆ = 2 for every sender and round offset.
@@ -103,7 +132,10 @@ fn sbc_rejects_late_messages_consistently() {
     let params = SbcParams::default_for(3);
     let mut world = RealSbcWorld::new(params, b"late");
     let t = run_env(&mut world, |env| {
-        env.input(PartyId(0), Command::new("Broadcast", Value::bytes(b"early")));
+        env.input(
+            PartyId(0),
+            Command::new("Broadcast", Value::bytes(b"early")),
+        );
         env.idle_rounds(3); // period [0,3) closes
         env.input(PartyId(1), Command::new("Broadcast", Value::bytes(b"late")));
         env.idle_rounds(5);
@@ -123,7 +155,10 @@ fn fbc_indistinguishable_under_randomized_corruption_schedules() {
         let corrupt_at = drv.gen_range(3);
         let victim = drv.gen_range(2) as u32 + 1;
         let script = move |env: &mut sbc_uc::world::EnvDriver<'_>| {
-            env.input(PartyId(0), Command::new("Broadcast", Value::bytes(b"payload")));
+            env.input(
+                PartyId(0),
+                Command::new("Broadcast", Value::bytes(b"payload")),
+            );
             for r in 0..5u64 {
                 if r == corrupt_at {
                     env.adversary(sbc_uc::world::AdvCommand::Corrupt(PartyId(victim)));
