@@ -15,7 +15,9 @@
 //!   classic last-revealer bias attack.
 
 use sbc_core::api::{SbcError, SbcSession};
+use sbc_core::worlds::{IdealSbcWorld, RealSbcWorld, SbcBackend};
 use sbc_primitives::drbg::Drbg;
+use sbc_uc::exec::SbcWorld;
 use sbc_uc::hybrid::HybridCtx;
 use sbc_uc::ids::PartyId;
 use std::collections::HashMap;
@@ -106,14 +108,16 @@ pub struct DursResult {
     pub release_round: u64,
 }
 
-/// `Π_DURS` (Fig. 16) over the real SBC stack: every participating party
+/// `Π_DURS` (Fig. 16) over a pluggable SBC backend — the real stack by
+/// default, the ideal `F_SBC + S_SBC` world via
+/// [`new_ideal`](DursSession::new_ideal): every participating party
 /// contributes λ random bits via simultaneous broadcast; the output is
 /// their XOR. The session is multi-epoch: after
 /// [`run_epoch`](DursSession::run_epoch) releases a beacon value, the same
 /// stack accepts the next round of contributions.
 #[derive(Debug)]
-pub struct DursSession {
-    sbc: SbcSession,
+pub struct DursSession<W: SbcWorld = RealSbcWorld> {
+    sbc: SbcSession<W>,
     n: usize,
     rng: Drbg,
     contributed: Vec<bool>,
@@ -135,23 +139,49 @@ fn xor_fold(messages: &[Vec<u8>]) -> (Vec<u8>, usize) {
 }
 
 impl DursSession {
-    /// Creates a session for `n` parties.
+    /// Creates a session for `n` parties over the real SBC stack.
     ///
     /// # Errors
     ///
     /// Propagates [`SbcError`] from the underlying session builder
     /// (degenerate `n`, invalid default parameters).
     pub fn new(n: usize, seed: &[u8]) -> Result<Self, SbcError> {
+        Self::over_backend(n, seed)
+    }
+}
+
+impl DursSession<IdealSbcWorld> {
+    /// Creates a session over the ideal world (`F_SBC` + simulator): by
+    /// Theorem 2 its beacon outputs match [`new`](DursSession::new)'s
+    /// epoch for epoch — asserted by the dual-backend tests.
+    ///
+    /// # Errors
+    ///
+    /// As for [`new`](DursSession::new).
+    pub fn new_ideal(n: usize, seed: &[u8]) -> Result<Self, SbcError> {
+        Self::over_backend(n, seed)
+    }
+}
+
+impl<W: SbcBackend> DursSession<W> {
+    /// Creates a session for `n` parties over any SBC backend.
+    ///
+    /// # Errors
+    ///
+    /// As for [`new`](DursSession::new).
+    pub fn over_backend(n: usize, seed: &[u8]) -> Result<Self, SbcError> {
         let mut label = b"durs/".to_vec();
         label.extend_from_slice(seed);
         Ok(DursSession {
-            sbc: SbcSession::builder(n).seed(seed).build()?,
+            sbc: SbcSession::builder(n).seed(seed).build_backend::<W>()?,
             n,
             rng: Drbg::from_seed(&label),
             contributed: vec![false; n],
         })
     }
+}
 
+impl<W: SbcWorld> DursSession<W> {
     /// Party `p` contributes fresh randomness (idempotent per party and
     /// epoch).
     ///
@@ -427,6 +457,27 @@ mod tests {
         }
         assert_ne!(outputs[0], outputs[1], "per-epoch shares are fresh");
         assert_ne!(outputs[1], outputs[2]);
+    }
+
+    #[test]
+    fn durs_real_and_ideal_backends_agree_per_epoch() {
+        // The beacon over the ideal world (F_SBC + S_SBC) produces the
+        // same output, contribution count and release round as over the
+        // real stack, epoch for epoch — Theorem 2 at the application
+        // layer, through the backend-generic session only.
+        fn drive<W: SbcWorld>(mut s: DursSession<W>) -> Vec<DursResult> {
+            (0..3)
+                .map(|_| {
+                    for p in 0..3 {
+                        s.contribute(p).unwrap();
+                    }
+                    s.run_epoch().unwrap()
+                })
+                .collect()
+        }
+        let real = drive(DursSession::new(3, b"dual-beacon").unwrap());
+        let ideal = drive(DursSession::new_ideal(3, b"dual-beacon").unwrap());
+        assert_eq!(real, ideal);
     }
 
     #[test]

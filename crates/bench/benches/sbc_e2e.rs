@@ -17,6 +17,21 @@ fn run_session(n: usize, phi: u64) -> usize {
     s.run_to_completion().expect("terminates").messages.len()
 }
 
+fn run_ideal_session(n: usize, phi: u64) -> usize {
+    // Same driver, ideal backend: F_SBC + S_SBC instead of the full
+    // Π_SBC/F_UBC/F_TLE stack — the cost of the simulation itself.
+    let mut s = SbcSession::builder(n)
+        .phi(phi)
+        .seed(b"bench")
+        .build_ideal()
+        .expect("valid params");
+    for i in 0..n {
+        s.submit(i as u32, format!("message from {i}").as_bytes())
+            .expect("in period");
+    }
+    s.run_to_completion().expect("terminates").messages.len()
+}
+
 fn run_epochs(n: usize, epochs: u64) -> usize {
     // Multi-epoch amortization: one world stack, `epochs` periods.
     let mut s = SbcSession::builder(n)
@@ -43,6 +58,14 @@ fn main() {
     let g = harness::group("sbc_session_by_phi");
     for phi in [3u64, 6, 12] {
         g.bench(&format!("phi={phi}"), || run_session(4, phi));
+    }
+
+    // Real protocol stack vs ideal F_SBC + simulator, same session driver:
+    // how much of the round cost is the hybrid machinery.
+    let g = harness::group("sbc_backend_real_vs_ideal");
+    for n in [2usize, 4, 8] {
+        g.bench(&format!("real/n={n}"), || run_session(n, 3));
+        g.bench(&format!("ideal/n={n}"), || run_ideal_session(n, 3));
     }
 
     // One session running E epochs vs E single-shot sessions: the epoch

@@ -15,10 +15,37 @@
 pub mod harness {
     use std::time::{Duration, Instant};
 
-    /// Target measurement time per benchmark.
+    /// Default target measurement time per benchmark.
     const TARGET: Duration = Duration::from_millis(300);
-    /// Number of timed samples per benchmark.
+    /// Default number of timed samples per benchmark.
     const SAMPLES: usize = 10;
+    /// Smoke-mode target (CI bit-rot check, not a measurement).
+    const SMOKE_TARGET: Duration = Duration::from_millis(20);
+    /// Smoke-mode sample count.
+    const SMOKE_SAMPLES: usize = 3;
+
+    /// Whether smoke mode is on (`SBC_BENCH_SMOKE` set, non-empty): CI
+    /// runs every bench this way to catch bit-rot fast — the numbers are
+    /// not measurements.
+    pub fn smoke_mode() -> bool {
+        std::env::var_os("SBC_BENCH_SMOKE").is_some_and(|v| !v.is_empty())
+    }
+
+    fn target() -> Duration {
+        if smoke_mode() {
+            SMOKE_TARGET
+        } else {
+            TARGET
+        }
+    }
+
+    fn samples() -> usize {
+        if smoke_mode() {
+            SMOKE_SAMPLES
+        } else {
+            SAMPLES
+        }
+    }
 
     /// Statistics of one benchmark run.
     #[derive(Clone, Copy, Debug)]
@@ -61,20 +88,21 @@ pub mod harness {
         /// repeatedly; its return value is sunk through
         /// [`std::hint::black_box`] so the optimizer cannot elide the work.
         pub fn bench<T, F: FnMut() -> T>(&self, label: &str, mut f: F) -> Stats {
+            let (target, n_samples) = (target(), samples());
             // Warmup + calibration: estimate a per-iteration cost, then
-            // pick an iteration count that fills TARGET/SAMPLES per sample.
+            // pick an iteration count that fills target/samples per sample.
             let cal_start = Instant::now();
             let mut cal_iters: u64 = 0;
-            while cal_start.elapsed() < TARGET / 10 || cal_iters == 0 {
+            while cal_start.elapsed() < target / 10 || cal_iters == 0 {
                 std::hint::black_box(f());
                 cal_iters += 1;
             }
             let per_iter = cal_start.elapsed().as_nanos() as f64 / cal_iters as f64;
-            let per_sample = TARGET.as_nanos() as f64 / SAMPLES as f64;
+            let per_sample = target.as_nanos() as f64 / n_samples as f64;
             let iters = ((per_sample / per_iter).ceil() as u64).max(1);
 
-            let mut samples = Vec::with_capacity(SAMPLES);
-            for _ in 0..SAMPLES {
+            let mut samples = Vec::with_capacity(n_samples);
+            for _ in 0..n_samples {
                 let start = Instant::now();
                 for _ in 0..iters {
                     std::hint::black_box(f());
@@ -90,7 +118,7 @@ pub mod harness {
                 fmt_ns(median_ns),
                 fmt_ns(mean_ns),
                 iters,
-                SAMPLES,
+                n_samples,
             );
             Stats {
                 median_ns,

@@ -77,6 +77,15 @@ impl FbcFunc {
         self.n
     }
 
+    /// Drops every unlocked (`L_pend`) and undelivered locked (`L_lock`)
+    /// record (multi-epoch turnover: requests from an ended period must not
+    /// deliver into the next one). The tag stream carries over so tags stay
+    /// globally fresh across epochs.
+    pub fn begin_new_period(&mut self) {
+        self.pending.clear();
+        self.locked.clear();
+    }
+
     /// `Broadcast` from an honest party, or from the simulator on behalf of
     /// a corrupted one. Leaks only `(tag, P)`. Returns the tag.
     pub fn broadcast(&mut self, sender: PartyId, msg: Value, ctx: &mut HybridCtx<'_>) -> Tag {

@@ -127,6 +127,14 @@ impl FbcParty {
         self.id
     }
 
+    /// Forgets queued (`L_pend`) and in-flight (`L_wait`) broadcasts so the
+    /// party can take part in a fresh period (multi-epoch turnover). The
+    /// private randomness stream and the round-dedup guard carry over.
+    pub fn reset_period(&mut self) {
+        self.pend.clear();
+        self.wait.clear();
+    }
+
     /// `(sid, Broadcast, M)` input from the environment.
     pub fn on_input(&mut self, msg: Value) {
         self.pend.push(msg);

@@ -31,8 +31,11 @@ pub struct UbcProtocol {
     n: usize,
     /// `total_P` counters.
     totals: Vec<u64>,
-    /// `count_P` counters (instances opened in the current round).
-    counts: Vec<u64>,
+    /// Per-sender indices of instances opened but not yet delivered (the
+    /// paper's `count_P`, kept as explicit indices: adversarial broadcasts
+    /// also bump `total_P`, so the pending set cannot be reconstructed
+    /// from a plain counter).
+    pending: Vec<Vec<u64>>,
     instances: BTreeMap<(u32, u64), RbcFunc>,
     last_advance: Vec<Option<u64>>,
 }
@@ -43,7 +46,7 @@ impl UbcProtocol {
         UbcProtocol {
             n,
             totals: vec![0; n],
-            counts: vec![0; n],
+            pending: vec![Vec::new(); n],
             instances: BTreeMap::new(),
             last_advance: vec![None; n],
         }
@@ -52,6 +55,18 @@ impl UbcProtocol {
     /// Number of `F_RBC` instances created so far (cost accounting).
     pub fn instance_count(&self) -> usize {
         self.instances.len()
+    }
+
+    /// Drops every `F_RBC` instance opened but not yet delivered
+    /// (multi-epoch turnover: stale wires from an ended broadcast period
+    /// must not bleed into the next one). The `total_P` counters carry
+    /// over so instance labels stay globally fresh.
+    pub fn clear_pending(&mut self) {
+        for (i, pend) in self.pending.iter_mut().enumerate() {
+            for idx in pend.drain(..) {
+                self.instances.remove(&(i as u32, idx));
+            }
+        }
     }
 
     fn strip(deliveries: Vec<Delivery>) -> Vec<Delivery> {
@@ -71,9 +86,9 @@ impl UbcLayer for UbcProtocol {
         if ctx.is_corrupted(sender) {
             return;
         }
-        self.counts[sender.index()] += 1;
         self.totals[sender.index()] += 1;
         let idx = self.totals[sender.index()];
+        self.pending[sender.index()].push(idx);
         let mut inst = RbcFunc::new(self.n, rbc_instance_label(sender, idx));
         inst.broadcast_honest(sender, msg, ctx);
         self.instances.insert((sender.0, idx), inst);
@@ -118,16 +133,13 @@ impl UbcLayer for UbcProtocol {
             return Vec::new();
         }
         self.last_advance[party.index()] = Some(now);
-        let total = self.totals[party.index()];
-        let count = self.counts[party.index()];
+        let pend = std::mem::take(&mut self.pending[party.index()]);
         let mut out = Vec::new();
-        for j in 1..=count {
-            let idx = total - (count - j);
+        for idx in pend {
             if let Some(inst) = self.instances.get_mut(&(party.0, idx)) {
                 out.extend(Self::strip(inst.advance_clock(party, ctx)));
             }
         }
-        self.counts[party.index()] = 0;
         out
     }
 }

@@ -18,9 +18,15 @@
 //!   the same world: [`SbcSession::run_epoch`] releases the current
 //!   period's vector as an [`EpochResult`] and re-opens the stack for the
 //!   next one. Randomness beacons and repeated elections no longer rebuild
-//!   the whole world stack per round. (Note: epoch turnover exists in the
-//!   real world only — the Theorem 2 real-vs-ideal experiments cover
-//!   single periods; an ideal-world counterpart is a roadmap item.)
+//!   the whole world stack per round.
+//! * **Backend-pluggable.** The session is generic over the
+//!   `sbc_uc::exec::SbcWorld` execution backend: `build()` runs the real
+//!   protocol stack, [`SbcSessionBuilder::build_ideal`] the ideal
+//!   `F_SBC + S_SBC` world, and
+//!   [`SbcSessionBuilder::build_backend`] any future backend. Epoch
+//!   turnover is part of the proven surface: the dual-world tests assert
+//!   real-vs-ideal transcript equality across corruptions, injections and
+//!   late drains for every epoch, not just the first.
 //! * **Adversary as configuration.** Dishonest-majority scenarios are set
 //!   up through [`AdversaryConfig`] and driven through the session's
 //!   adversarial surface ([`SbcSession::corrupt`],
@@ -63,114 +69,14 @@
 //! ```
 
 use crate::protocol::sbc_wire;
-use crate::worlds::{RealSbcWorld, SbcParams};
+use crate::worlds::{IdealSbcWorld, RealSbcWorld, SbcBackend, SbcParams};
 use sbc_primitives::drbg::Drbg;
+use sbc_uc::exec::SbcWorld;
 use sbc_uc::ids::PartyId;
 use sbc_uc::value::{Command, Value};
-use sbc_uc::world::{AdvCommand, Leak, World};
-use std::fmt;
+use sbc_uc::world::{AdvCommand, Leak};
 
-/// Errors of the fallible session API.
-///
-/// Every public [`SbcSession`] entry point returns one of these instead of
-/// panicking; match on the variant to distinguish caller mistakes
-/// (`InvalidParams`, `PartyOutOfRange`, `SubmitAfterClose`, …) from
-/// internal faults (`Internal`).
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum SbcError {
-    /// The parameters violate Theorem 2's constraints (`Φ > delay`,
-    /// `∆ > α_TLE`) or are degenerate (`n = 0`).
-    InvalidParams {
-        /// Which constraint failed.
-        reason: &'static str,
-    },
-    /// A party index `≥ n` was used.
-    PartyOutOfRange {
-        /// The offending index.
-        party: u32,
-        /// The session size.
-        n: usize,
-    },
-    /// An honest-path operation targeted a corrupted party (or a party was
-    /// corrupted twice).
-    CorruptedParty {
-        /// The corrupted party.
-        party: u32,
-    },
-    /// Corrupting another party would leave no honest party (`t ≤ n − 1`
-    /// is the dishonest-majority budget).
-    CorruptionBudgetExceeded {
-        /// The party whose corruption was refused.
-        party: u32,
-    },
-    /// An adversarial operation targeted a party that is still honest.
-    HonestParty {
-        /// The honest party.
-        party: u32,
-    },
-    /// A submission arrived too late to complete before the broadcast
-    /// period closes (`Cl + delay ≥ t_end`).
-    SubmitAfterClose {
-        /// The round of the attempted submission.
-        round: u64,
-        /// The period end `t_end`.
-        t_end: u64,
-    },
-    /// An adversarial injection was attempted before any wake-up: the
-    /// release time `τ_rel` is not yet agreed.
-    PeriodNotOpen,
-    /// `run_epoch`/`run_to_completion` was called with nothing submitted —
-    /// the period would never open and the session would spin forever.
-    NoInput,
-    /// The session failed to release within its round budget.
-    Timeout {
-        /// The exhausted budget (rounds).
-        budget: u64,
-    },
-    /// An invariant of the underlying world machinery failed — honest
-    /// parties disagreed, or a release payload was malformed.
-    Internal {
-        /// Human-readable description of the broken invariant.
-        detail: String,
-    },
-}
-
-impl fmt::Display for SbcError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            SbcError::InvalidParams { reason } => write!(f, "invalid SBC parameters: {reason}"),
-            SbcError::PartyOutOfRange { party, n } => {
-                write!(f, "party {party} out of range for a {n}-party session")
-            }
-            SbcError::CorruptedParty { party } => write!(f, "party {party} is corrupted"),
-            SbcError::CorruptionBudgetExceeded { party } => {
-                write!(f, "corrupting party {party} would leave no honest party")
-            }
-            SbcError::HonestParty { party } => {
-                write!(
-                    f,
-                    "party {party} is honest (adversarial operation requires corruption)"
-                )
-            }
-            SbcError::SubmitAfterClose { round, t_end } => {
-                write!(
-                    f,
-                    "submission at round {round} cannot complete before t_end = {t_end}"
-                )
-            }
-            SbcError::PeriodNotOpen => {
-                write!(f, "no broadcast period is open (τ_rel not yet agreed)")
-            }
-            SbcError::NoInput => write!(f, "nothing submitted: the period would never open"),
-            SbcError::Timeout { budget } => {
-                write!(f, "session failed to release within {budget} rounds")
-            }
-            SbcError::Internal { detail } => write!(f, "internal session fault: {detail}"),
-        }
-    }
-}
-
-impl std::error::Error for SbcError {}
+pub use crate::error::SbcError;
 
 /// Static adversary configuration applied when the session is built.
 ///
@@ -262,7 +168,8 @@ impl SbcSessionBuilder {
         self
     }
 
-    /// Builds the session.
+    /// Builds the session over the real protocol stack (`Π_SBC` over
+    /// `F_UBC` + `F_TLE` + `F_RO` + `G_clock`).
     ///
     /// # Errors
     ///
@@ -271,14 +178,32 @@ impl SbcSessionBuilder {
     /// * [`SbcError::PartyOutOfRange`] if the adversary configuration
     ///   corrupts a party index `≥ n`.
     pub fn build(self) -> Result<SbcSession, SbcError> {
-        if self.params.n == 0 {
-            return Err(SbcError::InvalidParams {
-                reason: "need at least one party",
-            });
-        }
-        self.params
-            .validate()
-            .map_err(|reason| SbcError::InvalidParams { reason })?;
+        self.build_backend::<RealSbcWorld>()
+    }
+
+    /// Builds the session over the ideal world (`F_SBC(Φ, ∆, α)` composed
+    /// with the Theorem 2 simulator `S_SBC`). Same session code, same
+    /// adversary surface, same multi-epoch driver — by Theorem 2, every
+    /// observable of the two backends agrees, which the dual-world tests
+    /// assert epoch by epoch.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`build`](SbcSessionBuilder::build).
+    pub fn build_ideal(self) -> Result<SbcSession<IdealSbcWorld>, SbcError> {
+        self.build_backend::<IdealSbcWorld>()
+    }
+
+    /// Builds the session over any [`SbcBackend`] — the extension point for
+    /// future execution backends (sharded, async, networked).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`build`](SbcSessionBuilder::build).
+    pub fn build_backend<W: SbcBackend>(self) -> Result<SbcSession<W>, SbcError> {
+        // Parameter errors take precedence over adversary-config errors
+        // (a party can hardly be "out of range" of degenerate parameters).
+        self.params.validate()?;
         for &p in &self.adversary.corrupt_at_start {
             if p as usize >= self.params.n {
                 return Err(SbcError::PartyOutOfRange {
@@ -290,7 +215,7 @@ impl SbcSessionBuilder {
         let mut adv_seed = self.seed.clone();
         adv_seed.extend_from_slice(b"/session-adversary");
         let mut session = SbcSession {
-            world: RealSbcWorld::new(self.params, &self.seed),
+            world: W::from_params(self.params, &self.seed)?,
             params: self.params,
             capture_leaks: self.adversary.capture_leaks,
             adv_rng: Drbg::from_seed(&adv_seed),
@@ -333,15 +258,21 @@ pub struct EpochResult {
     pub release_round: u64,
 }
 
-/// A running simultaneous-broadcast session over the real protocol stack.
+/// A running simultaneous-broadcast session over a pluggable execution
+/// backend — the real protocol stack by default, the ideal
+/// `F_SBC + S_SBC` world via
+/// [`build_ideal`](SbcSessionBuilder::build_ideal), or any future
+/// [`SbcBackend`] via [`build_backend`](SbcSessionBuilder::build_backend).
+/// Every method below is backend-agnostic: it speaks only the
+/// [`SbcWorld`] trait.
 ///
 /// The session is *multi-epoch*: after [`run_epoch`](SbcSession::run_epoch)
 /// releases a period's vector, the same world (clock, random oracle,
 /// corruption state) hosts the next period. Submissions made after an
 /// epoch completes belong to the next epoch.
 #[derive(Debug)]
-pub struct SbcSession {
-    world: RealSbcWorld,
+pub struct SbcSession<W: SbcWorld = RealSbcWorld> {
+    world: W,
     params: SbcParams,
     capture_leaks: bool,
     adv_rng: Drbg,
@@ -364,7 +295,9 @@ impl SbcSession {
             adversary: AdversaryConfig::default(),
         }
     }
+}
 
+impl<W: SbcWorld> SbcSession<W> {
     /// The session parameters.
     pub fn params(&self) -> SbcParams {
         self.params
@@ -688,6 +621,13 @@ impl SbcSession {
         self.control("F_TLE", Command::new("Leakage", Value::Unit))
     }
 
+    /// Whether the backend's simulator hit a simulation-abort event (the
+    /// negligible-probability event of the Theorem 2 proof). Always `false`
+    /// on the real backend.
+    pub fn would_abort(&self) -> bool {
+        self.world.would_abort()
+    }
+
     /// Adversary-visible leaks captured so far (requires
     /// [`AdversaryConfig::capture_leaks`]; empty otherwise).
     pub fn leaks(&self) -> &[Leak] {
@@ -928,6 +868,77 @@ mod tests {
         );
         // No wake-up yet: τ_rel unknown.
         assert_eq!(s.inject_message(1, b"m"), Err(SbcError::PeriodNotOpen));
+    }
+
+    #[test]
+    fn ideal_backend_quickstart() {
+        let mut s = SbcSession::builder(3)
+            .seed(b"ideal-api")
+            .build_ideal()
+            .unwrap();
+        s.submit(0, b"one").unwrap();
+        s.submit(1, b"two").unwrap();
+        let r = s.run_to_completion().unwrap();
+        assert_eq!(r.messages.len(), 2);
+        assert_eq!(r.release_round, 3 + 2);
+        assert!(!s.would_abort());
+    }
+
+    #[test]
+    fn real_and_ideal_backends_agree_across_adversarial_epochs() {
+        // The same generic driver runs both backends: every epoch's agreed
+        // vector and release round must match — Theorem 2 at session level,
+        // including corruption and wire injection.
+        fn drive<W: SbcWorld>(mut s: SbcSession<W>) -> (Vec<EpochResult>, bool) {
+            s.corrupt(2).unwrap();
+            let mut out = Vec::new();
+            for epoch in 0u64..3 {
+                s.submit(0, format!("a{epoch}").as_bytes()).unwrap();
+                s.step_round().unwrap(); // period opens: τ_rel agreed
+                s.inject_message(2, format!("evil{epoch}").as_bytes())
+                    .unwrap();
+                s.submit(1, format!("b{epoch}").as_bytes()).unwrap();
+                out.push(s.run_epoch().unwrap());
+            }
+            (out, s.would_abort())
+        }
+        let real = drive(SbcSession::builder(3).seed(b"dual-adv").build().unwrap());
+        let ideal = drive(
+            SbcSession::builder(3)
+                .seed(b"dual-adv")
+                .build_ideal()
+                .unwrap(),
+        );
+        assert!(!real.1 && !ideal.1, "no simulator abort");
+        assert_eq!(real.0, ideal.0, "epoch results diverge");
+        for (epoch, r) in real.0.iter().enumerate() {
+            assert_eq!(r.messages.len(), 3, "epoch {epoch}: 2 honest + 1 injected");
+            assert!(r.messages.contains(&format!("evil{epoch}").into_bytes()));
+        }
+    }
+
+    #[test]
+    fn build_backend_is_the_generic_entry_point() {
+        use crate::worlds::IdealSbcWorld;
+        let s = SbcSession::builder(2)
+            .seed(b"generic")
+            .build_backend::<IdealSbcWorld>()
+            .unwrap();
+        assert_eq!(s.params().n, 2);
+        let err = SbcSession::builder(0)
+            .seed(b"generic-bad")
+            .build_backend::<RealSbcWorld>()
+            .unwrap_err();
+        assert!(matches!(err, SbcError::InvalidParams { .. }));
+        // Parameter errors outrank adversary-config errors: a corrupt list
+        // over degenerate params is reported as InvalidParams, not as a
+        // party "out of range for a 0-party session".
+        let err = SbcSession::builder(0)
+            .corrupt(&[0])
+            .seed(b"precedence")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SbcError::InvalidParams { .. }));
     }
 
     #[test]

@@ -107,6 +107,23 @@ impl SbcFunc {
         &self.records
     }
 
+    /// Closes the books on a released broadcast period so the same
+    /// functionality instance can host the next one — the paper's
+    /// sequential multi-period composition (§6). Records, period times and
+    /// the once-per-round bookkeeping are dropped; the tag stream carries
+    /// over so tags stay globally fresh across epochs. The *next*
+    /// `Broadcast` request opens a new period at the then-current clock
+    /// round.
+    pub fn begin_new_period(&mut self) {
+        self.records.clear();
+        self.t_start = None;
+        self.t_end = None;
+        self.round_seen = None;
+        self.finalized_done = false;
+        self.sim_list_sent = false;
+        self.last_advance.clear();
+    }
+
     /// `Broadcast` from an honest party (leaks `(tag, |M|, P)`) or from the
     /// simulator on behalf of a corrupted one (leaks `(tag, M, P)`; record
     /// enters finalized). Requests outside the period are discarded.

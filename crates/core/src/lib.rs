@@ -14,7 +14,10 @@
 //! * [`func`] — the functionality `F_SBC(Φ, ∆, α)` (Fig. 13).
 //! * [`protocol`] — the protocol `Π_SBC` over `F_UBC` + `F_TLE` + `F_RO`
 //!   (Fig. 14).
-//! * [`worlds`] — Theorem 2's real/ideal experiment worlds and simulator.
+//! * [`worlds`] — Theorem 2's real/ideal experiment worlds and simulator,
+//!   both implementing the shared `sbc_uc::exec::SbcWorld` backend trait.
+//! * [`error`] — the structured [`error::SbcError`] every fallible entry
+//!   point returns.
 //! * [`baseline`] — the comparison systems: an \[Hev06]-style
 //!   full-participation SBC and a naive commit-free simultaneous channel.
 //! * [`api`] — the fallible, multi-epoch [`api::SbcSession`] for running
@@ -40,6 +43,7 @@
 
 pub mod api;
 pub mod baseline;
+pub mod error;
 pub mod func;
 pub mod protocol;
 pub mod worlds;

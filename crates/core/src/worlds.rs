@@ -16,15 +16,33 @@
 //! equality of all party outputs (the delivered message vectors and their
 //! rounds) and of the `F_TLE` leakage responses.
 
+use crate::error::SbcError;
 use crate::func::SbcFunc;
 use crate::protocol::{parse_sbc_wire, sbc_wire, wake_up, SbcParty};
 use sbc_broadcast::ubc::func::{UbcFunc, UBC_SOURCE};
 use sbc_primitives::drbg::Drbg;
 use sbc_tle::func::{TleFunc, TLE_SOURCE};
+use sbc_uc::exec::SbcWorld;
 use sbc_uc::ids::{PartyId, Tag};
 use sbc_uc::ro::{Caller, RandomOracle};
 use sbc_uc::value::{Command, Value};
 use sbc_uc::world::{AdvCommand, Leak, World, WorldCore};
+
+/// An [`SbcWorld`] backend constructible from experiment parameters — what
+/// [`SbcSessionBuilder::build_backend`](crate::api::SbcSessionBuilder::build_backend)
+/// plugs into the session layer. Implemented by [`RealSbcWorld`] (Theorem
+/// 2's hybrid world) and [`IdealSbcWorld`] (`F_SBC` + `S_SBC`); any future
+/// backend (sharded, async, networked) joins by implementing this pair of
+/// traits.
+pub trait SbcBackend: SbcWorld + Sized {
+    /// Creates the backend.
+    ///
+    /// # Errors
+    ///
+    /// [`SbcError::InvalidParams`] if the parameters violate Theorem 2's
+    /// constraints.
+    fn from_params(params: SbcParams, seed: &[u8]) -> Result<Self, SbcError>;
+}
 
 /// Parameters of an SBC experiment instance.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -60,12 +78,20 @@ impl SbcParams {
     }
 
     /// Validates Theorem 2's constraints.
-    pub fn validate(&self) -> Result<(), &'static str> {
+    ///
+    /// # Errors
+    ///
+    /// [`SbcError::InvalidParams`] naming the violated constraint.
+    pub fn validate(&self) -> Result<(), SbcError> {
+        let fail = |reason| Err(SbcError::InvalidParams { reason });
+        if self.n == 0 {
+            return fail("need at least one party");
+        }
         if self.phi <= self.tle_delay {
-            return Err("need Φ > delay");
+            return fail("need Φ > delay");
         }
         if self.delta <= self.tle_alpha {
-            return Err("need ∆ > max(leak(Cl) − Cl)");
+            return fail("need ∆ > max(leak(Cl) − Cl)");
         }
         Ok(())
     }
@@ -137,32 +163,6 @@ impl RealSbcWorld {
             ftle: TleFunc::new(params.tle_alpha, params.tle_delay, tle_tags),
             ro: RandomOracle::new(ro_rng),
         }
-    }
-
-    /// The end of the current broadcast period `t_end = t_awake + Φ`, once
-    /// any party has woken up.
-    pub fn period_end(&self) -> Option<u64> {
-        self.parties.iter().find_map(|p| p.t_end())
-    }
-
-    /// The agreed release round `τ_rel = t_end + ∆` of the current period,
-    /// once any party has woken up. This is the authoritative release-round
-    /// value: it is correct even when the environment drains outputs late.
-    pub fn release_round(&self) -> Option<u64> {
-        self.parties.iter().find_map(|p| p.tau_rel())
-    }
-
-    /// Closes the books on a released broadcast period so the same world
-    /// can host another one (multi-epoch sessions): every party forgets its
-    /// period state, undelivered UBC wires are dropped, and the released
-    /// `F_TLE` records are pruned. The global clock, the random oracle and
-    /// the corruption state carry over.
-    pub fn begin_new_period(&mut self) {
-        for p in &mut self.parties {
-            p.reset_period();
-        }
-        self.ubc.clear_pending();
-        self.ftle.clear_records();
     }
 
     fn distribute(&mut self, deliveries: Vec<sbc_uc::hybrid::Delivery>) {
@@ -306,6 +306,41 @@ impl World for RealSbcWorld {
 
     fn is_corrupted(&self, party: PartyId) -> bool {
         self.core.corr.is_corrupted(party)
+    }
+}
+
+impl SbcWorld for RealSbcWorld {
+    /// Closes the books on a released broadcast period so the same world
+    /// can host another one (multi-epoch sessions): every party forgets its
+    /// period state, undelivered UBC wires are dropped, and the released
+    /// `F_TLE` records are pruned. The global clock, the random oracle and
+    /// the corruption state carry over.
+    fn begin_new_period(&mut self) {
+        for p in &mut self.parties {
+            p.reset_period();
+        }
+        self.ubc.clear_pending();
+        self.ftle.clear_records();
+    }
+
+    /// The agreed release round `τ_rel = t_end + ∆` of the current period,
+    /// once any party has woken up. This is the authoritative release-round
+    /// value: it is correct even when the environment drains outputs late.
+    fn release_round(&self) -> Option<u64> {
+        self.parties.iter().find_map(|p| p.tau_rel())
+    }
+
+    /// The end of the current broadcast period `t_end = t_awake + Φ`, once
+    /// any party has woken up.
+    fn period_end(&self) -> Option<u64> {
+        self.parties.iter().find_map(|p| p.t_end())
+    }
+}
+
+impl SbcBackend for RealSbcWorld {
+    fn from_params(params: SbcParams, seed: &[u8]) -> Result<Self, SbcError> {
+        params.validate()?;
+        Ok(RealSbcWorld::new(params, seed))
     }
 }
 
@@ -612,6 +647,26 @@ impl SimSbc {
         }
         leakage_response(&recs)
     }
+
+    /// Forgets the closed broadcast period — the simulator-side mirror of
+    /// [`SbcParty::reset_period`] plus the `F_UBC`/`F_TLE` pruning of the
+    /// real world's period turnover: shadow queues, wake-up flags, agreed
+    /// times, adversarial inserts and replay-guard wires are dropped. The
+    /// mirrored randomness streams carry over (exactly like the real
+    /// parties' and functionalities' streams do), and the sticky
+    /// `would_abort` flag survives: an abort event in any epoch taints the
+    /// whole execution.
+    fn begin_new_period(&mut self) {
+        for q in &mut self.queues {
+            q.clear();
+        }
+        self.wakeup_pending.iter_mut().for_each(|w| *w = false);
+        self.wakeup_sent.iter_mut().for_each(|w| *w = false);
+        self.t_awake = None;
+        self.inserts.clear();
+        self.seen_wires.clear();
+        self.programmed = false;
+    }
 }
 
 /// The ideal world: `F_SBC(Φ, ∆, α)` + `S_SBC`.
@@ -879,44 +934,67 @@ impl World for IdealSbcWorld {
     }
 }
 
+impl SbcWorld for IdealSbcWorld {
+    /// The ideal-world period turnover matching
+    /// [`RealSbcWorld::begin_new_period`]: `F_SBC` forgets its records and
+    /// period times, the simulator clears its shadow state (see
+    /// `SimSbc::begin_new_period`), and the pending broadcast list is
+    /// dropped. The global clock, the random oracle, the corruption state
+    /// and every mirrored randomness stream carry over — so transcript
+    /// equality with the real world extends across epoch boundaries.
+    fn begin_new_period(&mut self) {
+        self.fsbc.begin_new_period();
+        self.sim.begin_new_period();
+        self.sbc_list = None;
+    }
+
+    fn release_round(&self) -> Option<u64> {
+        self.sim.tau_rel()
+    }
+
+    fn period_end(&self) -> Option<u64> {
+        self.sim.t_end()
+    }
+
+    fn would_abort(&self) -> bool {
+        self.sim.would_abort
+    }
+}
+
+impl SbcBackend for IdealSbcWorld {
+    fn from_params(params: SbcParams, seed: &[u8]) -> Result<Self, SbcError> {
+        params.validate()?;
+        Ok(IdealSbcWorld::new(params, seed))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sbc_uc::trace::EventKind;
+    use sbc_uc::exec::{CompareLevel, DualRun};
     use sbc_uc::world::{run_env, EnvDriver};
 
     fn params(n: usize) -> SbcParams {
         SbcParams::default_for(n)
     }
 
-    fn outputs_exact(t: &sbc_uc::trace::Transcript) -> Vec<(u64, PartyId, Value)> {
-        t.events
-            .iter()
-            .filter_map(|e| match &e.kind {
-                EventKind::Output { party, cmd } => Some((e.round, *party, cmd.value.clone())),
-                _ => None,
-            })
-            .collect()
+    fn dual(n: usize, seed: &[u8]) -> DualRun<RealSbcWorld, IdealSbcWorld> {
+        DualRun::new(
+            RealSbcWorld::new(params(n), seed),
+            IdealSbcWorld::new(params(n), seed),
+            CompareLevel::ShapeAndOutputs,
+        )
     }
 
     fn assert_theorem2<F>(n: usize, seed: &[u8], script: F)
     where
         F: Fn(&mut EnvDriver<'_>) + Copy,
     {
-        let mut real = RealSbcWorld::new(params(n), seed);
-        let mut ideal = IdealSbcWorld::new(params(n), seed);
-        let t_real = run_env(&mut real, script);
-        let t_ideal = run_env(&mut ideal, script);
-        assert!(!ideal.simulator_would_abort(), "simulator abort event");
-        assert_eq!(
-            t_real.shape_digest(),
-            t_ideal.shape_digest(),
-            "shape diverges:\nREAL:\n{t_real}\nIDEAL:\n{t_ideal}"
-        );
-        assert_eq!(
-            outputs_exact(&t_real),
-            outputs_exact(&t_ideal),
-            "outputs diverge:\nREAL:\n{t_real}\nIDEAL:\n{t_ideal}"
+        sbc_uc::exec::assert_indistinguishable(
+            RealSbcWorld::new(params(n), seed),
+            IdealSbcWorld::new(params(n), seed),
+            CompareLevel::ShapeAndOutputs,
+            script,
         );
     }
 
@@ -992,6 +1070,38 @@ mod tests {
             env.adversary(AdvCommand::Corrupt(PartyId(0)));
             env.idle_rounds(7);
         });
+    }
+
+    #[test]
+    fn theorem2_multi_epoch_turnover() {
+        // Three successive broadcast periods over one dual world: the
+        // ideal-world period reset must keep transcripts aligned with the
+        // real world's in every epoch, not just the first.
+        let mut d = dual(3, b"t2-epochs");
+        for epoch in 0..3u64 {
+            d.submit(PartyId(0), format!("alpha/{epoch}").as_bytes());
+            d.advance_all();
+            d.submit(PartyId(1), format!("bravo/{epoch}").as_bytes());
+            d.idle_rounds(8);
+            assert_eq!(d.release_round(), Some(epoch * 9 + 5), "τ_rel agreed");
+            d.finish_epoch().unwrap_or_else(|div| panic!("{div}"));
+        }
+        assert_eq!(d.epoch(), 3);
+    }
+
+    #[test]
+    fn theorem2_multi_epoch_with_idle_gap() {
+        // An epoch whose period opens late (idle rounds first) must still
+        // align: t_awake is re-agreed per epoch in both worlds.
+        let mut d = dual(2, b"t2-gap");
+        d.submit(PartyId(0), b"first");
+        d.idle_rounds(8);
+        d.finish_epoch().unwrap_or_else(|div| panic!("{div}"));
+        d.idle_rounds(2); // nobody broadcasts: the new period stays closed
+        assert_eq!(d.release_round(), None);
+        d.submit(PartyId(1), b"second");
+        d.idle_rounds(8);
+        d.finish_epoch().unwrap_or_else(|div| panic!("{div}"));
     }
 
     #[test]

@@ -1,0 +1,521 @@
+//! The unified dual-world execution layer: one trait for every backend,
+//! one harness for every real-vs-ideal experiment.
+//!
+//! # The real/ideal/simulator triangle
+//!
+//! Every security statement in the paper has the same shape (Def. 1): an
+//! environment `Z` drives either the **real world** (protocol parties over
+//! hybrid functionalities) or the **ideal world** (dummy parties talking to
+//! the target functionality, with a **simulator** `S` translating the
+//! functionality's leakage into exactly the hybrid-world view the real
+//! adversary would see). The protocol UC-realizes the functionality when no
+//! `Z` can tell the two transcripts apart. The three corners:
+//!
+//! ```text
+//!              environment Z  (inputs, Advance_Clock, AdvCommand)
+//!                 /                                  \
+//!        real world                               ideal world
+//!   Π over F_hybrid + G_clock            F_target  +  simulator S
+//!   (e.g. Π_SBC over F_UBC,F_TLE,F_RO)   (e.g. F_SBC + S_SBC: fabricates
+//!                                         wires, mirrors F_TLE leakage,
+//!                                         equivocates F_RO at release)
+//! ```
+//!
+//! [`SbcWorld`] is the contract both corners implement, and [`DualRun`] is
+//! the harness that drives a pair of them through identical actions while
+//! recording both transcripts — so a test, a session, or an application can
+//! swap backends without touching its driving code.
+//!
+//! # Multi-period composition and `begin_new_period`
+//!
+//! The paper composes SBC periods sequentially (§6: beacons and elections
+//! run one broadcast period per epoch over a persistent world). A *period*
+//! is one `[t_awake, t_end = t_awake + Φ)` window plus its release at
+//! `τ_rel = t_end + ∆`; [`SbcWorld::begin_new_period`] closes the books on
+//! a released period — protocol parties forget their period state,
+//! undelivered wires are dropped, released functionality records are
+//! pruned — while the *composable* state (the global clock `G_clock`, the
+//! random oracle `F_RO`, the corruption set, and every randomness stream)
+//! carries over. Because both corners of the triangle reset the same way,
+//! transcript equality extends from single periods to arbitrary epoch
+//! sequences: that is exactly the multi-period surface of Theorem 2 the
+//! [`DualRun::finish_epoch`] checkpoints assert.
+
+use crate::ids::PartyId;
+use crate::trace::Transcript;
+use crate::value::{Command, Value};
+use crate::world::{AdvCommand, EnvDriver, World};
+use std::fmt;
+
+/// A [`World`] that can host simultaneous-broadcast periods: the one trait
+/// every execution backend — real, ideal, or future (sharded, async,
+/// networked) — implements so that sessions, tests, and benches drive all
+/// of them through identical code.
+///
+/// The required surface is the period lifecycle; the provided methods are
+/// the default driver loop ([`submit`](SbcWorld::submit) /
+/// [`tick`](SbcWorld::tick)) shared by every backend.
+pub trait SbcWorld: World {
+    /// Closes the books on a released broadcast period so the same world
+    /// can host the next one. Period-local state (party queues, undelivered
+    /// wires, released records) is dropped; composable state (clock, random
+    /// oracle, corruption set, randomness streams) carries over. See the
+    /// [module docs](self) for how this maps to the paper's multi-period
+    /// composition.
+    fn begin_new_period(&mut self);
+
+    /// The agreed release round `τ_rel = t_awake + Φ + ∆` of the current
+    /// period, once any party has woken up. `None` for worlds without a
+    /// period notion (e.g. plain broadcast stacks).
+    fn release_round(&self) -> Option<u64>;
+
+    /// The end `t_end = t_awake + Φ` of the current broadcast period, once
+    /// any party has woken up. `None` for worlds without a period notion.
+    fn period_end(&self) -> Option<u64>;
+
+    /// Whether a simulation-abort event (the negligible-probability event
+    /// of the security proofs, e.g. the adversary pre-querying a hidden
+    /// oracle point) has occurred. Real worlds never abort; ideal worlds
+    /// report their simulator's flag. The flag is sticky across
+    /// [`begin_new_period`](SbcWorld::begin_new_period).
+    fn would_abort(&self) -> bool {
+        false
+    }
+
+    /// Default driver: submits `message` for broadcast by honest `party`.
+    fn submit(&mut self, party: PartyId, message: &[u8]) {
+        self.input(party, Command::new("Broadcast", Value::bytes(message)));
+    }
+
+    /// Default driver: one full round — every honest party advances once.
+    fn tick(&mut self) {
+        for i in 0..self.n() {
+            let p = PartyId(i as u32);
+            if !self.is_corrupted(p) {
+                self.advance(p);
+            }
+        }
+    }
+}
+
+/// How strictly a real/ideal transcript pair must agree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CompareLevel {
+    /// Byte-identical transcripts (perfect simulations: Lemmas 1–2).
+    Exact,
+    /// Identical event shape plus exactly equal party outputs (Theorem 2:
+    /// ciphertext bytes differ between the worlds, everything the
+    /// environment can *decide on* must not).
+    ShapeAndOutputs,
+}
+
+/// A detected real-vs-ideal divergence, carrying both rendered transcripts.
+#[derive(Clone, Debug)]
+pub struct Divergence {
+    /// What diverged (shape, outputs, digest, or a simulator abort).
+    pub reason: String,
+    /// The rendered real-world transcript.
+    pub real: String,
+    /// The rendered ideal-world transcript.
+    pub ideal: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}\nREAL:\n{}\nIDEAL:\n{}",
+            self.reason, self.real, self.ideal
+        )
+    }
+}
+
+impl std::error::Error for Divergence {}
+
+/// Checks a real/ideal transcript pair at the given comparison level.
+///
+/// # Errors
+///
+/// Returns a [`Divergence`] naming what differed.
+pub fn compare_transcripts(
+    level: CompareLevel,
+    real: &Transcript,
+    ideal: &Transcript,
+) -> Result<(), Divergence> {
+    let diverged = |reason: &str| Divergence {
+        reason: reason.to_string(),
+        real: real.to_string(),
+        ideal: ideal.to_string(),
+    };
+    match level {
+        CompareLevel::Exact => {
+            if real.digest() != ideal.digest() {
+                return Err(diverged("real vs ideal transcripts diverge"));
+            }
+        }
+        CompareLevel::ShapeAndOutputs => {
+            if real.shape_digest() != ideal.shape_digest() {
+                return Err(diverged("real vs ideal transcript shapes diverge"));
+            }
+            if real.outputs() != ideal.outputs() {
+                return Err(diverged("real vs ideal party outputs diverge"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Drives a real/ideal pair of [`SbcWorld`] backends through identical
+/// actions, recording both transcripts and checkpointing their equality at
+/// every epoch boundary.
+///
+/// This is the one harness behind every indistinguishability experiment in
+/// the workspace: single-period lemma tests feed it a script and check
+/// once; multi-epoch Theorem 2 scenarios interleave actions with
+/// [`finish_epoch`](DualRun::finish_epoch) calls. The test body never
+/// touches a concrete world type — everything goes through the trait.
+#[derive(Debug)]
+pub struct DualRun<R: SbcWorld, I: SbcWorld> {
+    real: R,
+    ideal: I,
+    level: CompareLevel,
+    t_real: Transcript,
+    t_ideal: Transcript,
+    epoch: u64,
+}
+
+impl<R: SbcWorld, I: SbcWorld> DualRun<R, I> {
+    /// Wraps a real/ideal pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two worlds disagree on the number of parties.
+    pub fn new(real: R, ideal: I, level: CompareLevel) -> Self {
+        assert_eq!(real.n(), ideal.n(), "worlds must have the same parties");
+        DualRun {
+            real,
+            ideal,
+            level,
+            t_real: Transcript::new(),
+            t_ideal: Transcript::new(),
+            epoch: 0,
+        }
+    }
+
+    /// Applies the same driver actions to both worlds. The closure runs
+    /// twice — once per world — so it must be deterministic in the driver.
+    pub fn script<F>(&mut self, f: F)
+    where
+        F: Fn(&mut EnvDriver<'_>),
+    {
+        self.both(|env| f(env));
+    }
+
+    fn both<T>(&mut self, f: impl Fn(&mut EnvDriver<'_>) -> T) -> (T, T) {
+        let mut env = EnvDriver::resume(&mut self.real, std::mem::take(&mut self.t_real));
+        let a = f(&mut env);
+        self.t_real = env.finish();
+        let mut env = EnvDriver::resume(&mut self.ideal, std::mem::take(&mut self.t_ideal));
+        let b = f(&mut env);
+        self.t_ideal = env.finish();
+        (a, b)
+    }
+
+    /// Number of parties.
+    pub fn n(&self) -> usize {
+        self.real.n()
+    }
+
+    /// The zero-based epoch both worlds are currently in.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Submits `message` for broadcast by honest `party` in both worlds.
+    pub fn submit(&mut self, party: PartyId, message: &[u8]) {
+        let cmd = Command::new("Broadcast", Value::bytes(message));
+        self.input(party, cmd);
+    }
+
+    /// Feeds an input to both worlds.
+    pub fn input(&mut self, party: PartyId, cmd: Command) {
+        self.both(|env| env.input(party, cmd.clone()));
+    }
+
+    /// Issues an adversary command to both worlds, returning both
+    /// responses (they need not be equal — e.g. leakage queries differ in
+    /// representation, not in shape).
+    pub fn adversary(&mut self, cmd: AdvCommand) -> (Value, Value) {
+        self.both(|env| env.adversary(cmd.clone()))
+    }
+
+    /// Adaptively corrupts `party` in both worlds.
+    pub fn corrupt(&mut self, party: PartyId) -> (Value, Value) {
+        self.adversary(AdvCommand::Corrupt(party))
+    }
+
+    /// One full round in both worlds (all honest parties advance).
+    pub fn advance_all(&mut self) {
+        self.both(|env| env.advance_all());
+    }
+
+    /// Runs `rounds` idle rounds in both worlds.
+    pub fn idle_rounds(&mut self, rounds: u64) {
+        self.both(|env| env.idle_rounds(rounds));
+    }
+
+    /// The agreed release round of the current period, once open.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two worlds disagree — that is itself a distinguishing
+    /// event and must surface loudly.
+    pub fn release_round(&self) -> Option<u64> {
+        let (r, i) = (self.real.release_round(), self.ideal.release_round());
+        assert_eq!(r, i, "release rounds diverge: real {r:?} vs ideal {i:?}");
+        r
+    }
+
+    /// Checks transcript agreement (and the simulator abort flag) without
+    /// ending the epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Divergence`] naming what differed.
+    pub fn check(&self) -> Result<(), Divergence> {
+        if self.ideal.would_abort() {
+            return Err(Divergence {
+                reason: "simulator abort event".to_string(),
+                real: self.t_real.to_string(),
+                ideal: self.t_ideal.to_string(),
+            });
+        }
+        compare_transcripts(self.level, &self.t_real, &self.t_ideal)
+    }
+
+    /// Epoch boundary: checks agreement of everything recorded so far, then
+    /// closes the released period in both worlds via
+    /// [`SbcWorld::begin_new_period`]. Returns the index of the epoch just
+    /// finished.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Divergence`] naming what differed.
+    pub fn finish_epoch(&mut self) -> Result<u64, Divergence> {
+        self.check()?;
+        self.real.begin_new_period();
+        self.ideal.begin_new_period();
+        let finished = self.epoch;
+        self.epoch += 1;
+        Ok(finished)
+    }
+
+    /// Consumes the harness, returning both transcripts.
+    pub fn into_transcripts(self) -> (Transcript, Transcript) {
+        (self.t_real, self.t_ideal)
+    }
+}
+
+/// Runs `script` against a real/ideal pair and asserts indistinguishability
+/// at `level` — the shared driver behind the per-lemma test helpers.
+///
+/// # Panics
+///
+/// Panics with both rendered transcripts on divergence or simulator abort.
+pub fn assert_indistinguishable<R, I, F>(real: R, ideal: I, level: CompareLevel, script: F)
+where
+    R: SbcWorld,
+    I: SbcWorld,
+    F: Fn(&mut EnvDriver<'_>),
+{
+    let mut dual = DualRun::new(real, ideal, level);
+    dual.script(script);
+    if let Err(d) = dual.check() {
+        panic!("{d}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::Leak;
+    use std::collections::VecDeque;
+
+    /// A periodic echo world: inputs are echoed back on the next tick;
+    /// `begin_new_period` drops undelivered inputs. A `bias` byte lets the
+    /// tests fabricate divergent pairs.
+    struct PeriodicEcho {
+        n: usize,
+        time: u64,
+        pending: VecDeque<(PartyId, Command)>,
+        outputs: Vec<(PartyId, Command)>,
+        leaks: Vec<Leak>,
+        corrupted: Vec<bool>,
+        advanced: usize,
+        bias: Option<u8>,
+        abort: bool,
+    }
+
+    impl PeriodicEcho {
+        fn new(n: usize) -> Self {
+            PeriodicEcho {
+                n,
+                time: 0,
+                pending: VecDeque::new(),
+                outputs: Vec::new(),
+                leaks: Vec::new(),
+                corrupted: vec![false; n],
+                advanced: 0,
+                bias: None,
+                abort: false,
+            }
+        }
+
+        fn biased(n: usize, bias: u8) -> Self {
+            let mut w = Self::new(n);
+            w.bias = Some(bias);
+            w
+        }
+    }
+
+    impl World for PeriodicEcho {
+        fn n(&self) -> usize {
+            self.n
+        }
+        fn time(&self) -> u64 {
+            self.time
+        }
+        fn input(&mut self, party: PartyId, cmd: Command) {
+            let cmd = match (self.bias, &cmd.value) {
+                (Some(b), Value::Bytes(v)) => {
+                    let mut v = v.clone();
+                    v.push(b);
+                    Command::new(&cmd.name, Value::Bytes(v))
+                }
+                _ => cmd,
+            };
+            self.pending.push_back((party, cmd));
+        }
+        fn advance(&mut self, _party: PartyId) {
+            self.advanced += 1;
+            if self.advanced >= self.corrupted.iter().filter(|c| !**c).count() {
+                self.advanced = 0;
+                self.time += 1;
+                while let Some((p, c)) = self.pending.pop_front() {
+                    self.outputs.push((p, c));
+                }
+            }
+        }
+        fn adversary(&mut self, cmd: AdvCommand) -> Value {
+            if let AdvCommand::Corrupt(p) = cmd {
+                self.corrupted[p.index()] = true;
+                return Value::Bool(true);
+            }
+            Value::Unit
+        }
+        fn drain_outputs(&mut self) -> Vec<(PartyId, Command)> {
+            std::mem::take(&mut self.outputs)
+        }
+        fn drain_leaks(&mut self) -> Vec<Leak> {
+            std::mem::take(&mut self.leaks)
+        }
+        fn is_corrupted(&self, party: PartyId) -> bool {
+            self.corrupted[party.index()]
+        }
+    }
+
+    impl SbcWorld for PeriodicEcho {
+        fn begin_new_period(&mut self) {
+            self.pending.clear();
+        }
+        fn release_round(&self) -> Option<u64> {
+            None
+        }
+        fn period_end(&self) -> Option<u64> {
+            None
+        }
+        fn would_abort(&self) -> bool {
+            self.abort
+        }
+    }
+
+    #[test]
+    fn identical_worlds_pass_every_epoch() {
+        let mut dual = DualRun::new(
+            PeriodicEcho::new(2),
+            PeriodicEcho::new(2),
+            CompareLevel::Exact,
+        );
+        for epoch in 0..3u64 {
+            dual.submit(PartyId(0), format!("m{epoch}").as_bytes());
+            dual.advance_all();
+            assert_eq!(dual.finish_epoch().unwrap(), epoch);
+        }
+        assert_eq!(dual.epoch(), 3);
+        let (tr, ti) = dual.into_transcripts();
+        assert_eq!(tr.digest(), ti.digest());
+    }
+
+    #[test]
+    fn divergent_outputs_detected() {
+        let mut dual = DualRun::new(
+            PeriodicEcho::new(1),
+            PeriodicEcho::biased(1, 0xFF),
+            CompareLevel::Exact,
+        );
+        dual.submit(PartyId(0), b"same-input");
+        dual.advance_all();
+        let err = dual.check().unwrap_err();
+        assert!(err.reason.contains("diverge"), "got: {}", err.reason);
+    }
+
+    #[test]
+    fn simulator_abort_detected() {
+        let real = PeriodicEcho::new(1);
+        let mut ideal = PeriodicEcho::new(1);
+        ideal.abort = true;
+        let dual = DualRun::new(real, ideal, CompareLevel::Exact);
+        let err = dual.check().unwrap_err();
+        assert!(err.reason.contains("abort"));
+    }
+
+    #[test]
+    fn begin_new_period_drops_pending_between_epochs() {
+        let mut dual = DualRun::new(
+            PeriodicEcho::new(2),
+            PeriodicEcho::new(2),
+            CompareLevel::Exact,
+        );
+        // Queue an input but end the epoch before it is delivered: the next
+        // epoch must not echo it.
+        dual.submit(PartyId(1), b"stale");
+        dual.finish_epoch().unwrap();
+        dual.advance_all();
+        dual.check().unwrap();
+        let (tr, _) = dual.into_transcripts();
+        assert!(tr.outputs().is_empty(), "stale input was dropped");
+    }
+
+    #[test]
+    fn default_driver_methods_drive_the_world() {
+        let mut w = PeriodicEcho::new(3);
+        w.adversary(AdvCommand::Corrupt(PartyId(2)));
+        w.submit(PartyId(0), b"via-default");
+        w.tick();
+        assert_eq!(w.time(), 1, "tick advanced the round");
+        assert_eq!(w.drain_outputs().len(), 1);
+    }
+
+    #[test]
+    fn corrupt_shorthand_matches_adv_command() {
+        let mut dual = DualRun::new(
+            PeriodicEcho::new(2),
+            PeriodicEcho::new(2),
+            CompareLevel::Exact,
+        );
+        let (r, i) = dual.corrupt(PartyId(1));
+        assert_eq!(r, Value::Bool(true));
+        assert_eq!(i, Value::Bool(true));
+        dual.check().unwrap();
+    }
+}

@@ -15,6 +15,7 @@
 //! | synchronous channels (§2.1) | [`net`] |
 //! | adaptive non-atomic corruption (§2.1) | [`corruption`] |
 //! | real/ideal experiment (Def. 1) | [`world`], [`trace`] |
+//! | dual-world backends + harness | [`exec`] |
 //!
 //! Payloads are universal [`value::Value`] trees so that transcripts from
 //! real and ideal executions compare byte-for-byte.
@@ -37,6 +38,7 @@
 pub mod cert;
 pub mod clock;
 pub mod corruption;
+pub mod exec;
 pub mod hybrid;
 pub mod ids;
 pub mod net;

@@ -4,6 +4,7 @@
 use sbc_broadcast::ubc::worlds::{IdealUbcWorld, RealUbcWorld};
 use sbc_core::worlds::{IdealSbcWorld, RealSbcWorld, SbcParams};
 use sbc_primitives::drbg::Drbg;
+use sbc_uc::exec::{assert_indistinguishable, CompareLevel};
 use sbc_uc::ids::PartyId;
 use sbc_uc::trace::EventKind;
 use sbc_uc::value::{Command, Value};
@@ -34,11 +35,12 @@ fn lemma1_randomized_schedules() {
                 env.advance_all();
             }
         };
-        let mut real = RealUbcWorld::new(n, &seed);
-        let mut ideal = IdealUbcWorld::new(n, &seed);
-        let tr = run_env(&mut real, script);
-        let ti = run_env(&mut ideal, script);
-        assert_eq!(tr.digest(), ti.digest(), "trial {trial}");
+        assert_indistinguishable(
+            RealUbcWorld::new(n, &seed),
+            IdealUbcWorld::new(n, &seed),
+            CompareLevel::Exact,
+            script,
+        );
     }
 }
 
@@ -71,22 +73,12 @@ fn theorem2_randomized_schedules() {
             }
             env.idle_rounds(8);
         };
-        let mut real = RealSbcWorld::new(params, &seed);
-        let mut ideal = IdealSbcWorld::new(params, &seed);
-        let tr = run_env(&mut real, script);
-        let ti = run_env(&mut ideal, script);
-        assert_eq!(tr.shape_digest(), ti.shape_digest(), "trial {trial} shape");
-        let outs = |t: &sbc_uc::trace::Transcript| -> Vec<(u64, PartyId, Value)> {
-            t.events
-                .iter()
-                .filter_map(|e| match &e.kind {
-                    EventKind::Output { party, cmd } => Some((e.round, *party, cmd.value.clone())),
-                    _ => None,
-                })
-                .collect()
-        };
-        assert_eq!(outs(&tr), outs(&ti), "trial {trial} outputs");
-        assert!(!ideal.simulator_would_abort(), "trial {trial} abort");
+        assert_indistinguishable(
+            RealSbcWorld::new(params, &seed),
+            IdealSbcWorld::new(params, &seed),
+            CompareLevel::ShapeAndOutputs,
+            script,
+        );
     }
 }
 
