@@ -11,16 +11,21 @@
 //!   stack, exposed as a fallible, **multi-epoch** session: one session
 //!   produces a fresh beacon output per epoch
 //!   ([`DursSession::run_epoch`]) without rebuilding the world stack.
+//! * [`DursPool`] — many concurrent beacon **streams** over one shared
+//!   SBC pool: overlapping epoch schedules (stream A can be mid-period
+//!   while stream B opens or releases) on one clock, one corruption
+//!   state, and independent per-stream randomness.
 //! * [`NaiveBeacon`] — the commit-free XOR beacon baseline, with the
 //!   classic last-revealer bias attack.
 
 use sbc_core::api::{SbcError, SbcSession};
+use sbc_core::pool::{InstanceId, SbcPool};
 use sbc_core::worlds::{IdealSbcWorld, RealSbcWorld, SbcBackend};
 use sbc_primitives::drbg::Drbg;
 use sbc_uc::exec::SbcWorld;
 use sbc_uc::hybrid::HybridCtx;
 use sbc_uc::ids::PartyId;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Byte length of the generated string (λ = 256 bits).
 pub const URS_LEN: usize = 32;
@@ -268,6 +273,185 @@ impl<W: SbcWorld> DursSession<W> {
     /// The epoch currently accepting contributions.
     pub fn epoch(&self) -> u64 {
         self.sbc.epoch()
+    }
+}
+
+/// Many concurrent DURS beacon **streams** over one shared SBC pool.
+///
+/// A beacon service rarely runs a single schedule: block randomness, epoch
+/// randomness, and per-committee draws all tick at different cadences.
+/// `DursPool` runs each schedule as one SBC instance ("stream") of an
+/// [`SbcPool`]: every stream produces its own sequence of beacon values
+/// ([`run_epoch`](DursPool::run_epoch)), all streams share one clock (a
+/// stream's epoch run advances every other stream too, so schedules
+/// genuinely overlap), corruption is global across streams, and each
+/// stream's contributions come from an independent, domain-separated
+/// randomness fork.
+#[derive(Debug)]
+pub struct DursPool<W: SbcWorld = RealSbcWorld> {
+    pool: SbcPool<W>,
+    rng: Drbg,
+    /// Per-stream "already contributed this epoch" flags.
+    contributed: BTreeMap<u64, Vec<bool>>,
+}
+
+impl DursPool {
+    /// Creates a pool of beacon streams for `n` parties over the real SBC
+    /// stack.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SbcError`] from the pool builder (degenerate `n`,
+    /// invalid default parameters).
+    pub fn new(n: usize, seed: &[u8]) -> Result<Self, SbcError> {
+        Self::over_backend(n, seed)
+    }
+}
+
+impl DursPool<IdealSbcWorld> {
+    /// Creates a pool of beacon streams over the ideal world (`F_SBC` +
+    /// simulator per stream): by UC composition its outputs match
+    /// [`new`](DursPool::new)'s stream for stream and epoch for epoch.
+    ///
+    /// # Errors
+    ///
+    /// As for [`new`](DursPool::new).
+    pub fn new_ideal(n: usize, seed: &[u8]) -> Result<Self, SbcError> {
+        Self::over_backend(n, seed)
+    }
+}
+
+impl<W: SbcBackend> DursPool<W> {
+    /// Creates a pool of beacon streams over any SBC backend.
+    ///
+    /// # Errors
+    ///
+    /// As for [`new`](DursPool::new).
+    pub fn over_backend(n: usize, seed: &[u8]) -> Result<Self, SbcError> {
+        let mut label = b"durs-pool/".to_vec();
+        label.extend_from_slice(seed);
+        Ok(DursPool {
+            pool: SbcPool::builder(n).seed(seed).build_backend::<W>()?,
+            rng: Drbg::from_seed(&label),
+            contributed: BTreeMap::new(),
+        })
+    }
+
+    /// Opens a new beacon stream, joining the shared clock at the current
+    /// round.
+    pub fn open_stream(&mut self) -> InstanceId {
+        let id = self.pool.open_instance();
+        self.contributed.insert(id.0, vec![false; self.n()]);
+        id
+    }
+}
+
+impl<W: SbcWorld> DursPool<W> {
+    /// Number of registered parties (shared by every stream).
+    pub fn n(&self) -> usize {
+        self.pool.params().n
+    }
+
+    /// The shared clock round.
+    pub fn round(&self) -> u64 {
+        self.pool.round()
+    }
+
+    /// The epoch `stream` is currently accepting contributions for.
+    ///
+    /// # Errors
+    ///
+    /// [`SbcError::UnknownInstance`] / [`SbcError::InstanceFinished`].
+    pub fn epoch(&self, stream: InstanceId) -> Result<u64, SbcError> {
+        self.pool.epoch(stream)
+    }
+
+    /// Party `p` contributes fresh randomness to `stream` (idempotent per
+    /// stream, party, and epoch).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SbcError`] (bad stream id, out-of-range party,
+    /// corrupted party, period already closed).
+    pub fn contribute(&mut self, stream: InstanceId, p: u32) -> Result<(), SbcError> {
+        // Validate the stream, the party range, and closed-period cases
+        // before touching the flags or the DRBG: a failed call must not
+        // shift later shares.
+        self.pool.check_submittable(stream, p)?;
+        // A live instance opened directly on `sbc()` is adopted as a
+        // stream here (flags created lazily) — no panic paths.
+        let n = self.n();
+        let flags = self
+            .contributed
+            .entry(stream.0)
+            .or_insert_with(|| vec![false; n]);
+        if flags[p as usize] {
+            return Ok(());
+        }
+        let epoch = self.pool.epoch(stream)?;
+        let mut party_rng = self
+            .rng
+            .fork(format!("contrib/{}/{epoch}/{p}", stream.0).as_bytes());
+        let rho = party_rng.gen_bytes(URS_LEN);
+        self.pool.submit(stream, p, &rho)?;
+        flags[p as usize] = true;
+        Ok(())
+    }
+
+    /// One shared clock tick for **all** streams — the low-level driver for
+    /// genuinely interleaved schedules.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SbcPool::step_round`].
+    pub fn step_round(&mut self) -> Result<(), SbcError> {
+        self.pool.step_round()?;
+        Ok(())
+    }
+
+    /// Runs `stream`'s current beacon period to release (every other
+    /// stream advances on the shared clock meanwhile), XORs its valid
+    /// λ-bit contributions, and re-opens the stream for its next epoch.
+    ///
+    /// # Errors
+    ///
+    /// [`SbcError::NoInput`] if nobody contributed to `stream` this epoch;
+    /// otherwise as for [`SbcPool::run_epoch`].
+    pub fn run_epoch(&mut self, stream: InstanceId) -> Result<DursResult, SbcError> {
+        let epoch = self.pool.run_epoch(stream)?;
+        if let Some(flags) = self.contributed.get_mut(&stream.0) {
+            flags.iter_mut().for_each(|f| *f = false);
+        }
+        let (urs, contributions) = xor_fold(&epoch.messages);
+        Ok(DursResult {
+            urs,
+            contributions,
+            release_round: epoch.release_round,
+        })
+    }
+
+    /// The underlying SBC pool — the adversarial surface (global
+    /// corruption, per-stream injection, leakage probes) for beacon
+    /// experiments.
+    pub fn sbc(&mut self) -> &mut SbcPool<W> {
+        &mut self.pool
+    }
+
+    /// Runs `stream` to release and retires it; the final beacon value is
+    /// returned and the stream id stays unusable afterwards.
+    ///
+    /// # Errors
+    ///
+    /// As for [`run_epoch`](DursPool::run_epoch).
+    pub fn finish_stream(&mut self, stream: InstanceId) -> Result<DursResult, SbcError> {
+        let result = self.pool.finish(stream)?;
+        self.contributed.remove(&stream.0);
+        let (urs, contributions) = xor_fold(&result.messages);
+        Ok(DursResult {
+            urs,
+            contributions,
+            release_round: result.release_round,
+        })
     }
 }
 
@@ -536,5 +720,107 @@ mod tests {
     #[test]
     fn func_invalid_params() {
         assert!(DursFunc::new(1, 2).is_err(), "∆ < α rejected");
+    }
+
+    #[test]
+    fn durs_pool_overlapping_schedules() {
+        // Two beacon streams on offset schedules over one shared world:
+        // stream B opens while stream A is mid-period, and both keep
+        // producing independent values on one clock.
+        let mut pool = DursPool::new(3, b"overlap").unwrap();
+        let a = pool.open_stream();
+        for p in 0..3 {
+            pool.contribute(a, p).unwrap();
+        }
+        pool.step_round().unwrap();
+        pool.step_round().unwrap();
+        // A is mid-period; B joins the shared clock at round 2.
+        let b = pool.open_stream();
+        assert_eq!(pool.round(), 2);
+        for p in 0..3 {
+            pool.contribute(b, p).unwrap();
+        }
+        let ra0 = pool.run_epoch(a).unwrap();
+        let rb0 = pool.run_epoch(b).unwrap();
+        assert_eq!(ra0.contributions, 3);
+        assert_eq!(rb0.contributions, 3);
+        assert_ne!(ra0.urs, rb0.urs, "streams are independent");
+        assert!(rb0.release_round > ra0.release_round, "offset schedules");
+        // Next epochs continue interleaved on the same shared clock.
+        for p in 0..3 {
+            pool.contribute(a, p).unwrap();
+            pool.contribute(b, p).unwrap();
+        }
+        let ra1 = pool.run_epoch(a).unwrap();
+        let rb1 = pool.run_epoch(b).unwrap();
+        assert_ne!(ra1.urs, ra0.urs, "fresh shares per epoch");
+        assert_ne!(rb1.urs, rb0.urs);
+        assert_eq!(pool.epoch(a).unwrap(), 2);
+        assert_eq!(pool.epoch(b).unwrap(), 2);
+    }
+
+    #[test]
+    fn durs_pool_adopts_streams_opened_on_the_raw_pool() {
+        // An instance opened through the sbc() escape hatch is not known
+        // to the stream bookkeeping yet: contribute must adopt it (typed
+        // errors only, never a panic).
+        let mut pool = DursPool::new(2, b"raw-stream").unwrap();
+        let foreign = pool.sbc().open_instance();
+        pool.contribute(foreign, 0).unwrap();
+        pool.contribute(foreign, 0).unwrap(); // idempotent after adoption
+        pool.contribute(foreign, 1).unwrap();
+        let r = pool.run_epoch(foreign).unwrap();
+        assert_eq!(r.contributions, 2);
+    }
+
+    #[test]
+    fn durs_pool_real_and_ideal_backends_agree() {
+        fn drive<W: SbcBackend>(mut pool: DursPool<W>) -> Vec<DursResult> {
+            let a = pool.open_stream();
+            let b = pool.open_stream();
+            let mut out = Vec::new();
+            for _ in 0..2 {
+                for p in 0..3 {
+                    pool.contribute(a, p).unwrap();
+                    pool.contribute(b, p).unwrap();
+                }
+                out.push(pool.run_epoch(a).unwrap());
+                out.push(pool.run_epoch(b).unwrap());
+            }
+            out
+        }
+        let real = drive(DursPool::new(3, b"dual-streams").unwrap());
+        let ideal = drive(DursPool::new_ideal(3, b"dual-streams").unwrap());
+        assert_eq!(real, ideal);
+    }
+
+    #[test]
+    fn durs_pool_corruption_is_global_across_streams() {
+        let mut pool = DursPool::new(3, b"pool-corr").unwrap();
+        let a = pool.open_stream();
+        let b = pool.open_stream();
+        // Corrupt party 2 through the underlying pool world: it cannot
+        // contribute to either stream.
+        pool.sbc().corrupt(2).unwrap();
+        assert_eq!(
+            pool.contribute(a, 2),
+            Err(SbcError::CorruptedParty { party: 2 })
+        );
+        assert_eq!(
+            pool.contribute(b, 2),
+            Err(SbcError::CorruptedParty { party: 2 })
+        );
+        // The remaining honest parties still finish both streams.
+        for p in 0..2 {
+            pool.contribute(a, p).unwrap();
+            pool.contribute(b, p).unwrap();
+        }
+        assert_eq!(pool.finish_stream(a).unwrap().contributions, 2);
+        assert_eq!(pool.finish_stream(b).unwrap().contributions, 2);
+        // Finished streams are typed errors.
+        assert_eq!(
+            pool.contribute(a, 0),
+            Err(SbcError::InstanceFinished { instance: a.0 })
+        );
     }
 }

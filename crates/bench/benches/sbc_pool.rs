@@ -1,0 +1,71 @@
+//! `sbc_pool_scaling`: shared-clock throughput of the instance pool as the
+//! number of concurrent SBC instances grows (1 → 8 → 64).
+//!
+//! Each iteration builds a pool, opens `k` instances, submits one message
+//! per instance, and batch-steps the shared clock until every instance has
+//! released. The headline metric is **instance-rounds per second** — how
+//! many (instance × round) units of protocol work the pool executes per
+//! wall-clock second — which should scale close to linearly while the
+//! per-instance cost stays flat.
+//!
+//! The run also writes a machine-readable `BENCH_pool.json` next to the
+//! working directory (the CI smoke step archives it).
+
+use sbc_bench::harness;
+use sbc_core::pool::SbcPool;
+
+const PARTIES: usize = 4;
+
+/// Runs one full pool cycle; returns the number of shared clock ticks.
+fn run_pool(instances: usize) -> u64 {
+    let mut pool = SbcPool::builder(PARTIES)
+        .seed(b"pool-bench")
+        .build()
+        .expect("valid params");
+    let ids: Vec<_> = (0..instances).map(|_| pool.open_instance()).collect();
+    for (k, id) in ids.iter().enumerate() {
+        pool.submit(*id, (k % PARTIES) as u32, format!("lot-{k}").as_bytes())
+            .expect("in period");
+    }
+    let mut released = 0;
+    let mut rounds = 0u64;
+    while released < instances {
+        released += pool.step_round().expect("no invariant breaks").len();
+        rounds += 1;
+        assert!(rounds < 64, "pool failed to release");
+    }
+    rounds
+}
+
+fn main() {
+    let g = harness::group("sbc_pool_scaling");
+    let mut records = Vec::new();
+    for instances in [1usize, 8, 64] {
+        let label = format!("instances={instances}");
+        let rounds = run_pool(instances);
+        let stats = g.bench(&label, || run_pool(instances));
+        let instance_rounds_per_sec = (instances as f64 * rounds as f64) * 1e9 / stats.median_ns;
+        let rounds_per_sec = rounds as f64 * 1e9 / stats.median_ns;
+        println!(
+            "{:<40} {:>14.0} instance-rounds/s",
+            format!("sbc_pool_scaling/{label}"),
+            instance_rounds_per_sec
+        );
+        records.push(harness::Record {
+            group: "sbc_pool_scaling".into(),
+            label,
+            stats,
+            metrics: vec![
+                ("instances".into(), instances as f64),
+                ("rounds".into(), rounds as f64),
+                ("rounds_per_sec".into(), rounds_per_sec),
+                ("instance_rounds_per_sec".into(), instance_rounds_per_sec),
+            ],
+        });
+    }
+    // Default target is the bench cwd (the sbc-bench package root);
+    // SBC_BENCH_JSON overrides it, which CI uses to surface the artifact.
+    let path = std::env::var("SBC_BENCH_JSON").unwrap_or_else(|_| "BENCH_pool.json".to_string());
+    harness::write_json_report(&path, &records).expect("write BENCH_pool.json");
+    println!("\nwrote {path} ({} records)", records.len());
+}

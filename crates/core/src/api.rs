@@ -33,6 +33,22 @@
 //!   [`SbcSession::send_as`], [`SbcSession::inject_message`],
 //!   [`SbcSession::control`], leak capture) — no more poking
 //!   `World::adversary` by hand in tests and benches.
+//! * **The single-instance special case.** A session *is* an
+//!   [`SbcPool`] holding exactly one instance: all
+//!   driving logic lives in the pool layer, and because a pool's first
+//!   instance inherits the pool seed unchanged, a session behaves bit for
+//!   bit like a one-instance pool.
+//!
+//! # Which entry point do I want?
+//!
+//! | I want to… | Use |
+//! |---|---|
+//! | run **one** SBC instance (single shot, or epochs in sequence) | [`SbcSession`] |
+//! | run **many concurrent** SBC instances over one shared clock / corruption state | [`SbcPool`] |
+//! | run an application workload | `sbc_apps`: `DursSession`/`DursPool` (beacons), `Election`/`ElectionPool` (voting) |
+//! | prove real ≈ ideal for one instance (security experiment) | `sbc_uc::exec::DualRun` over the [`SbcBackend`] worlds |
+//! | prove real ≈ ideal for a whole pool, keyed by instance | `sbc_uc::exec::PoolDualRun` over [`crate::pool::PooledSbcWorld`] |
+//! | implement a new execution backend | `sbc_uc::exec::SbcWorld` + [`SbcBackend`] (the pool lifts it for free) |
 //!
 //! # Examples
 //!
@@ -68,13 +84,11 @@
 //! # }
 //! ```
 
-use crate::protocol::sbc_wire;
+use crate::pool::{InstanceId, SbcPool, SbcPoolBuilder};
 use crate::worlds::{IdealSbcWorld, RealSbcWorld, SbcBackend, SbcParams};
-use sbc_primitives::drbg::Drbg;
 use sbc_uc::exec::SbcWorld;
-use sbc_uc::ids::PartyId;
 use sbc_uc::value::{Command, Value};
-use sbc_uc::world::{AdvCommand, Leak};
+use sbc_uc::world::Leak;
 
 pub use crate::error::SbcError;
 
@@ -111,60 +125,64 @@ impl AdversaryConfig {
     }
 }
 
-/// Builder for [`SbcSession`].
+/// Builder for [`SbcSession`] — a thin delegate over
+/// [`SbcPoolBuilder`]: every parameter and
+/// adversary option is defined once in the pool layer, and building a
+/// session is building a pool and opening its single instance.
 #[derive(Clone, Debug)]
 pub struct SbcSessionBuilder {
-    params: SbcParams,
-    seed: Vec<u8>,
-    adversary: AdversaryConfig,
+    pool: SbcPoolBuilder,
 }
 
 impl SbcSessionBuilder {
     /// Broadcast period span Φ (rounds).
     pub fn phi(mut self, phi: u64) -> Self {
-        self.params.phi = phi;
+        self.pool = self.pool.phi(phi);
         self
     }
 
     /// Delivery delay ∆ (rounds after the period ends).
     pub fn delta(mut self, delta: u64) -> Self {
-        self.params.delta = delta;
+        self.pool = self.pool.delta(delta);
         self
     }
 
     /// TLE leakage advantage `α_TLE` (`leak(Cl) = Cl + α_TLE`).
     pub fn tle_alpha(mut self, alpha: u64) -> Self {
-        self.params.tle_alpha = alpha;
+        self.pool = self.pool.tle_alpha(alpha);
         self
     }
 
     /// TLE ciphertext-generation delay.
     pub fn tle_delay(mut self, delay: u64) -> Self {
-        self.params.tle_delay = delay;
+        self.pool = self.pool.tle_delay(delay);
         self
     }
 
     /// Experiment seed (determines all randomness).
     pub fn seed(mut self, seed: &[u8]) -> Self {
-        self.seed = seed.to_vec();
+        self.pool = self.pool.seed(seed);
         self
     }
 
     /// Installs an adversary configuration.
     pub fn adversary(mut self, cfg: AdversaryConfig) -> Self {
-        self.adversary = cfg;
+        self.pool = self.pool.adversary(cfg);
         self
     }
 
-    /// Convenience: corrupt `parties` at session start.
+    /// Convenience: corrupt `parties` at session start. Delegates to
+    /// [`AdversaryConfig::corrupt`] through the pool builder — the
+    /// session builder keeps no parallel adversary state of its own.
     pub fn corrupt(mut self, parties: &[u32]) -> Self {
-        self.adversary.corrupt_at_start.extend_from_slice(parties);
+        self.pool = self.pool.corrupt(parties);
         self
     }
 
     /// Convenience: retain adversary-visible leaks for inspection.
+    /// Delegates to [`AdversaryConfig::capture_leaks`].
     pub fn capture_leaks(mut self) -> Self {
-        self.adversary.capture_leaks = true;
+        self.pool = self.pool.capture_leaks();
         self
     }
 
@@ -201,34 +219,13 @@ impl SbcSessionBuilder {
     ///
     /// Same as [`build`](SbcSessionBuilder::build).
     pub fn build_backend<W: SbcBackend>(self) -> Result<SbcSession<W>, SbcError> {
-        // Parameter errors take precedence over adversary-config errors
-        // (a party can hardly be "out of range" of degenerate parameters).
-        self.params.validate()?;
-        for &p in &self.adversary.corrupt_at_start {
-            if p as usize >= self.params.n {
-                return Err(SbcError::PartyOutOfRange {
-                    party: p,
-                    n: self.params.n,
-                });
-            }
-        }
-        let mut adv_seed = self.seed.clone();
-        adv_seed.extend_from_slice(b"/session-adversary");
-        let mut session = SbcSession {
-            world: W::from_params(self.params, &self.seed)?,
-            params: self.params,
-            capture_leaks: self.adversary.capture_leaks,
-            adv_rng: Drbg::from_seed(&adv_seed),
-            epoch: 0,
-            submitted: 0,
-            released: None,
-            leaks: Vec::new(),
-        };
-        for &p in &self.adversary.corrupt_at_start {
-            // Range-checked above; double entries surface as CorruptedParty.
-            session.corrupt(p)?;
-        }
-        Ok(session)
+        // Validation, error precedence, and corrupt-at-start replay all
+        // live in the pool builder; the session is its one open instance
+        // (corruption recorded on the pool is replayed into the instance
+        // world at open, exactly as a post-build `corrupt` call would).
+        let mut pool = self.pool.build_backend::<W>()?;
+        let id = pool.open_instance();
+        Ok(SbcSession { pool, id })
     }
 }
 
@@ -270,62 +267,56 @@ pub struct EpochResult {
 /// releases a period's vector, the same world (clock, random oracle,
 /// corruption state) hosts the next period. Submissions made after an
 /// epoch completes belong to the next epoch.
+///
+/// Structurally, a session is the **single-instance special case** of
+/// [`SbcPool`]: it wraps a pool holding exactly one
+/// instance and delegates every operation to it. Workloads that need many
+/// concurrent instances (overlapping beacon schedules, parallel motions,
+/// concurrent auction lots) use the pool directly.
 #[derive(Debug)]
 pub struct SbcSession<W: SbcWorld = RealSbcWorld> {
-    world: W,
-    params: SbcParams,
-    capture_leaks: bool,
-    adv_rng: Drbg,
-    epoch: u64,
-    submitted: usize,
-    /// The current period's released result, cached so that a release
-    /// consumed through a manual [`step_round`](SbcSession::step_round)
-    /// loop still lets [`run_epoch`](SbcSession::run_epoch) /
-    /// [`run_to_completion`](SbcSession::run_to_completion) observe it.
-    released: Option<SbcResult>,
-    leaks: Vec<Leak>,
+    pool: SbcPool<W>,
+    id: InstanceId,
 }
 
 impl SbcSession {
     /// Starts building a session for `n` parties.
     pub fn builder(n: usize) -> SbcSessionBuilder {
         SbcSessionBuilder {
-            params: SbcParams::default_for(n),
-            seed: b"sbc-session".to_vec(),
-            adversary: AdversaryConfig::default(),
+            pool: SbcPool::builder(n),
         }
     }
 }
 
 impl<W: SbcWorld> SbcSession<W> {
+    /// The instance is opened at build time and never finished through the
+    /// session surface, so instance-addressed pool calls cannot fail with
+    /// `UnknownInstance`/`InstanceFinished`.
+    fn live(&self) -> InstanceId {
+        debug_assert!(self.pool.live_instances().contains(&self.id));
+        self.id
+    }
+
     /// The session parameters.
     pub fn params(&self) -> SbcParams {
-        self.params
+        self.pool.params()
     }
 
     /// The zero-based index of the epoch currently accepting submissions.
     pub fn epoch(&self) -> u64 {
-        self.epoch
+        self.pool
+            .epoch(self.live())
+            .expect("session instance stays live")
     }
 
     /// The current global-clock round.
     pub fn round(&self) -> u64 {
-        self.world.time()
+        self.pool.round()
     }
 
     /// Whether `party` is corrupted.
     pub fn is_corrupted(&self, party: u32) -> bool {
-        (party as usize) < self.params.n && self.world.is_corrupted(PartyId(party))
-    }
-
-    fn check_party(&self, party: u32) -> Result<(), SbcError> {
-        if (party as usize) >= self.params.n {
-            return Err(SbcError::PartyOutOfRange {
-                party,
-                n: self.params.n,
-            });
-        }
-        Ok(())
+        self.pool.is_corrupted(party)
     }
 
     /// Checks whether an honest submission by `party` would currently be
@@ -337,24 +328,7 @@ impl<W: SbcWorld> SbcSession<W> {
     ///
     /// The same errors [`submit`](SbcSession::submit) would return.
     pub fn check_submittable(&self, party: u32) -> Result<(), SbcError> {
-        self.check_party(party)?;
-        if self.world.is_corrupted(PartyId(party)) {
-            return Err(SbcError::CorruptedParty { party });
-        }
-        if let Some(t_end) = self.world.period_end() {
-            let now = self.world.time();
-            if now + self.params.tle_delay >= t_end {
-                return Err(SbcError::SubmitAfterClose { round: now, t_end });
-            }
-        }
-        Ok(())
-    }
-
-    fn sync_leaks(&mut self) {
-        let drained = self.world.drain_leaks();
-        if self.capture_leaks {
-            self.leaks.extend(drained);
-        }
+        self.pool.check_submittable(self.live(), party)
     }
 
     /// Submits `message` for broadcast by honest party `party` in the
@@ -369,14 +343,7 @@ impl<W: SbcWorld> SbcSession<W> {
     /// * [`SbcError::SubmitAfterClose`] if the period is already too far
     ///   along for the ciphertext to be ready before `t_end`.
     pub fn submit(&mut self, party: u32, message: &[u8]) -> Result<(), SbcError> {
-        self.check_submittable(party)?;
-        self.submitted += 1;
-        self.world.input(
-            PartyId(party),
-            Command::new("Broadcast", Value::bytes(message)),
-        );
-        self.sync_leaks();
-        Ok(())
+        self.pool.submit(self.live(), party, message)
     }
 
     /// Runs one full round (all honest parties advance). Returns the
@@ -387,71 +354,12 @@ impl<W: SbcWorld> SbcSession<W> {
     /// [`SbcError::Internal`] if honest parties released different vectors
     /// or a malformed payload — a broken world invariant.
     pub fn step_round(&mut self) -> Result<Option<SbcResult>, SbcError> {
-        for i in 0..self.params.n {
-            self.world.advance(PartyId(i as u32));
-        }
-        self.sync_leaks();
-        let outs = self.world.drain_outputs();
-        if outs.is_empty() {
-            return Ok(None);
-        }
-        let mut agreed: Option<Vec<Vec<u8>>> = None;
-        for (party, cmd) in outs {
-            let list = cmd.value.as_list().ok_or_else(|| SbcError::Internal {
-                detail: format!("party {} released a non-list payload", party.0),
-            })?;
-            let messages: Vec<Vec<u8>> = list
-                .iter()
-                .map(|v| match v {
-                    Value::Bytes(b) => b.clone(),
-                    other => other.encode(),
-                })
-                .collect();
-            match &agreed {
-                None => agreed = Some(messages),
-                Some(prev) if *prev != messages => {
-                    return Err(SbcError::Internal {
-                        detail: format!(
-                            "agreement violation: party {} released a different vector",
-                            party.0
-                        ),
-                    })
-                }
-                Some(_) => {}
-            }
-        }
-        let messages = agreed.expect("outs is non-empty");
-        let release_round = self
-            .world
-            .release_round()
-            .ok_or_else(|| SbcError::Internal {
-                detail: "release without an agreed τ_rel".to_string(),
-            })?;
-        let result = SbcResult {
-            messages,
-            release_round,
-            rounds: self.world.time(),
-        };
-        self.released = Some(result.clone());
-        Ok(Some(result))
-    }
-
-    fn drive_to_release(&mut self) -> Result<SbcResult, SbcError> {
-        // A release already observed through a manual step_round loop is
-        // the current period's result — return it instead of spinning.
-        if let Some(result) = self.released.clone() {
-            return Ok(result);
-        }
-        if self.submitted == 0 {
-            return Err(SbcError::NoInput);
-        }
-        let budget = self.params.phi + self.params.delta + 4;
-        for _ in 0..budget {
-            if let Some(result) = self.step_round()? {
-                return Ok(result);
-            }
-        }
-        Err(SbcError::Timeout { budget })
+        let id = self.live();
+        let released = self.pool.step_round()?;
+        Ok(released
+            .into_iter()
+            .find(|(i, _)| *i == id)
+            .map(|(_, result)| result))
     }
 
     /// Runs rounds until the current period's vector is released.
@@ -472,7 +380,7 @@ impl<W: SbcWorld> SbcSession<W> {
     ///   `Φ + ∆ + 4` rounds.
     /// * [`SbcError::Internal`] on a broken world invariant.
     pub fn run_to_completion(&mut self) -> Result<SbcResult, SbcError> {
-        self.drive_to_release()
+        self.pool.run_to_completion(self.live())
     }
 
     /// Runs the current epoch to release and re-opens the stack for the
@@ -484,17 +392,7 @@ impl<W: SbcWorld> SbcSession<W> {
     ///
     /// Same as [`run_to_completion`](SbcSession::run_to_completion).
     pub fn run_epoch(&mut self) -> Result<EpochResult, SbcError> {
-        let result = self.drive_to_release()?;
-        let epoch = self.epoch;
-        self.epoch += 1;
-        self.submitted = 0;
-        self.released = None;
-        self.world.begin_new_period();
-        Ok(EpochResult {
-            epoch,
-            messages: result.messages,
-            release_round: result.release_round,
-        })
+        self.pool.run_epoch(self.live())
     }
 
     // ------------------------------------------------------------------
@@ -509,21 +407,13 @@ impl<W: SbcWorld> SbcSession<W> {
     /// * [`SbcError::PartyOutOfRange`] if `party ≥ n`.
     /// * [`SbcError::CorruptedParty`] if `party` was already corrupted.
     pub fn corrupt(&mut self, party: u32) -> Result<Vec<Value>, SbcError> {
-        self.check_party(party)?;
-        if self.world.is_corrupted(PartyId(party)) {
-            return Err(SbcError::CorruptedParty { party });
-        }
-        let resp = self.world.adversary(AdvCommand::Corrupt(PartyId(party)));
-        self.sync_leaks();
-        match resp {
-            // `party` is known honest (checked above), so a refusal can
-            // only be the dishonest-majority budget `t ≤ n − 1`.
-            Value::Bool(false) => Err(SbcError::CorruptionBudgetExceeded { party }),
-            Value::List(pending) => Ok(pending),
-            other => Err(SbcError::Internal {
-                detail: format!("unexpected corruption response: {other:?}"),
-            }),
-        }
+        let id = self.live();
+        let views = self.pool.corrupt(party)?;
+        Ok(views
+            .into_iter()
+            .find(|(i, _)| *i == id)
+            .map(|(_, pending)| pending)
+            .unwrap_or_default())
     }
 
     /// Sends a raw UBC wire on behalf of corrupted `party` (immediate
@@ -537,16 +427,7 @@ impl<W: SbcWorld> SbcSession<W> {
     /// * [`SbcError::PartyOutOfRange`] if `party ≥ n`.
     /// * [`SbcError::HonestParty`] if `party` is not corrupted.
     pub fn send_as(&mut self, party: u32, wire: Value) -> Result<(), SbcError> {
-        self.check_party(party)?;
-        if !self.world.is_corrupted(PartyId(party)) {
-            return Err(SbcError::HonestParty { party });
-        }
-        self.world.adversary(AdvCommand::SendAs {
-            party: PartyId(party),
-            cmd: Command::new("Broadcast", wire),
-        });
-        self.sync_leaks();
-        Ok(())
+        self.pool.send_as(self.live(), party, wire)
     }
 
     /// The full adversarial-broadcast recipe on behalf of corrupted
@@ -566,54 +447,17 @@ impl<W: SbcWorld> SbcSession<W> {
     ///   not yet agreed).
     /// * [`SbcError::SubmitAfterClose`] once the period has closed.
     pub fn inject_message(&mut self, party: u32, message: &[u8]) -> Result<(), SbcError> {
-        self.check_party(party)?;
-        if !self.world.is_corrupted(PartyId(party)) {
-            return Err(SbcError::HonestParty { party });
-        }
-        let Some(tau_rel) = self.world.release_round() else {
-            return Err(SbcError::PeriodNotOpen);
-        };
-        let t_end = self.world.period_end().ok_or_else(|| SbcError::Internal {
-            detail: "τ_rel agreed without t_end".to_string(),
-        })?;
-        let now = self.world.time();
-        if now >= t_end {
-            return Err(SbcError::SubmitAfterClose { round: now, t_end });
-        }
-        let ct = Value::bytes(self.adv_rng.gen_bytes(64));
-        let rho = self.adv_rng.gen_bytes(32);
-        self.control(
-            "F_TLE",
-            Command::new(
-                "Insert",
-                Value::list([ct.clone(), Value::bytes(&rho), Value::U64(tau_rel)]),
-            ),
-        );
-        let m_bytes = Value::bytes(message).encode();
-        let eta = self.control(
-            "F_RO",
-            Command::new(
-                "QueryBytes",
-                Value::list([Value::bytes(&rho), Value::U64(m_bytes.len() as u64)]),
-            ),
-        );
-        let eta = eta.as_bytes().ok_or_else(|| SbcError::Internal {
-            detail: "F_RO control hook returned a non-bytes mask".to_string(),
-        })?;
-        let y: Vec<u8> = m_bytes.iter().zip(eta.iter()).map(|(a, b)| a ^ b).collect();
-        self.send_as(party, sbc_wire(&ct, tau_rel, &y))
+        self.pool.inject_message(self.live(), party, message)
     }
 
     /// Raw control-channel access to the world's functionalities
     /// (`F_TLE` `Insert`/`Leakage`, `F_RO` `QueryBytes`, …) — the escape
     /// hatch for adversarial experiments the typed surface does not cover.
     pub fn control(&mut self, target: &str, cmd: Command) -> Value {
-        let resp = self.world.adversary(AdvCommand::Control {
-            target: target.to_string(),
-            cmd,
-        });
-        self.sync_leaks();
-        resp
+        let id = self.live();
+        self.pool
+            .control(id, target, cmd)
+            .expect("session instance stays live")
     }
 
     /// The adversary's `F_TLE` leakage view (`τ ≤ Cl + α_TLE` records).
@@ -625,18 +469,23 @@ impl<W: SbcWorld> SbcSession<W> {
     /// negligible-probability event of the Theorem 2 proof). Always `false`
     /// on the real backend.
     pub fn would_abort(&self) -> bool {
-        self.world.would_abort()
+        self.pool.would_abort()
     }
 
     /// Adversary-visible leaks captured so far (requires
     /// [`AdversaryConfig::capture_leaks`]; empty otherwise).
     pub fn leaks(&self) -> &[Leak] {
-        &self.leaks
+        self.pool
+            .leaks(self.id)
+            .expect("session instance stays live")
     }
 
     /// Drains the captured leak buffer.
     pub fn take_leaks(&mut self) -> Vec<Leak> {
-        std::mem::take(&mut self.leaks)
+        let id = self.live();
+        self.pool
+            .take_leaks(id)
+            .expect("session instance stays live")
     }
 }
 

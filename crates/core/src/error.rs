@@ -54,6 +54,18 @@ pub enum SbcError {
     /// An adversarial injection was attempted before any wake-up: the
     /// release time `τ_rel` is not yet agreed.
     PeriodNotOpen,
+    /// A pool operation addressed an instance id that was never opened on
+    /// this pool.
+    UnknownInstance {
+        /// The unknown instance id.
+        instance: u64,
+    },
+    /// A pool operation addressed an instance that has already been
+    /// finished (its final result was released and the instance retired).
+    InstanceFinished {
+        /// The finished instance id.
+        instance: u64,
+    },
     /// `run_epoch`/`run_to_completion` was called with nothing submitted —
     /// the period would never open and the session would spin forever.
     NoInput,
@@ -96,6 +108,12 @@ impl fmt::Display for SbcError {
             SbcError::PeriodNotOpen => {
                 write!(f, "no broadcast period is open (τ_rel not yet agreed)")
             }
+            SbcError::UnknownInstance { instance } => {
+                write!(f, "instance #{instance} was never opened on this pool")
+            }
+            SbcError::InstanceFinished { instance } => {
+                write!(f, "instance #{instance} is already finished")
+            }
             SbcError::NoInput => write!(f, "nothing submitted: the period would never open"),
             SbcError::Timeout { budget } => {
                 write!(f, "session failed to release within {budget} rounds")
@@ -132,6 +150,8 @@ mod tests {
                 "t_end = 3",
             ),
             (SbcError::PeriodNotOpen, "τ_rel"),
+            (SbcError::UnknownInstance { instance: 4 }, "instance #4"),
+            (SbcError::InstanceFinished { instance: 7 }, "instance #7"),
             (SbcError::NoInput, "nothing submitted"),
             (SbcError::Timeout { budget: 9 }, "9 rounds"),
             (

@@ -22,6 +22,10 @@
 //!   full-participation SBC and a naive commit-free simultaneous channel.
 //! * [`api`] — the fallible, multi-epoch [`api::SbcSession`] for running
 //!   SBC periods without touching the UC machinery.
+//! * [`pool`] — instance multiplexing: [`pool::SbcPool`] runs many
+//!   concurrent SBC instances over one shared world stack (one clock, one
+//!   global corruption state, domain-separated per-instance randomness);
+//!   `SbcSession` is its single-instance special case.
 //!
 //! # Examples
 //!
@@ -45,5 +49,6 @@ pub mod api;
 pub mod baseline;
 pub mod error;
 pub mod func;
+pub mod pool;
 pub mod protocol;
 pub mod worlds;

@@ -1,0 +1,1202 @@
+//! Instance-multiplexed simultaneous broadcast: many concurrent SBC
+//! instances over one shared world stack.
+//!
+//! The paper's applications never run *one* broadcast: a DURS randomness
+//! beacon runs overlapping epoch schedules, an election floor handles
+//! parallel motions, an auction house sells concurrent lots. This module
+//! provides the execution surface for that pattern:
+//!
+//! * [`InstanceId`] — names one SBC instance for the life of the pool
+//!   (re-exported from `sbc_uc::exec`, where the instance-addressed
+//!   [`PoolWorld`] trait lives).
+//! * [`PooledSbcWorld`] — the world layer: many concurrent instances of
+//!   any [`SbcBackend`], sharing **one clock** (a single round counter
+//!   batch-steps every live instance), **one corruption state** (per-party
+//!   and global across instances, exactly the UC model where the adversary
+//!   corrupts a *party*, not a party-in-a-session), and **one seed** (each
+//!   instance's randomness — including its random-oracle view — is a
+//!   domain-separated fork keyed by instance id, the standard UC-with-
+//!   joint-state session-id separation).
+//! * [`SbcPool`] — the session layer: the fallible, instance-addressed
+//!   sibling of [`SbcSession`](crate::api::SbcSession). `open_instance` /
+//!   [`submit`](SbcPool::submit) / [`step_round`](SbcPool::step_round)
+//!   (one shared clock tick for *all* live instances) /
+//!   [`run_epoch`](SbcPool::run_epoch) / [`finish`](SbcPool::finish), plus
+//!   the full per-instance adversarial surface.
+//!
+//! `SbcSession` is the single-instance special case of this module: a
+//! session is an [`SbcPool`] holding exactly one instance, and — because
+//! the first instance of a pool inherits the pool seed unchanged — a
+//! one-instance pool reproduces a pre-pool session **bit for bit**.
+//!
+//! # Sharing, precisely
+//!
+//! | state | scope | why |
+//! |---|---|---|
+//! | clock round | pool-global | one `G_clock`; [`SbcPool::step_round`] ticks every live instance |
+//! | corruption | per-party, pool-global | UC corruption is of a party; [`SbcPool::corrupt`] hits all instances |
+//! | randomness / `F_RO` | per-instance fork | instance ids are session ids; domain separation keeps instances independent |
+//! | broadcast period, epoch | per-instance | each instance opens, releases, and turns epochs over on its own schedule |
+//!
+//! An instance opened at pool round `T` joins the shared clock at `T` (the
+//! pool idles the fresh stack forward, an `O(T·n)` catch-up), so every
+//! instance reports the same time and `τ_rel`s are comparable across
+//! instances.
+//!
+//! # Example: two concurrent instances
+//!
+//! ```
+//! use sbc_core::pool::SbcPool;
+//!
+//! # fn main() -> Result<(), sbc_core::api::SbcError> {
+//! let mut pool = SbcPool::builder(3).seed(b"pool-docs").build()?;
+//! let lot_a = pool.open_instance();
+//! let lot_b = pool.open_instance();
+//! pool.submit(lot_a, 0, b"bid on A")?;
+//! pool.submit(lot_b, 1, b"bid on B")?;
+//! // One shared clock: both lots progress per tick and release together.
+//! let a = pool.run_to_completion(lot_a)?;
+//! let b = pool.run_to_completion(lot_b)?;
+//! assert_eq!(a.release_round, b.release_round);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::api::{AdversaryConfig, EpochResult, SbcResult};
+use crate::error::SbcError;
+use crate::protocol::sbc_wire;
+use crate::worlds::{IdealSbcWorld, RealSbcWorld, SbcBackend, SbcParams};
+use sbc_primitives::drbg::Drbg;
+use sbc_uc::exec::{PoolWorld, SbcWorld};
+use sbc_uc::ids::PartyId;
+use sbc_uc::value::{Command, Value};
+use sbc_uc::world::{AdvCommand, Leak};
+use std::collections::{BTreeMap, BTreeSet};
+
+pub use sbc_uc::exec::InstanceId;
+
+/// The world layer of the pool: many concurrent instances of one
+/// [`SbcBackend`] behind the instance-addressed
+/// [`PoolWorld`] trait.
+///
+/// The pool owns the shared state — the round counter and the global
+/// corruption vector — and routes instance-scoped actions to the
+/// per-instance backend worlds. Each instance world is built from a
+/// domain-separated fork of the pool seed (`seed` itself for instance 0,
+/// `seed/"instance"/id` for later ones), so a real and an ideal pool built
+/// from the same seed pair up instance by instance — the property
+/// [`PoolDualRun`](sbc_uc::exec::PoolDualRun) exploits for keyed
+/// transcript comparison.
+#[derive(Debug)]
+pub struct PooledSbcWorld<W: SbcWorld> {
+    params: SbcParams,
+    seed: Vec<u8>,
+    round: u64,
+    next: u64,
+    live: BTreeMap<u64, W>,
+    retired: BTreeSet<u64>,
+    corrupted: Vec<bool>,
+    outputs: Vec<(InstanceId, PartyId, Command)>,
+    leaks: Vec<(InstanceId, Leak)>,
+    aborted: bool,
+}
+
+impl<W: SbcBackend> PooledSbcWorld<W> {
+    /// Creates an empty pool.
+    ///
+    /// # Errors
+    ///
+    /// [`SbcError::InvalidParams`] if the parameters violate Theorem 2's
+    /// constraints — checked once here, so instance creation is infallible.
+    pub fn new(params: SbcParams, seed: &[u8]) -> Result<Self, SbcError> {
+        params.validate()?;
+        Ok(PooledSbcWorld {
+            params,
+            seed: seed.to_vec(),
+            round: 0,
+            next: 0,
+            live: BTreeMap::new(),
+            retired: BTreeSet::new(),
+            corrupted: vec![false; params.n],
+            outputs: Vec::new(),
+            leaks: Vec::new(),
+            aborted: false,
+        })
+    }
+
+    /// Opens a new instance: builds a backend world on the instance's
+    /// domain-separated seed fork, replays the global corruption state into
+    /// it, and idles it forward to the shared clock round.
+    pub fn open_instance(&mut self) -> InstanceId {
+        let id = self.next;
+        self.next += 1;
+        // Instance 0 inherits the pool seed unchanged: a one-instance pool
+        // is bit-for-bit the plain single-session world.
+        let sub_seed = if id == 0 {
+            self.seed.clone()
+        } else {
+            let mut s = self.seed.clone();
+            s.extend_from_slice(b"/instance/");
+            s.extend_from_slice(&id.to_be_bytes());
+            s
+        };
+        let mut world =
+            W::from_params(self.params, &sub_seed).expect("params validated at pool construction");
+        for p in 0..self.params.n {
+            if self.corrupted[p] {
+                world.adversary(AdvCommand::Corrupt(PartyId(p as u32)));
+            }
+        }
+        // Join the shared clock: catch the fresh stack up to the current
+        // round (cheap — nothing is pending, parties are asleep).
+        for _ in 0..self.round {
+            for p in 0..self.params.n {
+                world.advance(PartyId(p as u32));
+            }
+        }
+        self.live.insert(id, world);
+        self.sync(id);
+        InstanceId(id)
+    }
+}
+
+impl<W: SbcWorld> PooledSbcWorld<W> {
+    fn sync(&mut self, id: u64) {
+        let Some(world) = self.live.get_mut(&id) else {
+            return;
+        };
+        for leak in world.drain_leaks() {
+            self.leaks.push((InstanceId(id), leak));
+        }
+        for (party, cmd) in world.drain_outputs() {
+            self.outputs.push((InstanceId(id), party, cmd));
+        }
+    }
+
+    /// Number of parties (shared by every instance).
+    pub fn n(&self) -> usize {
+        self.params.n
+    }
+
+    /// The experiment parameters (shared by every instance).
+    pub fn params(&self) -> SbcParams {
+        self.params
+    }
+
+    /// The shared clock round.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Whether `instance` is live (opened and not yet closed).
+    pub fn is_live(&self, instance: InstanceId) -> bool {
+        self.live.contains_key(&instance.0)
+    }
+
+    /// Whether `instance` has been closed.
+    pub fn is_retired(&self, instance: InstanceId) -> bool {
+        self.retired.contains(&instance.0)
+    }
+
+    /// Ids of all live instances, in id order.
+    pub fn live_ids(&self) -> Vec<InstanceId> {
+        self.live.keys().copied().map(InstanceId).collect()
+    }
+
+    /// Number of corrupted parties.
+    pub fn corrupted_count(&self) -> usize {
+        self.corrupted.iter().filter(|c| **c).count()
+    }
+
+    /// Whether `party` is corrupted (globally, in every instance).
+    pub fn party_corrupted(&self, party: PartyId) -> bool {
+        (party.index()) < self.params.n && self.corrupted[party.index()]
+    }
+
+    /// Environment input to `party` of `instance` (ignored for unknown or
+    /// closed instances — typed errors live at the [`SbcPool`] layer).
+    pub fn input_to(&mut self, instance: InstanceId, party: PartyId, cmd: Command) {
+        if let Some(world) = self.live.get_mut(&instance.0) {
+            world.input(party, cmd);
+        }
+        self.sync(instance.0);
+    }
+
+    /// An instance-scoped adversary command (`SendAs`, `Control`).
+    /// Corruption must go through [`corrupt_party`](Self::corrupt_party).
+    pub fn adversary_on(&mut self, instance: InstanceId, cmd: AdvCommand) -> Value {
+        let resp = match self.live.get_mut(&instance.0) {
+            Some(world) => world.adversary(cmd),
+            None => Value::Unit,
+        };
+        self.sync(instance.0);
+        resp
+    }
+
+    /// Corrupts `party` in every live instance at once, recording the
+    /// global corruption for instances opened later. Returns the
+    /// per-instance corruption responses, or `None` if refused (already
+    /// corrupted, or the dishonest-majority budget `t ≤ n − 1` is
+    /// exhausted).
+    ///
+    /// The budget decision is taken **here**, not in the backends: a pool
+    /// must be able to corrupt before any instance exists, so it mirrors
+    /// the `CorruptionTracker` rule the backend worlds enforce. If a
+    /// backend ever disagreed (refused after the pool accepted), its
+    /// `Bool(false)` response would fail the session layer's response
+    /// parse as [`SbcError::Internal`] — loud, not silent drift.
+    pub fn corrupt_party(&mut self, party: PartyId) -> Option<Vec<(InstanceId, Value)>> {
+        if party.index() >= self.params.n || self.corrupted[party.index()] {
+            return None;
+        }
+        if self.corrupted_count() + 1 > self.params.n.saturating_sub(1) {
+            return None;
+        }
+        self.corrupted[party.index()] = true;
+        let ids: Vec<u64> = self.live.keys().copied().collect();
+        let mut views = Vec::with_capacity(ids.len());
+        for id in ids {
+            let resp = self
+                .live
+                .get_mut(&id)
+                .expect("id drawn from live set")
+                .adversary(AdvCommand::Corrupt(party));
+            self.sync(id);
+            views.push((InstanceId(id), resp));
+        }
+        Some(views)
+    }
+
+    /// One shared clock tick: every live instance runs one full round (all
+    /// parties advance; backend worlds ignore corrupted ones).
+    pub fn tick_all(&mut self) {
+        let ids: Vec<u64> = self.live.keys().copied().collect();
+        for id in ids {
+            {
+                let world = self.live.get_mut(&id).expect("id drawn from live set");
+                for p in 0..self.params.n {
+                    world.advance(PartyId(p as u32));
+                }
+            }
+            self.sync(id);
+        }
+        self.round += 1;
+    }
+
+    /// Drains buffered party outputs, keyed by instance.
+    pub fn take_outputs(&mut self) -> Vec<(InstanceId, PartyId, Command)> {
+        std::mem::take(&mut self.outputs)
+    }
+
+    /// Drains buffered adversary-visible leaks, keyed by instance.
+    pub fn take_leaks(&mut self) -> Vec<(InstanceId, Leak)> {
+        std::mem::take(&mut self.leaks)
+    }
+
+    /// The agreed release round of `instance`'s current period, once open.
+    pub fn release_round_of(&self, instance: InstanceId) -> Option<u64> {
+        self.live.get(&instance.0).and_then(|w| w.release_round())
+    }
+
+    /// The end of `instance`'s current broadcast period, once open.
+    pub fn period_end_of(&self, instance: InstanceId) -> Option<u64> {
+        self.live.get(&instance.0).and_then(|w| w.period_end())
+    }
+
+    /// Per-instance epoch turnover ([`SbcWorld::begin_new_period`]).
+    pub fn begin_new_period_of(&mut self, instance: InstanceId) {
+        if let Some(world) = self.live.get_mut(&instance.0) {
+            world.begin_new_period();
+        }
+    }
+
+    /// Retires `instance`: it stops stepping and refuses further traffic.
+    /// Any simulator-abort flag it carried stays sticky on the pool.
+    pub fn retire(&mut self, instance: InstanceId) {
+        if let Some(world) = self.live.remove(&instance.0) {
+            self.aborted |= world.would_abort();
+            self.retired.insert(instance.0);
+        }
+    }
+
+    /// Whether any instance — live or retired — hit a simulation-abort
+    /// event.
+    pub fn any_abort(&self) -> bool {
+        self.aborted || self.live.values().any(|w| w.would_abort())
+    }
+}
+
+impl<W: SbcBackend> PoolWorld for PooledSbcWorld<W> {
+    fn n(&self) -> usize {
+        PooledSbcWorld::n(self)
+    }
+    fn round(&self) -> u64 {
+        PooledSbcWorld::round(self)
+    }
+    fn open_instance(&mut self) -> InstanceId {
+        PooledSbcWorld::open_instance(self)
+    }
+    fn live_instances(&self) -> Vec<InstanceId> {
+        self.live_ids()
+    }
+    fn input(&mut self, instance: InstanceId, party: PartyId, cmd: Command) {
+        self.input_to(instance, party, cmd);
+    }
+    fn adversary(&mut self, instance: InstanceId, cmd: AdvCommand) -> Value {
+        self.adversary_on(instance, cmd)
+    }
+    fn corrupt(&mut self, party: PartyId) -> Option<Vec<(InstanceId, Value)>> {
+        self.corrupt_party(party)
+    }
+    fn is_corrupted(&self, party: PartyId) -> bool {
+        self.party_corrupted(party)
+    }
+    fn step_round(&mut self) {
+        self.tick_all();
+    }
+    fn drain_outputs(&mut self) -> Vec<(InstanceId, PartyId, Command)> {
+        self.take_outputs()
+    }
+    fn drain_leaks(&mut self) -> Vec<(InstanceId, Leak)> {
+        self.take_leaks()
+    }
+    fn release_round(&self, instance: InstanceId) -> Option<u64> {
+        self.release_round_of(instance)
+    }
+    fn period_end(&self, instance: InstanceId) -> Option<u64> {
+        self.period_end_of(instance)
+    }
+    fn begin_new_period(&mut self, instance: InstanceId) {
+        self.begin_new_period_of(instance);
+    }
+    fn close_instance(&mut self, instance: InstanceId) {
+        self.retire(instance);
+    }
+    fn would_abort(&self) -> bool {
+        self.any_abort()
+    }
+}
+
+/// Builder for [`SbcPool`] — same parameter and adversary surface as
+/// [`SbcSessionBuilder`](crate::api::SbcSessionBuilder), producing a pool
+/// instead of a single-instance session.
+#[derive(Clone, Debug)]
+pub struct SbcPoolBuilder {
+    params: SbcParams,
+    seed: Vec<u8>,
+    adversary: AdversaryConfig,
+}
+
+impl SbcPoolBuilder {
+    /// Broadcast period span Φ (rounds) — shared by every instance.
+    pub fn phi(mut self, phi: u64) -> Self {
+        self.params.phi = phi;
+        self
+    }
+
+    /// Delivery delay ∆ (rounds after the period ends).
+    pub fn delta(mut self, delta: u64) -> Self {
+        self.params.delta = delta;
+        self
+    }
+
+    /// TLE leakage advantage `α_TLE`.
+    pub fn tle_alpha(mut self, alpha: u64) -> Self {
+        self.params.tle_alpha = alpha;
+        self
+    }
+
+    /// TLE ciphertext-generation delay.
+    pub fn tle_delay(mut self, delay: u64) -> Self {
+        self.params.tle_delay = delay;
+        self
+    }
+
+    /// Experiment seed (determines all randomness; instances run on
+    /// domain-separated forks).
+    pub fn seed(mut self, seed: &[u8]) -> Self {
+        self.seed = seed.to_vec();
+        self
+    }
+
+    /// Installs an adversary configuration.
+    pub fn adversary(mut self, cfg: AdversaryConfig) -> Self {
+        self.adversary = cfg;
+        self
+    }
+
+    /// Convenience: corrupt `parties` (globally) at pool start.
+    pub fn corrupt(mut self, parties: &[u32]) -> Self {
+        self.adversary = self.adversary.corrupt(parties);
+        self
+    }
+
+    /// Convenience: retain adversary-visible leaks for inspection.
+    pub fn capture_leaks(mut self) -> Self {
+        self.adversary = self.adversary.capture_leaks();
+        self
+    }
+
+    /// Builds the pool over the real protocol stack.
+    ///
+    /// # Errors
+    ///
+    /// * [`SbcError::InvalidParams`] if the parameters violate Theorem 2's
+    ///   constraints or `n = 0`.
+    /// * [`SbcError::PartyOutOfRange`] if the adversary configuration
+    ///   corrupts a party index `≥ n`.
+    pub fn build(self) -> Result<SbcPool, SbcError> {
+        self.build_backend::<RealSbcWorld>()
+    }
+
+    /// Builds the pool over the ideal world (`F_SBC + S_SBC` per
+    /// instance).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`build`](SbcPoolBuilder::build).
+    pub fn build_ideal(self) -> Result<SbcPool<IdealSbcWorld>, SbcError> {
+        self.build_backend::<IdealSbcWorld>()
+    }
+
+    /// Builds the pool over any [`SbcBackend`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`build`](SbcPoolBuilder::build).
+    pub fn build_backend<W: SbcBackend>(self) -> Result<SbcPool<W>, SbcError> {
+        self.params.validate()?;
+        for &p in &self.adversary.corrupt_at_start {
+            if p as usize >= self.params.n {
+                return Err(SbcError::PartyOutOfRange {
+                    party: p,
+                    n: self.params.n,
+                });
+            }
+        }
+        let mut pool = SbcPool::from_parts(self.params, &self.seed, self.adversary.capture_leaks)?;
+        for &p in &self.adversary.corrupt_at_start {
+            // Range-checked above; double entries surface as CorruptedParty.
+            pool.corrupt(p)?;
+        }
+        Ok(pool)
+    }
+}
+
+/// Per-instance session bookkeeping.
+#[derive(Debug, Default)]
+struct InstanceState {
+    epoch: u64,
+    submitted: usize,
+    released: Option<SbcResult>,
+    leaks: Vec<Leak>,
+}
+
+/// A pool of concurrent simultaneous-broadcast instances over one shared
+/// world stack — the instance-addressed session API.
+///
+/// Every method of [`SbcSession`](crate::api::SbcSession) exists here with
+/// an extra leading [`InstanceId`] argument; the pool adds
+/// [`open_instance`](SbcPool::open_instance) (start a new concurrent
+/// instance), [`step_round`](SbcPool::step_round) (one shared clock tick
+/// batch-stepping **all** live instances, returning every release that
+/// tick produced), and [`finish`](SbcPool::finish) (release + retire an
+/// instance). Corruption ([`corrupt`](SbcPool::corrupt)) is per-party and
+/// global across instances.
+///
+/// See the [module docs](self) for the sharing table and the relation to
+/// `SbcSession`.
+#[derive(Debug)]
+pub struct SbcPool<W: SbcWorld = RealSbcWorld> {
+    world: PooledSbcWorld<W>,
+    capture_leaks: bool,
+    adv_rng: Drbg,
+    state: BTreeMap<u64, InstanceState>,
+}
+
+impl SbcPool {
+    /// Starts building a pool for `n` parties.
+    pub fn builder(n: usize) -> SbcPoolBuilder {
+        SbcPoolBuilder {
+            params: SbcParams::default_for(n),
+            seed: b"sbc-session".to_vec(),
+            adversary: AdversaryConfig::default(),
+        }
+    }
+}
+
+impl<W: SbcWorld> SbcPool<W> {
+    pub(crate) fn from_parts(
+        params: SbcParams,
+        seed: &[u8],
+        capture_leaks: bool,
+    ) -> Result<Self, SbcError>
+    where
+        W: SbcBackend,
+    {
+        let mut adv_seed = seed.to_vec();
+        adv_seed.extend_from_slice(b"/session-adversary");
+        Ok(SbcPool {
+            world: PooledSbcWorld::new(params, seed)?,
+            capture_leaks,
+            adv_rng: Drbg::from_seed(&adv_seed),
+            state: BTreeMap::new(),
+        })
+    }
+
+    /// The experiment parameters (shared by every instance).
+    pub fn params(&self) -> SbcParams {
+        self.world.params()
+    }
+
+    /// The shared clock round.
+    pub fn round(&self) -> u64 {
+        self.world.round()
+    }
+
+    /// Ids of all live instances, in id order.
+    pub fn live_instances(&self) -> Vec<InstanceId> {
+        self.world.live_ids()
+    }
+
+    /// Whether `party` is corrupted (globally, in every instance).
+    pub fn is_corrupted(&self, party: u32) -> bool {
+        self.world.party_corrupted(PartyId(party))
+    }
+
+    /// Whether any instance's simulator hit a simulation-abort event
+    /// (always `false` on real backends; sticky across
+    /// [`finish`](SbcPool::finish)).
+    pub fn would_abort(&self) -> bool {
+        self.world.any_abort()
+    }
+
+    fn check_instance(&self, instance: InstanceId) -> Result<(), SbcError> {
+        if self.world.is_live(instance) {
+            Ok(())
+        } else if self.world.is_retired(instance) {
+            Err(SbcError::InstanceFinished {
+                instance: instance.0,
+            })
+        } else {
+            Err(SbcError::UnknownInstance {
+                instance: instance.0,
+            })
+        }
+    }
+
+    fn check_party(&self, party: u32) -> Result<(), SbcError> {
+        if (party as usize) >= self.params().n {
+            return Err(SbcError::PartyOutOfRange {
+                party,
+                n: self.params().n,
+            });
+        }
+        Ok(())
+    }
+
+    fn state_mut(&mut self, instance: InstanceId) -> &mut InstanceState {
+        self.state.entry(instance.0).or_default()
+    }
+
+    fn sync_leaks(&mut self) {
+        for (id, leak) in self.world.take_leaks() {
+            if self.capture_leaks {
+                if let Some(st) = self.state.get_mut(&id.0) {
+                    st.leaks.push(leak);
+                }
+            }
+        }
+    }
+
+    /// The zero-based epoch `instance` is currently accepting submissions
+    /// for.
+    ///
+    /// # Errors
+    ///
+    /// [`SbcError::UnknownInstance`] / [`SbcError::InstanceFinished`].
+    pub fn epoch(&self, instance: InstanceId) -> Result<u64, SbcError> {
+        self.check_instance(instance)?;
+        Ok(self.state.get(&instance.0).map(|s| s.epoch).unwrap_or(0))
+    }
+
+    /// Checks whether an honest submission by `party` to `instance` would
+    /// currently be accepted, without submitting anything.
+    ///
+    /// # Errors
+    ///
+    /// The same errors [`submit`](SbcPool::submit) would return.
+    pub fn check_submittable(&self, instance: InstanceId, party: u32) -> Result<(), SbcError> {
+        self.check_instance(instance)?;
+        self.check_party(party)?;
+        if self.world.party_corrupted(PartyId(party)) {
+            return Err(SbcError::CorruptedParty { party });
+        }
+        if let Some(t_end) = self.world.period_end_of(instance) {
+            let now = self.world.round();
+            if now + self.params().tle_delay >= t_end {
+                return Err(SbcError::SubmitAfterClose { round: now, t_end });
+            }
+        }
+        Ok(())
+    }
+
+    /// Submits `message` for broadcast by honest `party` in `instance`'s
+    /// current epoch.
+    ///
+    /// # Errors
+    ///
+    /// * [`SbcError::UnknownInstance`] / [`SbcError::InstanceFinished`] for
+    ///   a bad instance id.
+    /// * [`SbcError::PartyOutOfRange`] if `party ≥ n`.
+    /// * [`SbcError::CorruptedParty`] if `party` is corrupted (in every
+    ///   instance — corruption is global).
+    /// * [`SbcError::SubmitAfterClose`] if `instance`'s period is too far
+    ///   along for the ciphertext to be ready before its `t_end`.
+    pub fn submit(
+        &mut self,
+        instance: InstanceId,
+        party: u32,
+        message: &[u8],
+    ) -> Result<(), SbcError> {
+        self.check_submittable(instance, party)?;
+        self.state_mut(instance).submitted += 1;
+        self.world.input_to(
+            instance,
+            PartyId(party),
+            Command::new("Broadcast", Value::bytes(message)),
+        );
+        self.sync_leaks();
+        Ok(())
+    }
+
+    /// One shared clock tick: every live instance runs one full round.
+    /// Returns the releases this tick produced, keyed by instance (several
+    /// instances on the same schedule release on the same tick).
+    ///
+    /// Results are also cached per instance, so a release observed here is
+    /// still visible to a later [`run_epoch`](SbcPool::run_epoch) /
+    /// [`run_to_completion`](SbcPool::run_to_completion) /
+    /// [`finish`](SbcPool::finish) on that instance.
+    ///
+    /// # Errors
+    ///
+    /// [`SbcError::Internal`] if honest parties of some instance released
+    /// different vectors or a malformed payload — a broken world invariant.
+    pub fn step_round(&mut self) -> Result<Vec<(InstanceId, SbcResult)>, SbcError> {
+        self.world.tick_all();
+        self.sync_leaks();
+        let mut by_instance: BTreeMap<u64, Vec<(PartyId, Command)>> = BTreeMap::new();
+        for (id, party, cmd) in self.world.take_outputs() {
+            by_instance.entry(id.0).or_default().push((party, cmd));
+        }
+        let mut released = Vec::new();
+        for (id, outs) in by_instance {
+            let instance = InstanceId(id);
+            let mut agreed: Option<Vec<Vec<u8>>> = None;
+            for (party, cmd) in outs {
+                let list = cmd.value.as_list().ok_or_else(|| SbcError::Internal {
+                    detail: format!("{instance}: party {} released a non-list payload", party.0),
+                })?;
+                let messages: Vec<Vec<u8>> = list
+                    .iter()
+                    .map(|v| match v {
+                        Value::Bytes(b) => b.clone(),
+                        other => other.encode(),
+                    })
+                    .collect();
+                match &agreed {
+                    None => agreed = Some(messages),
+                    Some(prev) if *prev != messages => {
+                        return Err(SbcError::Internal {
+                            detail: format!(
+                            "{instance}: agreement violation: party {} released a different vector",
+                            party.0
+                        ),
+                        })
+                    }
+                    Some(_) => {}
+                }
+            }
+            let messages = agreed.expect("outs is non-empty");
+            let release_round =
+                self.world
+                    .release_round_of(instance)
+                    .ok_or_else(|| SbcError::Internal {
+                        detail: format!("{instance}: release without an agreed τ_rel"),
+                    })?;
+            let result = SbcResult {
+                messages,
+                release_round,
+                rounds: self.world.round(),
+            };
+            self.state_mut(instance).released = Some(result.clone());
+            released.push((instance, result));
+        }
+        Ok(released)
+    }
+
+    fn drive_to_release(&mut self, instance: InstanceId) -> Result<SbcResult, SbcError> {
+        self.check_instance(instance)?;
+        if let Some(result) = self.state.get(&instance.0).and_then(|s| s.released.clone()) {
+            return Ok(result);
+        }
+        if self.state.get(&instance.0).map_or(0, |s| s.submitted) == 0 {
+            return Err(SbcError::NoInput);
+        }
+        let budget = self.params().phi + self.params().delta + 4;
+        for _ in 0..budget {
+            self.step_round()?;
+            if let Some(result) = self.state.get(&instance.0).and_then(|s| s.released.clone()) {
+                return Ok(result);
+            }
+        }
+        Err(SbcError::Timeout { budget })
+    }
+
+    /// Runs shared clock ticks until `instance`'s current period releases.
+    /// Every other live instance advances too — one clock. The period
+    /// stays closed afterwards; use [`run_epoch`](SbcPool::run_epoch) for
+    /// instances meant to host several periods, or
+    /// [`finish`](SbcPool::finish) to retire the instance.
+    ///
+    /// # Errors
+    ///
+    /// * [`SbcError::UnknownInstance`] / [`SbcError::InstanceFinished`].
+    /// * [`SbcError::NoInput`] if nothing was submitted to `instance` this
+    ///   epoch.
+    /// * [`SbcError::Timeout`] if it fails to release within `Φ + ∆ + 4`
+    ///   ticks.
+    /// * [`SbcError::Internal`] on a broken world invariant.
+    pub fn run_to_completion(&mut self, instance: InstanceId) -> Result<SbcResult, SbcError> {
+        self.drive_to_release(instance)
+    }
+
+    /// Runs `instance`'s current epoch to release and re-opens it for the
+    /// next one. The shared clock, each instance's oracle stream, and the
+    /// global corruption state carry over.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run_to_completion`](SbcPool::run_to_completion).
+    pub fn run_epoch(&mut self, instance: InstanceId) -> Result<EpochResult, SbcError> {
+        let result = self.drive_to_release(instance)?;
+        let st = self.state_mut(instance);
+        let epoch = st.epoch;
+        st.epoch += 1;
+        st.submitted = 0;
+        st.released = None;
+        self.world.begin_new_period_of(instance);
+        Ok(EpochResult {
+            epoch,
+            messages: result.messages,
+            release_round: result.release_round,
+        })
+    }
+
+    /// Runs `instance` to release, returns its final result, and retires
+    /// it: the id stays known, but every further operation on it returns
+    /// [`SbcError::InstanceFinished`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run_to_completion`](SbcPool::run_to_completion).
+    pub fn finish(&mut self, instance: InstanceId) -> Result<SbcResult, SbcError> {
+        let result = self.drive_to_release(instance)?;
+        self.world.retire(instance);
+        self.state.remove(&instance.0);
+        Ok(result)
+    }
+
+    // ------------------------------------------------------------------
+    // Adversarial surface
+    // ------------------------------------------------------------------
+
+    /// Adaptively corrupts `party` in **every** instance at once (and in
+    /// every instance opened later) — per-party corruption is global
+    /// across instances, as in the UC model. Returns, per live instance,
+    /// the party's pending (not yet broadcast) messages.
+    ///
+    /// # Errors
+    ///
+    /// * [`SbcError::PartyOutOfRange`] if `party ≥ n`.
+    /// * [`SbcError::CorruptedParty`] if `party` was already corrupted.
+    /// * [`SbcError::CorruptionBudgetExceeded`] if corrupting `party` would
+    ///   leave no honest party.
+    pub fn corrupt(&mut self, party: u32) -> Result<Vec<(InstanceId, Vec<Value>)>, SbcError> {
+        self.check_party(party)?;
+        if self.world.party_corrupted(PartyId(party)) {
+            return Err(SbcError::CorruptedParty { party });
+        }
+        let Some(views) = self.world.corrupt_party(PartyId(party)) else {
+            // `party` is known honest and in range, so a refusal can only
+            // be the dishonest-majority budget `t ≤ n − 1`.
+            return Err(SbcError::CorruptionBudgetExceeded { party });
+        };
+        self.sync_leaks();
+        let mut pending = Vec::with_capacity(views.len());
+        for (id, resp) in views {
+            match resp {
+                Value::List(msgs) => pending.push((id, msgs)),
+                other => {
+                    return Err(SbcError::Internal {
+                        detail: format!("{id}: unexpected corruption response: {other:?}"),
+                    })
+                }
+            }
+        }
+        Ok(pending)
+    }
+
+    /// Sends a raw UBC wire on behalf of corrupted `party` in `instance`.
+    ///
+    /// # Errors
+    ///
+    /// * [`SbcError::UnknownInstance`] / [`SbcError::InstanceFinished`].
+    /// * [`SbcError::PartyOutOfRange`] if `party ≥ n`.
+    /// * [`SbcError::HonestParty`] if `party` is not corrupted.
+    pub fn send_as(
+        &mut self,
+        instance: InstanceId,
+        party: u32,
+        wire: Value,
+    ) -> Result<(), SbcError> {
+        self.check_instance(instance)?;
+        self.check_party(party)?;
+        if !self.world.party_corrupted(PartyId(party)) {
+            return Err(SbcError::HonestParty { party });
+        }
+        self.world.adversary_on(
+            instance,
+            AdvCommand::SendAs {
+                party: PartyId(party),
+                cmd: Command::new("Broadcast", wire),
+            },
+        );
+        self.sync_leaks();
+        Ok(())
+    }
+
+    /// The full adversarial-broadcast recipe on behalf of corrupted
+    /// `party`, scoped to `instance`: fabricates a time-lock ciphertext,
+    /// registers it with that instance's `F_TLE`, derives the mask from its
+    /// `F_RO`, and sends the `(c, τ_rel, y)` wire — see
+    /// [`SbcSession::inject_message`](crate::api::SbcSession::inject_message).
+    ///
+    /// # Errors
+    ///
+    /// * [`SbcError::UnknownInstance`] / [`SbcError::InstanceFinished`].
+    /// * [`SbcError::PartyOutOfRange`] / [`SbcError::HonestParty`] as for
+    ///   [`send_as`](SbcPool::send_as).
+    /// * [`SbcError::PeriodNotOpen`] before `instance`'s first wake-up.
+    /// * [`SbcError::SubmitAfterClose`] once `instance`'s period closed.
+    pub fn inject_message(
+        &mut self,
+        instance: InstanceId,
+        party: u32,
+        message: &[u8],
+    ) -> Result<(), SbcError> {
+        self.check_instance(instance)?;
+        self.check_party(party)?;
+        if !self.world.party_corrupted(PartyId(party)) {
+            return Err(SbcError::HonestParty { party });
+        }
+        let Some(tau_rel) = self.world.release_round_of(instance) else {
+            return Err(SbcError::PeriodNotOpen);
+        };
+        let t_end = self
+            .world
+            .period_end_of(instance)
+            .ok_or_else(|| SbcError::Internal {
+                detail: format!("{instance}: τ_rel agreed without t_end"),
+            })?;
+        let now = self.world.round();
+        if now >= t_end {
+            return Err(SbcError::SubmitAfterClose { round: now, t_end });
+        }
+        let ct = Value::bytes(self.adv_rng.gen_bytes(64));
+        let rho = self.adv_rng.gen_bytes(32);
+        self.control(
+            instance,
+            "F_TLE",
+            Command::new(
+                "Insert",
+                Value::list([ct.clone(), Value::bytes(&rho), Value::U64(tau_rel)]),
+            ),
+        )?;
+        let m_bytes = Value::bytes(message).encode();
+        let eta = self.control(
+            instance,
+            "F_RO",
+            Command::new(
+                "QueryBytes",
+                Value::list([Value::bytes(&rho), Value::U64(m_bytes.len() as u64)]),
+            ),
+        )?;
+        let eta = eta.as_bytes().ok_or_else(|| SbcError::Internal {
+            detail: format!("{instance}: F_RO control hook returned a non-bytes mask"),
+        })?;
+        let y: Vec<u8> = m_bytes.iter().zip(eta.iter()).map(|(a, b)| a ^ b).collect();
+        self.send_as(instance, party, sbc_wire(&ct, tau_rel, &y))
+    }
+
+    /// Raw control-channel access to one instance's functionalities
+    /// (`F_TLE` `Insert`/`Leakage`, `F_RO` `QueryBytes`, …).
+    ///
+    /// # Errors
+    ///
+    /// [`SbcError::UnknownInstance`] / [`SbcError::InstanceFinished`].
+    pub fn control(
+        &mut self,
+        instance: InstanceId,
+        target: &str,
+        cmd: Command,
+    ) -> Result<Value, SbcError> {
+        self.check_instance(instance)?;
+        let resp = self.world.adversary_on(
+            instance,
+            AdvCommand::Control {
+                target: target.to_string(),
+                cmd,
+            },
+        );
+        self.sync_leaks();
+        Ok(resp)
+    }
+
+    /// The adversary's `F_TLE` leakage view of one instance.
+    ///
+    /// # Errors
+    ///
+    /// [`SbcError::UnknownInstance`] / [`SbcError::InstanceFinished`].
+    pub fn tle_leakage(&mut self, instance: InstanceId) -> Result<Value, SbcError> {
+        self.control(instance, "F_TLE", Command::new("Leakage", Value::Unit))
+    }
+
+    /// Adversary-visible leaks captured so far for `instance` (requires
+    /// leak capture; empty otherwise).
+    ///
+    /// # Errors
+    ///
+    /// [`SbcError::UnknownInstance`] / [`SbcError::InstanceFinished`].
+    pub fn leaks(&self, instance: InstanceId) -> Result<&[Leak], SbcError> {
+        self.check_instance(instance)?;
+        Ok(self
+            .state
+            .get(&instance.0)
+            .map(|s| s.leaks.as_slice())
+            .unwrap_or(&[]))
+    }
+
+    /// Drains the captured leak buffer of `instance`.
+    ///
+    /// # Errors
+    ///
+    /// [`SbcError::UnknownInstance`] / [`SbcError::InstanceFinished`].
+    pub fn take_leaks(&mut self, instance: InstanceId) -> Result<Vec<Leak>, SbcError> {
+        self.check_instance(instance)?;
+        Ok(self
+            .state
+            .get_mut(&instance.0)
+            .map(|s| std::mem::take(&mut s.leaks))
+            .unwrap_or_default())
+    }
+}
+
+impl<W: SbcBackend> SbcPool<W> {
+    /// Opens a new concurrent SBC instance, returning its id. The instance
+    /// joins the shared clock at the current round and inherits the global
+    /// corruption state; its randomness (including its oracle view) is an
+    /// independent, domain-separated fork of the pool seed.
+    pub fn open_instance(&mut self) -> InstanceId {
+        let id = self.world.open_instance();
+        self.state.insert(id.0, InstanceState::default());
+        self.sync_leaks();
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instances_share_one_clock() {
+        let mut pool = SbcPool::builder(2).seed(b"clock").build().unwrap();
+        let a = pool.open_instance();
+        pool.submit(a, 0, b"early").unwrap();
+        pool.step_round().unwrap();
+        pool.step_round().unwrap();
+        // B opens at round 2 and joins the shared clock there.
+        let b = pool.open_instance();
+        assert_eq!(pool.round(), 2);
+        pool.submit(b, 1, b"late").unwrap();
+        let ra = pool.run_to_completion(a).unwrap();
+        let rb = pool.run_to_completion(b).unwrap();
+        // A woke at round 0 → τ_rel = 5; B woke at round 2 → τ_rel = 7.
+        assert_eq!(ra.release_round, 5);
+        assert_eq!(rb.release_round, 2 + 3 + 2);
+    }
+
+    #[test]
+    fn single_instance_pool_matches_plain_session() {
+        // Instance 0 inherits the pool seed unchanged: the pool with one
+        // instance reproduces SbcSession bit for bit.
+        use crate::api::SbcSession;
+        let mut s = SbcSession::builder(3).seed(b"bitcompat").build().unwrap();
+        s.submit(0, b"one").unwrap();
+        s.submit(2, b"two").unwrap();
+        let expect = s.run_to_completion().unwrap();
+
+        let mut pool = SbcPool::builder(3).seed(b"bitcompat").build().unwrap();
+        let id = pool.open_instance();
+        pool.submit(id, 0, b"one").unwrap();
+        pool.submit(id, 2, b"two").unwrap();
+        assert_eq!(pool.run_to_completion(id).unwrap(), expect);
+    }
+
+    #[test]
+    fn batch_release_on_one_tick() {
+        let mut pool = SbcPool::builder(2).seed(b"batch").build().unwrap();
+        let ids: Vec<_> = (0..4).map(|_| pool.open_instance()).collect();
+        for (k, id) in ids.iter().enumerate() {
+            pool.submit(*id, (k % 2) as u32, format!("m{k}").as_bytes())
+                .unwrap();
+        }
+        let mut releases = Vec::new();
+        for _ in 0..8 {
+            releases.extend(pool.step_round().unwrap());
+            if releases.len() == ids.len() {
+                break;
+            }
+        }
+        assert_eq!(releases.len(), 4, "all four released");
+        let rounds: Vec<u64> = releases.iter().map(|(_, r)| r.release_round).collect();
+        assert!(rounds.iter().all(|r| *r == rounds[0]), "same schedule");
+    }
+
+    #[test]
+    fn corruption_is_global_across_instances() {
+        let mut pool = SbcPool::builder(3).seed(b"global-corr").build().unwrap();
+        let a = pool.open_instance();
+        let b = pool.open_instance();
+        pool.submit(a, 1, b"pending-a").unwrap();
+        let views = pool.corrupt(1).unwrap();
+        assert_eq!(views.len(), 2, "one view per live instance");
+        assert_eq!(views[0].1, vec![Value::bytes(b"pending-a")]);
+        assert_eq!(views[1].1, Vec::<Value>::new());
+        for id in [a, b] {
+            assert_eq!(
+                pool.submit(id, 1, b"nope"),
+                Err(SbcError::CorruptedParty { party: 1 })
+            );
+        }
+        // Instances opened after the corruption inherit it.
+        let c = pool.open_instance();
+        assert_eq!(
+            pool.submit(c, 1, b"nope"),
+            Err(SbcError::CorruptedParty { party: 1 })
+        );
+        assert!(pool.is_corrupted(1));
+    }
+
+    #[test]
+    fn unknown_and_finished_instances_are_typed_errors() {
+        let mut pool = SbcPool::builder(2).seed(b"typed").build().unwrap();
+        let ghost = InstanceId(42);
+        assert_eq!(
+            pool.submit(ghost, 0, b"x"),
+            Err(SbcError::UnknownInstance { instance: 42 })
+        );
+        let id = pool.open_instance();
+        pool.submit(id, 0, b"real").unwrap();
+        pool.finish(id).unwrap();
+        assert_eq!(
+            pool.submit(id, 0, b"late"),
+            Err(SbcError::InstanceFinished { instance: 0 })
+        );
+        assert_eq!(
+            pool.run_epoch(id),
+            Err(SbcError::InstanceFinished { instance: 0 })
+        );
+    }
+
+    #[test]
+    fn per_instance_epochs_are_independent() {
+        let mut pool = SbcPool::builder(2).seed(b"epochs").build().unwrap();
+        let a = pool.open_instance();
+        let b = pool.open_instance();
+        pool.submit(a, 0, b"a0").unwrap();
+        let e = pool.run_epoch(a).unwrap();
+        assert_eq!(e.epoch, 0);
+        // B idled through A's epoch; it still runs its own epoch 0.
+        pool.submit(b, 1, b"b0").unwrap();
+        assert_eq!(pool.run_epoch(b).unwrap().epoch, 0);
+        assert_eq!(pool.epoch(a).unwrap(), 1);
+        assert_eq!(pool.epoch(b).unwrap(), 1);
+        // A's next epoch rides the same shared clock.
+        pool.submit(a, 0, b"a1").unwrap();
+        let e1 = pool.run_epoch(a).unwrap();
+        assert_eq!(e1.epoch, 1);
+        assert!(e1.release_round > e.release_round);
+    }
+
+    #[test]
+    fn real_and_ideal_pools_agree() {
+        fn drive<W: SbcBackend>(mut pool: SbcPool<W>) -> Vec<(InstanceId, SbcResult)> {
+            let a = pool.open_instance();
+            let b = pool.open_instance();
+            pool.submit(a, 0, b"alpha").unwrap();
+            pool.step_round().unwrap();
+            pool.submit(b, 1, b"bravo").unwrap();
+            pool.corrupt(2).unwrap();
+            pool.inject_message(a, 2, b"evil-a").unwrap();
+            let ra = pool.finish(a).unwrap();
+            let rb = pool.finish(b).unwrap();
+            assert!(!pool.would_abort());
+            vec![(a, ra), (b, rb)]
+        }
+        let real = drive(SbcPool::builder(3).seed(b"dual-pool").build().unwrap());
+        let ideal = drive(
+            SbcPool::builder(3)
+                .seed(b"dual-pool")
+                .build_ideal()
+                .unwrap(),
+        );
+        assert_eq!(real, ideal);
+        assert!(real[0].1.messages.contains(&b"evil-a".to_vec()));
+    }
+
+    #[test]
+    fn builder_corruption_applies_to_later_instances() {
+        let mut pool = SbcPool::builder(3)
+            .seed(b"pre-corr")
+            .corrupt(&[2])
+            .build()
+            .unwrap();
+        let a = pool.open_instance();
+        assert!(pool.is_corrupted(2));
+        assert_eq!(
+            pool.submit(a, 2, b"x"),
+            Err(SbcError::CorruptedParty { party: 2 })
+        );
+        pool.submit(a, 0, b"honest").unwrap();
+        assert_eq!(pool.finish(a).unwrap().messages.len(), 1);
+    }
+
+    #[test]
+    fn corruption_budget_is_pool_global() {
+        let mut pool = SbcPool::builder(2).seed(b"budget").build().unwrap();
+        let _a = pool.open_instance();
+        pool.corrupt(0).unwrap();
+        assert_eq!(
+            pool.corrupt(1),
+            Err(SbcError::CorruptionBudgetExceeded { party: 1 })
+        );
+        assert_eq!(pool.corrupt(0), Err(SbcError::CorruptedParty { party: 0 }));
+        assert_eq!(
+            pool.corrupt(9),
+            Err(SbcError::PartyOutOfRange { party: 9, n: 2 })
+        );
+    }
+}

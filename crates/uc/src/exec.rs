@@ -40,11 +40,25 @@
 //! transcript equality extends from single periods to arbitrary epoch
 //! sequences: that is exactly the multi-period surface of Theorem 2 the
 //! [`DualRun::finish_epoch`] checkpoints assert.
+//!
+//! # Instance pools
+//!
+//! The paper's applications run *many* SBC instances at once — overlapping
+//! beacon epochs, parallel motions, concurrent auction lots. [`PoolWorld`]
+//! is the instance-addressed sibling of [`SbcWorld`]: many concurrent
+//! instances over one shared clock and one global (per-party, cross-
+//! instance) corruption state, addressed by [`InstanceId`], batch-stepped
+//! one shared round at a time. [`PoolDualRun`] extends the dual-world
+//! harness to pool pairs, recording one transcript per instance and
+//! comparing the real/ideal pools **keyed by instance** — UC composition
+//! says the whole pool is indistinguishable iff every instance is, which
+//! is exactly what [`PoolDualRun::check`] asserts.
 
 use crate::ids::PartyId;
-use crate::trace::Transcript;
+use crate::trace::{EventKind, Transcript};
 use crate::value::{Command, Value};
-use crate::world::{AdvCommand, EnvDriver, World};
+use crate::world::{AdvCommand, EnvDriver, Leak, World};
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// A [`World`] that can host simultaneous-broadcast periods: the one trait
@@ -335,6 +349,439 @@ where
     }
 }
 
+// ---------------------------------------------------------------------------
+// Instance-addressed pools
+// ---------------------------------------------------------------------------
+
+/// Identifies one SBC instance inside an instance pool. Ids are assigned by
+/// [`PoolWorld::open_instance`] in increasing order and are never reused,
+/// so an id uniquely names an instance for the whole life of the pool —
+/// including after the instance finished.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InstanceId(pub u64);
+
+impl fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "instance#{}", self.0)
+    }
+}
+
+/// An instance-addressed execution backend: many concurrent SBC instances
+/// sharing one clock and one (per-party, instance-global) corruption state,
+/// as in the UC model with joint state — instance ids play the role of
+/// session ids, domain-separating the instances' randomness while
+/// corruption of a party applies to every instance at once.
+///
+/// This is the multi-instance sibling of [`SbcWorld`]: where that trait
+/// speaks `(party)`, this one speaks `(instance, party)`, and the round
+/// driver ([`step_round`](PoolWorld::step_round)) batch-steps *all* live
+/// instances per shared clock tick. `sbc_core::pool::PooledSbcWorld`
+/// implements it over any `SbcBackend`; [`PoolDualRun`] drives a real/ideal
+/// pair of implementations through identical actions with transcript
+/// comparison keyed by instance.
+pub trait PoolWorld {
+    /// Number of parties (global — every instance shares the party set).
+    fn n(&self) -> usize;
+
+    /// The shared clock round.
+    fn round(&self) -> u64;
+
+    /// Opens a new SBC instance, returning its id. The new instance joins
+    /// the shared clock at the current round and inherits the global
+    /// corruption state.
+    fn open_instance(&mut self) -> InstanceId;
+
+    /// The ids of all live (not yet closed) instances, in id order.
+    fn live_instances(&self) -> Vec<InstanceId>;
+
+    /// Environment input to (honest) `party` of `instance`. Unknown or
+    /// closed instances ignore the input (worlds are infallible; typed
+    /// errors live at the session layer).
+    fn input(&mut self, instance: InstanceId, party: PartyId, cmd: Command);
+
+    /// An adversary command scoped to one instance (`SendAs`, `Control`;
+    /// corruption is global — use [`corrupt`](PoolWorld::corrupt)).
+    fn adversary(&mut self, instance: InstanceId, cmd: AdvCommand) -> Value;
+
+    /// Corrupts `party` in **every** instance at once (per-party corruption
+    /// is global across instances, as in the UC model). Returns the
+    /// per-instance corruption responses (pending-message views) in
+    /// instance order, or `None` if the corruption was refused (already
+    /// corrupted, or the dishonest-majority budget `t ≤ n − 1` is
+    /// exhausted).
+    fn corrupt(&mut self, party: PartyId) -> Option<Vec<(InstanceId, Value)>>;
+
+    /// Whether `party` is corrupted (globally).
+    fn is_corrupted(&self, party: PartyId) -> bool;
+
+    /// One shared clock tick: every live instance advances one full round.
+    fn step_round(&mut self);
+
+    /// Drains party outputs produced since the last call, keyed by
+    /// instance.
+    fn drain_outputs(&mut self) -> Vec<(InstanceId, PartyId, Command)>;
+
+    /// Drains adversary-visible leaks produced since the last call, keyed
+    /// by instance.
+    fn drain_leaks(&mut self) -> Vec<(InstanceId, Leak)>;
+
+    /// The agreed release round `τ_rel` of `instance`'s current period,
+    /// once open.
+    fn release_round(&self, instance: InstanceId) -> Option<u64>;
+
+    /// The end `t_end` of `instance`'s current broadcast period, once open.
+    fn period_end(&self, instance: InstanceId) -> Option<u64>;
+
+    /// Closes the released period of `instance` so it can host the next
+    /// epoch (the per-instance [`SbcWorld::begin_new_period`]).
+    fn begin_new_period(&mut self, instance: InstanceId);
+
+    /// Retires `instance`: it stops stepping and refuses further traffic.
+    /// Its id is never reused.
+    fn close_instance(&mut self, instance: InstanceId);
+
+    /// Whether any instance's simulator hit a simulation-abort event
+    /// (sticky, including for already-closed instances).
+    fn would_abort(&self) -> bool {
+        false
+    }
+
+    /// Default driver: submits `message` for broadcast by honest `party`
+    /// in `instance`.
+    fn submit(&mut self, instance: InstanceId, party: PartyId, message: &[u8]) {
+        self.input(
+            instance,
+            party,
+            Command::new("Broadcast", Value::bytes(message)),
+        );
+    }
+}
+
+/// Drives a real/ideal pair of [`PoolWorld`] backends through identical
+/// actions, recording **one transcript per instance** in each world and
+/// comparing the pair instance by instance — the pool-level extension of
+/// [`DualRun`].
+///
+/// Theorem 2 composes under UC: running many SBC instances over a shared
+/// clock and corruption state is indistinguishable from running many
+/// `F_SBC` copies with per-instance simulators, and the distinguishing
+/// power of the environment is exactly "some instance's transcript
+/// diverged". [`check`](PoolDualRun::check) therefore compares every
+/// instance's transcript pair (live and closed) at the configured
+/// [`CompareLevel`], and [`finish_epoch`](PoolDualRun::finish_epoch)
+/// checkpoints the whole pool before turning one instance's period over.
+#[derive(Debug)]
+pub struct PoolDualRun<R: PoolWorld, I: PoolWorld> {
+    real: R,
+    ideal: I,
+    level: CompareLevel,
+    t_real: BTreeMap<InstanceId, Transcript>,
+    t_ideal: BTreeMap<InstanceId, Transcript>,
+    epochs: BTreeMap<InstanceId, u64>,
+}
+
+fn pool_sync<P: PoolWorld>(world: &mut P, ts: &mut BTreeMap<InstanceId, Transcript>, round: u64) {
+    for (id, leak) in world.drain_leaks() {
+        ts.entry(id).or_default().push(
+            round,
+            EventKind::Leak {
+                source: leak.source,
+                cmd: leak.cmd,
+            },
+        );
+    }
+    for (id, party, cmd) in world.drain_outputs() {
+        ts.entry(id)
+            .or_default()
+            .push(round, EventKind::Output { party, cmd });
+    }
+}
+
+impl<R: PoolWorld, I: PoolWorld> PoolDualRun<R, I> {
+    /// Wraps a real/ideal pool pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two pools disagree on the number of parties.
+    pub fn new(real: R, ideal: I, level: CompareLevel) -> Self {
+        assert_eq!(real.n(), ideal.n(), "pools must have the same parties");
+        PoolDualRun {
+            real,
+            ideal,
+            level,
+            t_real: BTreeMap::new(),
+            t_ideal: BTreeMap::new(),
+            epochs: BTreeMap::new(),
+        }
+    }
+
+    /// Number of parties.
+    pub fn n(&self) -> usize {
+        self.real.n()
+    }
+
+    /// The shared clock round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two pools' clocks diverge — that is itself a
+    /// distinguishing event.
+    pub fn round(&self) -> u64 {
+        let (r, i) = (self.real.round(), self.ideal.round());
+        assert_eq!(r, i, "pool clocks diverge: real {r} vs ideal {i}");
+        r
+    }
+
+    /// Opens a new instance in both pools.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pools assign different ids (they allocate ids in the
+    /// same deterministic order).
+    pub fn open_instance(&mut self) -> InstanceId {
+        let (tr, ti) = (self.real.round(), self.ideal.round());
+        let r = self.real.open_instance();
+        let i = self.ideal.open_instance();
+        assert_eq!(r, i, "pools assigned different instance ids");
+        self.t_real.entry(r).or_default();
+        self.t_ideal.entry(r).or_default();
+        self.epochs.entry(r).or_insert(0);
+        pool_sync(&mut self.real, &mut self.t_real, tr);
+        pool_sync(&mut self.ideal, &mut self.t_ideal, ti);
+        r
+    }
+
+    /// The zero-based epoch `instance` is currently in (0 for instances
+    /// never passed to [`finish_epoch`](PoolDualRun::finish_epoch)).
+    pub fn epoch(&self, instance: InstanceId) -> u64 {
+        self.epochs.get(&instance).copied().unwrap_or(0)
+    }
+
+    /// Submits `message` for broadcast by honest `party` in `instance`, in
+    /// both pools.
+    pub fn submit(&mut self, instance: InstanceId, party: PartyId, message: &[u8]) {
+        self.input(
+            instance,
+            party,
+            Command::new("Broadcast", Value::bytes(message)),
+        );
+    }
+
+    /// Feeds an input to `instance` in both pools.
+    pub fn input(&mut self, instance: InstanceId, party: PartyId, cmd: Command) {
+        let t = self.real.round();
+        self.t_real.entry(instance).or_default().push(
+            t,
+            EventKind::Input {
+                party,
+                cmd: cmd.clone(),
+            },
+        );
+        self.real.input(instance, party, cmd.clone());
+        pool_sync(&mut self.real, &mut self.t_real, t);
+        let t = self.ideal.round();
+        self.t_ideal.entry(instance).or_default().push(
+            t,
+            EventKind::Input {
+                party,
+                cmd: cmd.clone(),
+            },
+        );
+        self.ideal.input(instance, party, cmd);
+        pool_sync(&mut self.ideal, &mut self.t_ideal, t);
+    }
+
+    /// Issues an instance-scoped adversary command to both pools, returning
+    /// both responses.
+    pub fn adversary(&mut self, instance: InstanceId, cmd: AdvCommand) -> (Value, Value) {
+        let t = self.real.round();
+        self.t_real.entry(instance).or_default().push(
+            t,
+            EventKind::AdvAction {
+                desc: format!("{cmd:?}"),
+            },
+        );
+        let r = self.real.adversary(instance, cmd.clone());
+        self.t_real
+            .entry(instance)
+            .or_default()
+            .push(t, EventKind::AdvResponse { value: r.clone() });
+        pool_sync(&mut self.real, &mut self.t_real, t);
+        let t = self.ideal.round();
+        self.t_ideal.entry(instance).or_default().push(
+            t,
+            EventKind::AdvAction {
+                desc: format!("{cmd:?}"),
+            },
+        );
+        let i = self.ideal.adversary(instance, cmd);
+        self.t_ideal
+            .entry(instance)
+            .or_default()
+            .push(t, EventKind::AdvResponse { value: i.clone() });
+        pool_sync(&mut self.ideal, &mut self.t_ideal, t);
+        (r, i)
+    }
+
+    /// Corrupts `party` globally (in every instance) in both pools. The
+    /// per-instance corruption responses are recorded in each instance's
+    /// transcript.
+    pub fn corrupt(&mut self, party: PartyId) -> (bool, bool) {
+        let t = self.real.round();
+        let r = self.real.corrupt(party);
+        if let Some(views) = &r {
+            for (id, value) in views {
+                let tr = self.t_real.entry(*id).or_default();
+                tr.push(
+                    t,
+                    EventKind::AdvAction {
+                        desc: format!("Corrupt({party:?})"),
+                    },
+                );
+                tr.push(
+                    t,
+                    EventKind::AdvResponse {
+                        value: value.clone(),
+                    },
+                );
+            }
+        }
+        pool_sync(&mut self.real, &mut self.t_real, t);
+        let t = self.ideal.round();
+        let i = self.ideal.corrupt(party);
+        if let Some(views) = &i {
+            for (id, value) in views {
+                let ti = self.t_ideal.entry(*id).or_default();
+                ti.push(
+                    t,
+                    EventKind::AdvAction {
+                        desc: format!("Corrupt({party:?})"),
+                    },
+                );
+                ti.push(
+                    t,
+                    EventKind::AdvResponse {
+                        value: value.clone(),
+                    },
+                );
+            }
+        }
+        pool_sync(&mut self.ideal, &mut self.t_ideal, t);
+        (r.is_some(), i.is_some())
+    }
+
+    /// One shared clock tick in both pools (every live instance advances a
+    /// full round).
+    pub fn step_round(&mut self) {
+        let t = self.real.round();
+        self.real.step_round();
+        pool_sync(&mut self.real, &mut self.t_real, t);
+        let t = self.ideal.round();
+        self.ideal.step_round();
+        pool_sync(&mut self.ideal, &mut self.t_ideal, t);
+    }
+
+    /// Runs `rounds` shared clock ticks.
+    pub fn idle_rounds(&mut self, rounds: u64) {
+        for _ in 0..rounds {
+            self.step_round();
+        }
+    }
+
+    /// The agreed release round of `instance`'s current period, once open.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two pools disagree — a distinguishing event.
+    pub fn release_round(&self, instance: InstanceId) -> Option<u64> {
+        let (r, i) = (
+            self.real.release_round(instance),
+            self.ideal.release_round(instance),
+        );
+        assert_eq!(r, i, "{instance}: release rounds diverge");
+        r
+    }
+
+    /// Checks transcript agreement for **every** instance recorded so far
+    /// (live and closed), plus the simulator abort flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Divergence`] naming the diverging instance.
+    pub fn check(&self) -> Result<(), Divergence> {
+        if self.ideal.would_abort() {
+            return Err(Divergence {
+                reason: "simulator abort event".to_string(),
+                real: String::new(),
+                ideal: String::new(),
+            });
+        }
+        let keys_r: Vec<_> = self.t_real.keys().copied().collect();
+        let keys_i: Vec<_> = self.t_ideal.keys().copied().collect();
+        if keys_r != keys_i {
+            return Err(Divergence {
+                reason: format!("instance sets diverge: real {keys_r:?} vs ideal {keys_i:?}"),
+                real: String::new(),
+                ideal: String::new(),
+            });
+        }
+        for (id, tr) in &self.t_real {
+            let ti = &self.t_ideal[id];
+            compare_transcripts(self.level, tr, ti).map_err(|d| Divergence {
+                reason: format!("{id}: {}", d.reason),
+                ..d
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Epoch boundary for one instance: checks agreement of the **whole
+    /// pool** recorded so far, then closes `instance`'s released period in
+    /// both pools. Returns the index of the epoch just finished for that
+    /// instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Divergence`] naming what differed.
+    pub fn finish_epoch(&mut self, instance: InstanceId) -> Result<u64, Divergence> {
+        // A typo'd id must not vacuously succeed: begin_new_period would
+        // no-op in both worlds and the harness would report an epoch
+        // turnover that never happened.
+        assert!(
+            self.t_real.contains_key(&instance),
+            "{instance} was never opened on this harness"
+        );
+        self.check()?;
+        self.real.begin_new_period(instance);
+        self.ideal.begin_new_period(instance);
+        let e = self.epochs.entry(instance).or_insert(0);
+        let finished = *e;
+        *e += 1;
+        Ok(finished)
+    }
+
+    /// Retires `instance` in both pools. Its transcripts stay part of every
+    /// later [`check`](PoolDualRun::check).
+    pub fn close_instance(&mut self, instance: InstanceId) {
+        let t = self.real.round();
+        self.real.close_instance(instance);
+        pool_sync(&mut self.real, &mut self.t_real, t);
+        let t = self.ideal.round();
+        self.ideal.close_instance(instance);
+        pool_sync(&mut self.ideal, &mut self.t_ideal, t);
+    }
+
+    /// Consumes the harness, returning both per-instance transcript maps.
+    pub fn into_transcripts(
+        self,
+    ) -> (
+        BTreeMap<InstanceId, Transcript>,
+        BTreeMap<InstanceId, Transcript>,
+    ) {
+        (self.t_real, self.t_ideal)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -517,5 +964,190 @@ mod tests {
         assert_eq!(r, Value::Bool(true));
         assert_eq!(i, Value::Bool(true));
         dual.check().unwrap();
+    }
+
+    /// A pool of [`PeriodicEcho`] instances over one shared clock and a
+    /// global corruption vector — the minimal [`PoolWorld`].
+    struct EchoPool {
+        n: usize,
+        round: u64,
+        next: u64,
+        live: BTreeMap<u64, PeriodicEcho>,
+        corrupted: Vec<bool>,
+        bias: Option<u8>,
+    }
+
+    impl EchoPool {
+        fn new(n: usize) -> Self {
+            EchoPool {
+                n,
+                round: 0,
+                next: 0,
+                live: BTreeMap::new(),
+                corrupted: vec![false; n],
+                bias: None,
+            }
+        }
+
+        fn biased(n: usize, bias: u8) -> Self {
+            let mut p = Self::new(n);
+            p.bias = Some(bias);
+            p
+        }
+    }
+
+    impl PoolWorld for EchoPool {
+        fn n(&self) -> usize {
+            self.n
+        }
+        fn round(&self) -> u64 {
+            self.round
+        }
+        fn open_instance(&mut self) -> InstanceId {
+            let id = self.next;
+            self.next += 1;
+            let mut w = match self.bias {
+                Some(b) => PeriodicEcho::biased(self.n, b),
+                None => PeriodicEcho::new(self.n),
+            };
+            for (p, c) in self.corrupted.clone().iter().enumerate() {
+                if *c {
+                    w.adversary(AdvCommand::Corrupt(PartyId(p as u32)));
+                }
+            }
+            w.time = self.round;
+            self.live.insert(id, w);
+            InstanceId(id)
+        }
+        fn live_instances(&self) -> Vec<InstanceId> {
+            self.live.keys().copied().map(InstanceId).collect()
+        }
+        fn input(&mut self, instance: InstanceId, party: PartyId, cmd: Command) {
+            if let Some(w) = self.live.get_mut(&instance.0) {
+                w.input(party, cmd);
+            }
+        }
+        fn adversary(&mut self, instance: InstanceId, cmd: AdvCommand) -> Value {
+            match self.live.get_mut(&instance.0) {
+                Some(w) => w.adversary(cmd),
+                None => Value::Unit,
+            }
+        }
+        fn corrupt(&mut self, party: PartyId) -> Option<Vec<(InstanceId, Value)>> {
+            if self.corrupted[party.index()] {
+                return None;
+            }
+            self.corrupted[party.index()] = true;
+            let mut views = Vec::new();
+            for (id, w) in self.live.iter_mut() {
+                views.push((InstanceId(*id), w.adversary(AdvCommand::Corrupt(party))));
+            }
+            Some(views)
+        }
+        fn is_corrupted(&self, party: PartyId) -> bool {
+            self.corrupted[party.index()]
+        }
+        fn step_round(&mut self) {
+            for w in self.live.values_mut() {
+                for p in 0..self.n {
+                    if !self.corrupted[p] {
+                        w.advance(PartyId(p as u32));
+                    }
+                }
+            }
+            self.round += 1;
+        }
+        fn drain_outputs(&mut self) -> Vec<(InstanceId, PartyId, Command)> {
+            let mut outs = Vec::new();
+            for (id, w) in self.live.iter_mut() {
+                for (p, c) in w.drain_outputs() {
+                    outs.push((InstanceId(*id), p, c));
+                }
+            }
+            outs
+        }
+        fn drain_leaks(&mut self) -> Vec<(InstanceId, Leak)> {
+            let mut leaks = Vec::new();
+            for (id, w) in self.live.iter_mut() {
+                for l in w.drain_leaks() {
+                    leaks.push((InstanceId(*id), l));
+                }
+            }
+            leaks
+        }
+        fn release_round(&self, _instance: InstanceId) -> Option<u64> {
+            None
+        }
+        fn period_end(&self, _instance: InstanceId) -> Option<u64> {
+            None
+        }
+        fn begin_new_period(&mut self, instance: InstanceId) {
+            if let Some(w) = self.live.get_mut(&instance.0) {
+                w.begin_new_period();
+            }
+        }
+        fn close_instance(&mut self, instance: InstanceId) {
+            self.live.remove(&instance.0);
+        }
+    }
+
+    #[test]
+    fn pool_dual_run_identical_pools_pass_keyed_checks() {
+        let mut dual = PoolDualRun::new(EchoPool::new(2), EchoPool::new(2), CompareLevel::Exact);
+        let a = dual.open_instance();
+        let b = dual.open_instance();
+        assert_ne!(a, b);
+        dual.submit(a, PartyId(0), b"to-a");
+        dual.submit(b, PartyId(1), b"to-b");
+        dual.step_round();
+        dual.check().unwrap();
+        assert_eq!(dual.finish_epoch(a).unwrap(), 0);
+        assert_eq!(dual.epoch(a), 1);
+        assert_eq!(dual.epoch(b), 0);
+        let (tr, ti) = dual.into_transcripts();
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr[&a].digest(), ti[&a].digest());
+        assert_eq!(tr[&b].digest(), ti[&b].digest());
+        assert_eq!(tr[&a].outputs().len(), 1, "instance outputs stay keyed");
+    }
+
+    #[test]
+    fn pool_dual_run_divergence_names_the_instance() {
+        let mut dual = PoolDualRun::new(
+            EchoPool::new(1),
+            EchoPool::biased(1, 0xAA),
+            CompareLevel::Exact,
+        );
+        let a = dual.open_instance();
+        let b = dual.open_instance();
+        dual.submit(b, PartyId(0), b"diverges-here");
+        dual.step_round();
+        let err = dual.check().unwrap_err();
+        assert!(
+            err.reason.contains(&format!("{b}")),
+            "reason names instance: {}",
+            err.reason
+        );
+        let _ = a;
+    }
+
+    #[test]
+    fn pool_dual_run_global_corruption_hits_every_instance() {
+        let mut dual = PoolDualRun::new(EchoPool::new(2), EchoPool::new(2), CompareLevel::Exact);
+        let a = dual.open_instance();
+        let b = dual.open_instance();
+        let (r, i) = dual.corrupt(PartyId(0));
+        assert!(r && i);
+        // A second corruption of the same party is refused in both pools.
+        let (r, i) = dual.corrupt(PartyId(0));
+        assert!(!r && !i);
+        // The shared clock keeps ticking for the remaining honest party.
+        dual.submit(a, PartyId(1), b"still-live");
+        dual.step_round();
+        dual.check().unwrap();
+        dual.close_instance(b);
+        dual.step_round();
+        dual.check().unwrap();
+        assert_eq!(dual.round(), 2);
     }
 }

@@ -9,7 +9,9 @@
 //! cargo run -p sbc-bench --example randomness_beacon
 //! ```
 
-use sbc_apps::durs::{last_revealer_attack, last_revealer_attack_on_durs, DursSession, URS_LEN};
+use sbc_apps::durs::{
+    last_revealer_attack, last_revealer_attack_on_durs, DursPool, DursSession, URS_LEN,
+};
 use sbc_core::api::SbcError;
 
 fn main() -> Result<(), SbcError> {
@@ -29,6 +31,32 @@ fn main() -> Result<(), SbcError> {
         );
         println!("  {}", sbc_primitives::hex::encode(&result.urs));
     }
+
+    // A beacon *service* rarely runs one schedule: run two overlapping
+    // streams (say block randomness and committee draws) over one shared
+    // pool — stream B opens while stream A is mid-period, both on one
+    // clock.
+    let mut streams = DursPool::new(4, b"beacon-streams")?;
+    let block = streams.open_stream();
+    for p in 0..4 {
+        streams.contribute(block, p)?;
+    }
+    streams.step_round()?;
+    streams.step_round()?;
+    let committee = streams.open_stream();
+    for p in 0..4 {
+        streams.contribute(committee, p)?;
+    }
+    let rb = streams.run_epoch(block)?;
+    let rc = streams.run_epoch(committee)?;
+    println!(
+        "overlapping streams: block round {} / committee round {}:",
+        rb.release_round, rc.release_round
+    );
+    println!("  block:     {}", sbc_primitives::hex::encode(&rb.urs));
+    println!("  committee: {}", sbc_primitives::hex::encode(&rc.urs));
+    assert!(rc.release_round > rb.release_round, "offset schedules");
+    assert_ne!(rb.urs, rc.urs, "independent streams");
 
     // Attack comparison: the adversary wants the output to be all-0x42.
     let target = [0x42u8; URS_LEN];

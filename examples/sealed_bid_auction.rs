@@ -1,45 +1,68 @@
-//! A sealed-bid auction over simultaneous broadcast.
+//! A sealed-bid auction house over simultaneous broadcast: **concurrent
+//! lots**, one shared world.
 //!
-//! Every bidder submits a bid during the broadcast period; nothing opens
-//! until the period ends, so no bidder — not even a dishonest majority of
-//! them — can shade its bid based on the others'. Compare with the naive
-//! commit-free channel where the last bidder wins every time.
+//! Every lot is one SBC instance of an [`SbcPool`]: bidders submit sealed
+//! bids per lot during the shared broadcast period, nothing opens until
+//! the period ends, and all lots settle together on one clock. No bidder —
+//! not even a dishonest majority of them — can shade a bid based on the
+//! others', on this lot or any other. Compare with the naive commit-free
+//! channel where the last bidder wins every time.
 //!
 //! ```sh
 //! cargo run -p sbc-bench --example sealed_bid_auction
 //! ```
 
-use sbc_core::api::{SbcError, SbcSession};
+use sbc_core::api::SbcError;
 use sbc_core::baseline::copycat_attack_on_commit_free;
+use sbc_core::pool::SbcPool;
 
 fn main() -> Result<(), SbcError> {
-    let bids: [(u32, u64); 4] = [(0, 420), (1, 333), (2, 407), (3, 390)];
+    // Three lots on the block at once, four bidders.
+    let lots = ["amphora", "bronze-mirror", "codex"];
+    let bids: [&[(u32, u64)]; 3] = [
+        &[(0, 420), (1, 333), (2, 407)],
+        &[(1, 150), (3, 180)],
+        &[(0, 90), (2, 95), (3, 88)],
+    ];
 
-    let mut session = SbcSession::builder(4).phi(4).seed(b"auction").build()?;
-    for (bidder, amount) in bids {
-        let bid = format!("bidder-{bidder}:{amount:08}");
-        session.submit(bidder, bid.as_bytes())?;
+    let mut house = SbcPool::builder(4).phi(4).seed(b"auction-house").build()?;
+    let ids: Vec<_> = lots.iter().map(|_| house.open_instance()).collect();
+    for (lot, lot_bids) in ids.iter().zip(bids) {
+        for (bidder, amount) in lot_bids {
+            let bid = format!("bidder-{bidder}:{amount:08}");
+            house.submit(*lot, *bidder, bid.as_bytes())?;
+        }
     }
-    let result = session.run_to_completion()?;
 
-    // Everyone opens the same set of bids at the same round; highest wins.
-    let winner = result
-        .messages
+    // One shared clock: every tick advances all three lots; they release
+    // on the same round and nothing opens early on any of them.
+    let mut settled = Vec::new();
+    while settled.len() < ids.len() {
+        settled.extend(house.step_round()?);
+    }
+
+    for ((lot, result), name) in settled.iter().zip(lots) {
+        let winner = result
+            .messages
+            .iter()
+            .map(|m| String::from_utf8_lossy(m).to_string())
+            .max_by_key(|s| s.split(':').nth(1).unwrap().parse::<u64>().unwrap())
+            .expect("bids present");
+        println!(
+            "{lot} ({name}): {} sealed bids opened at round {} — winner {winner}",
+            result.messages.len(),
+            result.release_round
+        );
+    }
+    assert_eq!(settled.len(), 3);
+    assert!(settled
         .iter()
-        .map(|m| String::from_utf8_lossy(m).to_string())
-        .max_by_key(|s| s.split(':').nth(1).unwrap().parse::<u64>().unwrap())
-        .expect("bids present");
-    println!("sealed bids opened at round {}:", result.release_round);
-    for m in &result.messages {
-        println!("  {}", String::from_utf8_lossy(m));
-    }
-    println!("winner: {winner}");
-    assert!(winner.starts_with("bidder-0"));
+        .all(|(_, r)| r.release_round == settled[0].1.release_round));
 
-    // A late bid — after the period closed — is rejected as an error value,
-    // not silently dropped.
+    // A late bid — after the shared period closed — is rejected as an
+    // error value on every lot, not silently dropped.
     assert!(matches!(
-        session.submit(1, b"bidder-1:99999999"),
+        house.submit(ids[0], 1, b"bidder-1:99999999"),
         Err(SbcError::SubmitAfterClose { .. })
     ));
 

@@ -1,0 +1,306 @@
+//! Pool-level Theorem 2 coverage and pool error paths.
+//!
+//! The headline test drives a real/ideal **pool** pair — 4+ concurrent SBC
+//! instances over one shared clock and one global corruption state —
+//! through the extended dual-world harness (`PoolDualRun`), asserting
+//! transcript equality *keyed by instance* across 2+ epochs per instance
+//! with adaptive corruption, adversarial injection, leakage probes, and a
+//! staggered late-opened instance. The error-path tests pin down the typed
+//! `SbcError` surface of the session-level `SbcPool`.
+
+use sbc_core::api::SbcError;
+use sbc_core::pool::{InstanceId, PooledSbcWorld, SbcPool};
+use sbc_core::protocol::sbc_wire;
+use sbc_core::worlds::{IdealSbcWorld, RealSbcWorld, SbcBackend, SbcParams};
+use sbc_primitives::drbg::Drbg;
+use sbc_uc::exec::{CompareLevel, PoolDualRun};
+use sbc_uc::ids::PartyId;
+use sbc_uc::value::{Command, Value};
+use sbc_uc::world::AdvCommand;
+
+type Pair = PoolDualRun<PooledSbcWorld<RealSbcWorld>, PooledSbcWorld<IdealSbcWorld>>;
+
+/// Builds a real/ideal pool pair through the backend trait.
+fn pool_pair(n: usize, seed: &[u8]) -> Pair {
+    fn backend<W: SbcBackend>(n: usize, seed: &[u8]) -> PooledSbcWorld<W> {
+        PooledSbcWorld::new(SbcParams::default_for(n), seed).expect("valid default params")
+    }
+    PoolDualRun::new(
+        backend(n, seed),
+        backend(n, seed),
+        CompareLevel::ShapeAndOutputs,
+    )
+}
+
+/// The adversarial-broadcast recipe of `SbcSession::inject_message`,
+/// expressed in instance-scoped dual-pool driver actions.
+fn inject(dual: &mut Pair, rng: &mut Drbg, instance: InstanceId, party: PartyId, message: &[u8]) {
+    let tau_rel = dual.release_round(instance).expect("period open");
+    let ct = Value::bytes(rng.gen_bytes(64));
+    let rho = rng.gen_bytes(32);
+    dual.adversary(
+        instance,
+        AdvCommand::Control {
+            target: "F_TLE".into(),
+            cmd: Command::new(
+                "Insert",
+                Value::list([ct.clone(), Value::bytes(&rho), Value::U64(tau_rel)]),
+            ),
+        },
+    );
+    let m_bytes = Value::bytes(message).encode();
+    let (eta_real, eta_ideal) = dual.adversary(
+        instance,
+        AdvCommand::Control {
+            target: "F_RO".into(),
+            cmd: Command::new(
+                "QueryBytes",
+                Value::list([Value::bytes(&rho), Value::U64(m_bytes.len() as u64)]),
+            ),
+        },
+    );
+    assert_eq!(eta_real, eta_ideal, "same instance seed, same oracle point");
+    let eta = eta_real.as_bytes().expect("mask is bytes").to_vec();
+    let y: Vec<u8> = m_bytes.iter().zip(eta.iter()).map(|(a, b)| a ^ b).collect();
+    dual.adversary(
+        instance,
+        AdvCommand::SendAs {
+            party,
+            cmd: Command::new("Broadcast", sbc_wire(&ct, tau_rel, &y)),
+        },
+    );
+}
+
+/// Acceptance scenario: a pool of 4 concurrent instances (plus a fifth
+/// opened mid-run on the shared clock) running 2 epochs each, with an
+/// adaptive global corruption in epoch 0, per-instance adversarial
+/// injections and leakage probes in epoch 1, and late drains. Real and
+/// ideal pools must produce instance-for-instance identical transcripts at
+/// every epoch boundary.
+#[test]
+fn pool_theorem2_multi_instance_multi_epoch_active_adversary() {
+    let n = 4;
+    let mut dual = pool_pair(n, b"pool-t2");
+    let mut adv_rng = Drbg::from_seed(b"pool-t2/adversary");
+    let instances: Vec<InstanceId> = (0..4).map(|_| dual.open_instance()).collect();
+
+    // ---- epoch 0: honest traffic on all four instances, staggered ----
+    for (k, &id) in instances.iter().enumerate() {
+        dual.submit(id, PartyId((k % 2) as u32), format!("e0/i{k}/a").as_bytes());
+    }
+    dual.step_round();
+    // Adaptive corruption mid-period: P3 falls in *every* instance at once.
+    let (cr, ci) = dual.corrupt(PartyId(3));
+    assert!(cr && ci, "corruption accepted in both worlds");
+    // A second submission on two of the instances.
+    dual.submit(instances[0], PartyId(1), b"e0/i0/b");
+    dual.submit(instances[2], PartyId(2), b"e0/i2/b");
+    dual.idle_rounds(9); // all release at τ_rel = 5; drain late
+    for &id in &instances {
+        assert_eq!(dual.finish_epoch(id).expect("epoch 0 aligned"), 0);
+    }
+
+    // ---- a fifth instance opens mid-run, joining the shared clock ----
+    let late = dual.open_instance();
+    assert_eq!(dual.epoch(late), 0);
+
+    // ---- epoch 1: injections + leakage probes per instance ----
+    for (k, &id) in instances.iter().enumerate() {
+        dual.submit(id, PartyId((k % 2) as u32), format!("e1/i{k}").as_bytes());
+    }
+    dual.submit(late, PartyId(0), b"e1/late");
+    dual.step_round();
+    for (k, &id) in instances.iter().enumerate() {
+        // The adversary probes its F_TLE leakage view of this instance...
+        dual.adversary(
+            id,
+            AdvCommand::Control {
+                target: "F_TLE".into(),
+                cmd: Command::new("Leakage", Value::Unit),
+            },
+        );
+        // ...and commits an injected message on behalf of corrupted P3.
+        inject(
+            &mut dual,
+            &mut adv_rng,
+            id,
+            PartyId(3),
+            format!("e1/i{k}/evil").as_bytes(),
+        );
+    }
+    // Garbage wire on one instance: ignored uniformly in both worlds.
+    dual.adversary(
+        instances[1],
+        AdvCommand::SendAs {
+            party: PartyId(3),
+            cmd: Command::new("Broadcast", Value::bytes(b"not a wire")),
+        },
+    );
+    dual.idle_rounds(12);
+    for &id in &instances {
+        assert_eq!(dual.finish_epoch(id).expect("epoch 1 aligned"), 1);
+        assert_eq!(dual.epoch(id), 2, "two epochs per instance");
+    }
+    dual.finish_epoch(late).expect("late instance aligned");
+
+    // Instance 0's transcript contains its injected message; instance 1's
+    // contains its own, not instance 0's — outputs stayed keyed.
+    let (t_real, _) = dual.into_transcripts();
+    assert_eq!(t_real.len(), 5);
+    for (k, &id) in instances.iter().enumerate() {
+        let bytes: Vec<u8> = t_real[&id]
+            .outputs()
+            .iter()
+            .flat_map(|(_, _, cmd)| cmd.value.encode())
+            .collect();
+        let own = format!("e1/i{k}/evil").into_bytes();
+        let other = format!("e1/i{}/evil", (k + 1) % 4).into_bytes();
+        let contains = |needle: &[u8]| bytes.windows(needle.len()).any(|w| w == needle);
+        assert!(contains(&own), "instance {k}: own injection delivered");
+        assert!(!contains(&other), "instance {k}: no cross-instance bleed");
+    }
+}
+
+/// Closing an instance mid-run keeps the rest of the pool aligned, and the
+/// closed instance's transcript stays part of the comparison.
+#[test]
+fn pool_theorem2_close_instance_mid_run() {
+    let mut dual = pool_pair(2, b"pool-close");
+    let a = dual.open_instance();
+    let b = dual.open_instance();
+    dual.submit(a, PartyId(0), b"a-only");
+    dual.submit(b, PartyId(1), b"b-only");
+    dual.idle_rounds(8);
+    dual.finish_epoch(a).expect("aligned");
+    dual.close_instance(b);
+    // A keeps running epochs after B is gone.
+    dual.submit(a, PartyId(0), b"a-epoch1");
+    dual.idle_rounds(8);
+    dual.finish_epoch(a).expect("aligned after close");
+    let (t_real, t_ideal) = dual.into_transcripts();
+    assert_eq!(t_real.len(), 2, "closed instance's transcript retained");
+    assert_eq!(t_real[&b].outputs().len(), t_ideal[&b].outputs().len());
+}
+
+// ---------------------------------------------------------------------------
+// Session-level pool error paths
+// ---------------------------------------------------------------------------
+
+#[test]
+fn unknown_instance_is_a_typed_error_everywhere() {
+    let mut pool = SbcPool::builder(2).seed(b"unknown").build().unwrap();
+    let ghost = InstanceId(7);
+    let err = SbcError::UnknownInstance { instance: 7 };
+    assert_eq!(pool.submit(ghost, 0, b"x").unwrap_err(), err);
+    assert_eq!(pool.check_submittable(ghost, 0).unwrap_err(), err);
+    assert_eq!(pool.run_to_completion(ghost).unwrap_err(), err);
+    assert_eq!(pool.run_epoch(ghost).unwrap_err(), err);
+    assert_eq!(pool.finish(ghost).unwrap_err(), err);
+    assert_eq!(pool.epoch(ghost).unwrap_err(), err);
+    assert_eq!(pool.send_as(ghost, 0, Value::Unit).unwrap_err(), err);
+    assert_eq!(pool.inject_message(ghost, 0, b"m").unwrap_err(), err);
+    assert_eq!(
+        pool.control(ghost, "F_TLE", Command::new("Leakage", Value::Unit))
+            .unwrap_err(),
+        err
+    );
+    assert_eq!(pool.tle_leakage(ghost).unwrap_err(), err);
+    assert_eq!(pool.leaks(ghost).unwrap_err(), err);
+    assert_eq!(pool.take_leaks(ghost).unwrap_err(), err);
+}
+
+#[test]
+fn finished_instance_refuses_further_traffic() {
+    let mut pool = SbcPool::builder(2).seed(b"finished").build().unwrap();
+    let id = pool.open_instance();
+    pool.submit(id, 0, b"final").unwrap();
+    let result = pool.finish(id).unwrap();
+    assert_eq!(result.messages, vec![b"final".to_vec()]);
+    let err = SbcError::InstanceFinished { instance: id.0 };
+    assert_eq!(pool.submit(id, 0, b"late"), Err(err.clone()));
+    assert_eq!(pool.run_epoch(id).unwrap_err(), err.clone());
+    assert_eq!(pool.finish(id).unwrap_err(), err.clone());
+    assert_eq!(pool.epoch(id).unwrap_err(), err.clone());
+    assert_eq!(pool.tle_leakage(id).unwrap_err(), err);
+    // The pool itself keeps working: new instances get fresh ids.
+    let next = pool.open_instance();
+    assert_ne!(next, id, "ids are never reused");
+    pool.submit(next, 1, b"still-open").unwrap();
+    assert_eq!(pool.finish(next).unwrap().messages.len(), 1);
+}
+
+#[test]
+fn cross_instance_corruption_visibility() {
+    // Corrupting a party through the pool is visible in every instance —
+    // those already open, and those opened afterwards.
+    let mut pool = SbcPool::builder(3).seed(b"x-corr").build().unwrap();
+    let a = pool.open_instance();
+    let b = pool.open_instance();
+    pool.submit(a, 1, b"pending-in-a").unwrap();
+    let views = pool.corrupt(1).unwrap();
+    assert_eq!(views.len(), 2, "per-instance corruption views");
+    assert_eq!(
+        views[0],
+        (a, vec![Value::bytes(b"pending-in-a")]),
+        "instance a reveals the pending message"
+    );
+    assert_eq!(views[1], (b, vec![]), "instance b had nothing pending");
+    assert!(pool.is_corrupted(1));
+    for id in [a, b] {
+        assert_eq!(
+            pool.submit(id, 1, b"no"),
+            Err(SbcError::CorruptedParty { party: 1 })
+        );
+        assert_eq!(
+            pool.inject_message(id, 0, b"m"),
+            Err(SbcError::HonestParty { party: 0 }),
+            "other parties stay honest in every instance"
+        );
+    }
+    let c = pool.open_instance();
+    assert_eq!(
+        pool.submit(c, 1, b"no"),
+        Err(SbcError::CorruptedParty { party: 1 }),
+        "later instances inherit the corruption"
+    );
+    // The corrupted party can act adversarially in any instance.
+    pool.submit(c, 0, b"honest-c").unwrap();
+    pool.step_round().unwrap();
+    pool.inject_message(c, 1, b"evil-c").unwrap();
+    let rc = pool.finish(c).unwrap();
+    assert!(rc.messages.contains(&b"evil-c".to_vec()));
+}
+
+#[test]
+fn pool_close_semantics_match_session_close_semantics() {
+    // After release (without epoch turnover) the period stays closed: a
+    // pool instance behaves exactly like a session would.
+    let mut pool = SbcPool::builder(2).seed(b"close-sem").build().unwrap();
+    let id = pool.open_instance();
+    pool.submit(id, 0, b"on-time").unwrap();
+    pool.run_to_completion(id).unwrap();
+    assert!(matches!(
+        pool.submit(id, 1, b"too-late"),
+        Err(SbcError::SubmitAfterClose { .. })
+    ));
+    // But the instance is not *finished*: run_epoch turns it over.
+    pool.run_epoch(id).unwrap();
+    pool.submit(id, 1, b"next-epoch").unwrap();
+    assert_eq!(
+        pool.run_epoch(id).unwrap().messages,
+        vec![b"next-epoch".to_vec()]
+    );
+}
+
+#[test]
+fn empty_pool_and_empty_instances_behave() {
+    let mut pool = SbcPool::builder(2).seed(b"empty").build().unwrap();
+    // Stepping an empty pool just advances the shared clock.
+    assert!(pool.step_round().unwrap().is_empty());
+    assert_eq!(pool.round(), 1);
+    assert!(pool.live_instances().is_empty());
+    let id = pool.open_instance();
+    assert_eq!(pool.run_epoch(id).unwrap_err(), SbcError::NoInput);
+    assert_eq!(pool.finish(id).unwrap_err(), SbcError::NoInput);
+    assert_eq!(pool.epoch(id).unwrap(), 0, "failed runs do not turn epochs");
+}

@@ -1,5 +1,7 @@
 //! Error-path coverage for the fallible session API: every public misuse
 //! of `SbcSession` returns the right `SbcError` variant — no panics.
+//! Includes an exhaustive variant round-trip (`exhaustive_sbc_error_...`)
+//! that fails to compile when a variant is added without coverage.
 
 use sbc_core::api::{AdversaryConfig, SbcError, SbcSession};
 
@@ -133,6 +135,87 @@ fn errors_display_and_propagate() {
         as_voting,
         sbc_apps::voting::VotingError::Sbc(SbcError::InvalidParams { .. })
     ));
+}
+
+/// Every `SbcError` variant, round-tripped through clone/eq/Display. The
+/// match in `expected_needle` is deliberately without a `_` arm: adding a
+/// variant to `SbcError` without extending this test is a compile error.
+#[test]
+fn exhaustive_sbc_error_variant_round_trips() {
+    fn expected_needle(e: &SbcError) -> &'static str {
+        match e {
+            SbcError::InvalidParams { .. } => "invalid SBC parameters",
+            SbcError::PartyOutOfRange { .. } => "out of range",
+            SbcError::CorruptedParty { .. } => "corrupted",
+            SbcError::CorruptionBudgetExceeded { .. } => "no honest party",
+            SbcError::HonestParty { .. } => "honest",
+            SbcError::SubmitAfterClose { .. } => "t_end",
+            SbcError::PeriodNotOpen => "τ_rel",
+            SbcError::UnknownInstance { .. } => "never opened",
+            SbcError::InstanceFinished { .. } => "already finished",
+            SbcError::NoInput => "nothing submitted",
+            SbcError::Timeout { .. } => "rounds",
+            SbcError::Internal { .. } => "internal",
+        }
+    }
+    let all = vec![
+        SbcError::InvalidParams {
+            reason: "need Φ > delay",
+        },
+        SbcError::PartyOutOfRange { party: 9, n: 3 },
+        SbcError::CorruptedParty { party: 1 },
+        SbcError::CorruptionBudgetExceeded { party: 2 },
+        SbcError::HonestParty { party: 0 },
+        SbcError::SubmitAfterClose { round: 4, t_end: 3 },
+        SbcError::PeriodNotOpen,
+        SbcError::UnknownInstance { instance: 11 },
+        SbcError::InstanceFinished { instance: 5 },
+        SbcError::NoInput,
+        SbcError::Timeout { budget: 9 },
+        SbcError::Internal {
+            detail: "boom".into(),
+        },
+    ];
+    for err in &all {
+        // Clone/PartialEq round-trip.
+        assert_eq!(&err.clone(), err);
+        // Display names the failure and is stable under `to_string`.
+        let rendered = err.to_string();
+        assert!(
+            rendered.contains(expected_needle(err)),
+            "{err:?} rendered as {rendered:?}"
+        );
+        // std::error::Error is implemented (source-free leaf errors).
+        let dyn_err: &dyn std::error::Error = err;
+        assert!(dyn_err.source().is_none());
+    }
+    // Distinct variants never compare equal (catches copy-paste Display/Eq
+    // mistakes when variants are added).
+    for (i, a) in all.iter().enumerate() {
+        for (j, b) in all.iter().enumerate() {
+            assert_eq!(a == b, i == j, "{a:?} vs {b:?}");
+        }
+    }
+}
+
+#[test]
+fn pool_error_paths_through_the_session_surface() {
+    // The session is the single-instance special case of the pool: its
+    // surface never produces the pool-only variants, while the pool's
+    // typed instance errors are covered in tests/pool.rs.
+    let mut s = SbcSession::builder(2).seed(b"pool-compat").build().unwrap();
+    s.submit(0, b"m").unwrap();
+    let r = s.run_epoch().unwrap();
+    assert_eq!(r.epoch, 0);
+    let err = s.run_epoch().unwrap_err();
+    assert!(
+        !matches!(
+            err,
+            SbcError::UnknownInstance { .. } | SbcError::InstanceFinished { .. }
+        ),
+        "session misuse stays NoInput, not an instance error: {err:?}"
+    );
+    assert_eq!(err, SbcError::NoInput);
 }
 
 #[test]
