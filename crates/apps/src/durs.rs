@@ -338,11 +338,16 @@ impl<W: SbcBackend> DursPool<W> {
     }
 
     /// Opens a new beacon stream, joining the shared clock at the current
-    /// round.
-    pub fn open_stream(&mut self) -> InstanceId {
-        let id = self.pool.open_instance();
+    /// round (in O(1) — stream opening cost is independent of how long the
+    /// pool has been running).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SbcError`] from [`SbcPool::open_instance`].
+    pub fn open_stream(&mut self) -> Result<InstanceId, SbcError> {
+        let id = self.pool.open_instance()?;
         self.contributed.insert(id.0, vec![false; self.n()]);
-        id
+        Ok(id)
     }
 }
 
@@ -728,14 +733,14 @@ mod tests {
         // stream B opens while stream A is mid-period, and both keep
         // producing independent values on one clock.
         let mut pool = DursPool::new(3, b"overlap").unwrap();
-        let a = pool.open_stream();
+        let a = pool.open_stream().unwrap();
         for p in 0..3 {
             pool.contribute(a, p).unwrap();
         }
         pool.step_round().unwrap();
         pool.step_round().unwrap();
         // A is mid-period; B joins the shared clock at round 2.
-        let b = pool.open_stream();
+        let b = pool.open_stream().unwrap();
         assert_eq!(pool.round(), 2);
         for p in 0..3 {
             pool.contribute(b, p).unwrap();
@@ -765,7 +770,7 @@ mod tests {
         // to the stream bookkeeping yet: contribute must adopt it (typed
         // errors only, never a panic).
         let mut pool = DursPool::new(2, b"raw-stream").unwrap();
-        let foreign = pool.sbc().open_instance();
+        let foreign = pool.sbc().open_instance().unwrap();
         pool.contribute(foreign, 0).unwrap();
         pool.contribute(foreign, 0).unwrap(); // idempotent after adoption
         pool.contribute(foreign, 1).unwrap();
@@ -776,8 +781,8 @@ mod tests {
     #[test]
     fn durs_pool_real_and_ideal_backends_agree() {
         fn drive<W: SbcBackend>(mut pool: DursPool<W>) -> Vec<DursResult> {
-            let a = pool.open_stream();
-            let b = pool.open_stream();
+            let a = pool.open_stream().unwrap();
+            let b = pool.open_stream().unwrap();
             let mut out = Vec::new();
             for _ in 0..2 {
                 for p in 0..3 {
@@ -797,8 +802,8 @@ mod tests {
     #[test]
     fn durs_pool_corruption_is_global_across_streams() {
         let mut pool = DursPool::new(3, b"pool-corr").unwrap();
-        let a = pool.open_stream();
-        let b = pool.open_stream();
+        let a = pool.open_stream().unwrap();
+        let b = pool.open_stream().unwrap();
         // Corrupt party 2 through the underlying pool world: it cannot
         // contribute to either stream.
         pool.sbc().corrupt(2).unwrap();

@@ -561,9 +561,14 @@ impl ElectionPool {
     /// Tables a new motion: opens an SBC instance for its casting period
     /// and derives the motion's setup (the blinding base is rotated by the
     /// motion id, so ballots of concurrent motions neither cross-verify
-    /// nor correlate).
-    pub fn open_motion(&mut self) -> InstanceId {
-        let id = self.pool.open_instance();
+    /// nor correlate). Opening joins the shared clock in O(1), so tabling
+    /// a motion costs the same however long the floor has been sitting.
+    ///
+    /// # Errors
+    ///
+    /// [`VotingError::Sbc`] if the pool could not open the instance.
+    pub fn open_motion(&mut self) -> Result<InstanceId, VotingError> {
+        let id = self.pool.open_instance()?;
         self.motions.insert(
             id.0,
             MotionState {
@@ -571,7 +576,7 @@ impl ElectionPool {
                 cast: vec![false; self.base_setup.voters],
             },
         );
-        id
+        Ok(id)
     }
 
     /// The public setup of one motion.
@@ -910,9 +915,9 @@ mod tests {
         // Three motions tabled at once: every voter casts on all three in
         // the same casting period, and each motion tallies its own counts.
         let mut pool = ElectionPool::new(group(), 3, 2, b"motions").unwrap();
-        let m1 = pool.open_motion();
-        let m2 = pool.open_motion();
-        let m3 = pool.open_motion();
+        let m1 = pool.open_motion().unwrap();
+        let m2 = pool.open_motion().unwrap();
+        let m3 = pool.open_motion().unwrap();
         let votes = [
             (m1, [1usize, 1, 0]),
             (m2, [0usize, 0, 0]),
@@ -941,8 +946,8 @@ mod tests {
         // A ballot published for one motion must fail verification under a
         // concurrently open motion's setup (rotated blinding base).
         let mut pool = ElectionPool::new(group(), 3, 2, b"cross").unwrap();
-        let m1 = pool.open_motion();
-        let m2 = pool.open_motion();
+        let m1 = pool.open_motion().unwrap();
+        let m2 = pool.open_motion().unwrap();
         let s1 = pool.setup_of(m1).unwrap().clone();
         let s2 = pool.setup_of(m2).unwrap().clone();
         let mut rng = Drbg::from_seed(b"cross-ballots");
@@ -958,8 +963,8 @@ mod tests {
     #[test]
     fn motion_pool_corruption_and_typed_errors() {
         let mut pool = ElectionPool::new(group(), 3, 2, b"pool-adv").unwrap();
-        let m1 = pool.open_motion();
-        let m2 = pool.open_motion();
+        let m1 = pool.open_motion().unwrap();
+        let m2 = pool.open_motion().unwrap();
         // Corrupting a voter hits every open motion.
         pool.sbc().corrupt(2).unwrap();
         for m in [m1, m2] {
@@ -992,7 +997,7 @@ mod tests {
         // pool but is not a motion: vote and tally_motion return typed
         // errors (never panic) and leave the foreign instance untouched.
         let mut pool = ElectionPool::new(group(), 3, 2, b"foreign").unwrap();
-        let foreign = pool.sbc().open_instance();
+        let foreign = pool.sbc().open_instance().unwrap();
         assert!(matches!(
             pool.vote(foreign, 0, 0),
             Err(VotingError::Sbc(SbcError::UnknownInstance { .. }))
@@ -1005,7 +1010,7 @@ mod tests {
         pool.sbc().submit(foreign, 0, b"raw").unwrap();
         assert_eq!(pool.sbc().finish(foreign).unwrap().messages.len(), 1);
         // And a real motion still works alongside it.
-        let m = pool.open_motion();
+        let m = pool.open_motion().unwrap();
         pool.vote(m, 0, 1).unwrap();
         assert_eq!(pool.tally_motion(m).unwrap().counts, vec![0, 1]);
     }

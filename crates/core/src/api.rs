@@ -224,7 +224,7 @@ impl SbcSessionBuilder {
         // (corruption recorded on the pool is replayed into the instance
         // world at open, exactly as a post-build `corrupt` call would).
         let mut pool = self.pool.build_backend::<W>()?;
-        let id = pool.open_instance();
+        let id = pool.open_instance()?;
         Ok(SbcSession { pool, id })
     }
 }

@@ -118,6 +118,14 @@ impl SbcParty {
         self.woke_up_sent = false;
     }
 
+    /// Whether the party holds no period state at all: asleep, nothing
+    /// queued, nothing received. An idle party's `on_advance` is a pure
+    /// clock step (no randomness drawn, no messages, no outputs) — the
+    /// precondition for the O(1) fast path of `SbcWorld::join_at`.
+    pub fn is_idle(&self) -> bool {
+        self.t_awake.is_none() && self.pend.is_empty() && self.rec.is_empty()
+    }
+
     /// Pending (not yet broadcast) messages — revealed on corruption.
     pub fn pending_messages(&self) -> Vec<Value> {
         self.pend

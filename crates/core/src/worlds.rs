@@ -34,6 +34,10 @@ use sbc_uc::world::{AdvCommand, Leak, World, WorldCore};
 /// 2's hybrid world) and [`IdealSbcWorld`] (`F_SBC` + `S_SBC`); any future
 /// backend (sharded, async, networked) joins by implementing this pair of
 /// traits.
+///
+/// Backends are `Send` (inherited from [`SbcWorld`]): the instance pool
+/// steps independent backend worlds on `std::thread::scope` workers, so a
+/// backend's whole state must be movable across threads.
 pub trait SbcBackend: SbcWorld + Sized {
     /// Creates the backend.
     ///
@@ -334,6 +338,25 @@ impl SbcWorld for RealSbcWorld {
     /// any party has woken up.
     fn period_end(&self) -> Option<u64> {
         self.parties.iter().find_map(|p| p.t_end())
+    }
+
+    /// O(1) clock-offset join: when the world is verifiably idle — every
+    /// party asleep with empty queues, no undelivered UBC wires, the clock
+    /// at a round boundary — an idle round is a pure clock tick (no
+    /// randomness, no leaks, no outputs), so the catch-up collapses to a
+    /// [`GlobalClock::fast_forward`](sbc_uc::clock::GlobalClock::fast_forward).
+    /// Anything short of verifiably idle falls back to the literal replay,
+    /// keeping the observation-equivalence contract of
+    /// [`SbcWorld::join_at`] unconditional.
+    fn join_at(&mut self, round: u64) {
+        let idle = self.parties.iter().all(|p| p.is_idle())
+            && self.ubc.pending().is_empty()
+            && !self.core.clock.mid_round();
+        if idle {
+            self.core.clock.fast_forward(round);
+        } else {
+            sbc_uc::exec::replay_join(self, round);
+        }
     }
 }
 
@@ -667,6 +690,17 @@ impl SimSbc {
         self.seen_wires.clear();
         self.programmed = false;
     }
+
+    /// Whether the simulator holds no period state: asleep, no shadow
+    /// queues, no pending wake-up flushes. The ideal-world counterpart of
+    /// [`SbcParty::is_idle`] — a simulated idle round then draws no
+    /// randomness and emits no leaks, which is what licenses the O(1)
+    /// `join_at` fast path.
+    fn is_idle(&self) -> bool {
+        self.t_awake.is_none()
+            && self.queues.iter().all(|q| q.is_empty())
+            && !self.wakeup_pending.iter().any(|w| *w)
+    }
 }
 
 /// The ideal world: `F_SBC(Φ, ∆, α)` + `S_SBC`.
@@ -958,6 +992,19 @@ impl SbcWorld for IdealSbcWorld {
 
     fn would_abort(&self) -> bool {
         self.sim.would_abort
+    }
+
+    /// O(1) clock-offset join, mirroring [`RealSbcWorld::join_at`]: when
+    /// the simulator is idle and no broadcast list is pending, an idle
+    /// ideal-world round is a pure clock tick, so the catch-up collapses
+    /// to a clock fast-forward; otherwise the literal replay runs.
+    fn join_at(&mut self, round: u64) {
+        let idle = self.sim.is_idle() && self.sbc_list.is_none() && !self.core.clock.mid_round();
+        if idle {
+            self.core.clock.fast_forward(round);
+        } else {
+            sbc_uc::exec::replay_join(self, round);
+        }
     }
 }
 

@@ -106,6 +106,34 @@ impl GlobalClock {
         self.advanced.contains(&ClockEntity::Party(party))
     }
 
+    /// Whether the clock is mid-round: at least one registered entity has
+    /// issued `Advance_Clock` since the last tick. Fast-forward joins (see
+    /// [`fast_forward`](GlobalClock::fast_forward)) are only sound at a
+    /// round boundary.
+    pub fn mid_round(&self) -> bool {
+        !self.advanced.is_empty()
+    }
+
+    /// Jumps the clock forward to `to`, as if `to − read()` complete idle
+    /// rounds had elapsed — the O(1) half of `SbcWorld::join_at` (a fresh
+    /// world joining a long-lived shared clock skips the `O(T·n)`
+    /// `Advance_Clock` replay). `ticks()` advances by the same amount, so
+    /// the jump is indistinguishable from a literal replay of idle rounds.
+    ///
+    /// A no-op when `to ≤ read()`. Callers must only fast-forward at a
+    /// round boundary (no partial `Advance_Clock` marks — see
+    /// [`mid_round`](GlobalClock::mid_round)); any pending marks are
+    /// dropped, exactly as a completed round would drop them.
+    pub fn fast_forward(&mut self, to: u64) {
+        if to <= self.time {
+            return;
+        }
+        let skipped = to - self.time;
+        self.time = to;
+        self.ticks += skipped;
+        self.advanced.clear();
+    }
+
     /// The honest parties still required before the next tick.
     pub fn waiting_on(&self) -> Vec<ClockEntity> {
         let mut out = Vec::new();
@@ -213,6 +241,36 @@ mod tests {
         assert!(waiting.contains(&ClockEntity::Party(PartyId(0))));
         assert!(waiting.contains(&ClockEntity::Functionality("F".into())));
         assert_eq!(waiting.len(), 2);
+    }
+
+    #[test]
+    fn fast_forward_matches_idle_replay() {
+        let mut replayed = GlobalClock::new(PartyId::all(3));
+        for _ in 0..7 {
+            replayed.advance_party(PartyId(0));
+            replayed.advance_party(PartyId(1));
+            replayed.advance_party(PartyId(2));
+        }
+        let mut jumped = GlobalClock::new(PartyId::all(3));
+        jumped.fast_forward(7);
+        assert_eq!(jumped.read(), replayed.read());
+        assert_eq!(jumped.ticks(), replayed.ticks());
+        assert!(!jumped.mid_round());
+        // Backwards / same-round jumps are no-ops.
+        jumped.fast_forward(7);
+        jumped.fast_forward(3);
+        assert_eq!(jumped.read(), 7);
+        assert_eq!(jumped.ticks(), 7);
+    }
+
+    #[test]
+    fn mid_round_reports_partial_advances() {
+        let mut c = GlobalClock::new(PartyId::all(2));
+        assert!(!c.mid_round());
+        c.advance_party(PartyId(0));
+        assert!(c.mid_round());
+        c.advance_party(PartyId(1));
+        assert!(!c.mid_round(), "tick clears the partial marks");
     }
 
     #[test]

@@ -69,7 +69,17 @@ use std::fmt;
 /// The required surface is the period lifecycle; the provided methods are
 /// the default driver loop ([`submit`](SbcWorld::submit) /
 /// [`tick`](SbcWorld::tick)) shared by every backend.
-pub trait SbcWorld: World {
+///
+/// # `Send`
+///
+/// `SbcWorld` requires [`Send`]: instance pools step independent backend
+/// worlds **in parallel** (one shared clock tick fans the per-instance
+/// round out across `std::thread::scope` workers), which moves `&mut`
+/// borrows of the worlds across threads. Every in-tree backend is a plain
+/// owned-data state machine and is `Send` automatically; a future backend
+/// holding thread-bound resources (`Rc`, raw GUI handles, …) must wrap
+/// them in `Send`-safe forms to participate.
+pub trait SbcWorld: World + Send {
     /// Closes the books on a released broadcast period so the same world
     /// can host the next one. Period-local state (party queues, undelivered
     /// wires, released records) is dropped; composable state (clock, random
@@ -108,6 +118,39 @@ pub trait SbcWorld: World {
             if !self.is_corrupted(p) {
                 self.advance(p);
             }
+        }
+    }
+
+    /// Catches this world up to shared-clock round `round`, as if
+    /// `round − time()` idle all-party rounds had been executed — how a
+    /// freshly built world joins a long-lived shared clock (instance
+    /// pools call this from `open_instance`).
+    ///
+    /// The default implementation is the literal replay ([`replay_join`]),
+    /// `O((round − time()) · n)` `advance` calls. A backend whose idle
+    /// rounds are pure clock ticks — no randomness drawn, no leaks, no
+    /// outputs, no state beyond per-round dedup guards — may override this
+    /// with an O(1) clock jump, **provided** the override is
+    /// observation-equivalent to the replay: every transcript a driver can
+    /// extract afterwards must be bit-identical to the replay path's. The
+    /// real and ideal SBC worlds override it this way, falling back to the
+    /// replay whenever the world is not verifiably idle.
+    ///
+    /// A no-op when `round ≤ time()`.
+    fn join_at(&mut self, round: u64) {
+        replay_join(self, round);
+    }
+}
+
+/// The reference implementation of [`SbcWorld::join_at`]: replays
+/// `round − time()` idle rounds by advancing every party (backends ignore
+/// corrupted ones). O(1) `join_at` overrides use this as their fallback
+/// when the world is not verifiably idle.
+pub fn replay_join<W: SbcWorld + ?Sized>(world: &mut W, round: u64) {
+    let behind = round.saturating_sub(world.time());
+    for _ in 0..behind {
+        for i in 0..world.n() {
+            world.advance(PartyId(i as u32));
         }
     }
 }
@@ -380,6 +423,13 @@ impl fmt::Display for InstanceId {
 /// pair of implementations through identical actions with transcript
 /// comparison keyed by instance.
 pub trait PoolWorld {
+    /// The error [`open_instance`](PoolWorld::open_instance) can fail
+    /// with — building a fresh backend world can be fallible (parameter
+    /// drift, resource exhaustion in future networked backends). Pools
+    /// whose instance creation cannot fail use
+    /// [`std::convert::Infallible`].
+    type OpenError: std::error::Error;
+
     /// Number of parties (global — every instance shares the party set).
     fn n(&self) -> usize;
 
@@ -389,7 +439,12 @@ pub trait PoolWorld {
     /// Opens a new SBC instance, returning its id. The new instance joins
     /// the shared clock at the current round and inherits the global
     /// corruption state.
-    fn open_instance(&mut self) -> InstanceId;
+    ///
+    /// # Errors
+    ///
+    /// [`Self::OpenError`] if the backend world could not be built. A
+    /// failed open must not consume an instance id.
+    fn open_instance(&mut self) -> Result<InstanceId, Self::OpenError>;
 
     /// The ids of all live (not yet closed) instances, in id order.
     fn live_instances(&self) -> Vec<InstanceId>;
@@ -536,12 +591,20 @@ impl<R: PoolWorld, I: PoolWorld> PoolDualRun<R, I> {
     ///
     /// # Panics
     ///
-    /// Panics if the pools assign different ids (they allocate ids in the
-    /// same deterministic order).
+    /// Panics if either pool fails to open the instance, or if the pools
+    /// assign different ids (they allocate ids in the same deterministic
+    /// order) — harness-style: an open failure on one side is itself a
+    /// distinguishing event and must surface loudly.
     pub fn open_instance(&mut self) -> InstanceId {
         let (tr, ti) = (self.real.round(), self.ideal.round());
-        let r = self.real.open_instance();
-        let i = self.ideal.open_instance();
+        let r = self
+            .real
+            .open_instance()
+            .unwrap_or_else(|e| panic!("real pool failed to open an instance: {e}"));
+        let i = self
+            .ideal
+            .open_instance()
+            .unwrap_or_else(|e| panic!("ideal pool failed to open an instance: {e}"));
         assert_eq!(r, i, "pools assigned different instance ids");
         self.t_real.entry(r).or_default();
         self.t_ideal.entry(r).or_default();
@@ -954,6 +1017,24 @@ mod tests {
     }
 
     #[test]
+    fn default_join_at_is_the_idle_replay() {
+        // join_at's default must behave exactly like advancing every party
+        // for the missing rounds — the pre-offset-join pool catch-up.
+        let mut replayed = PeriodicEcho::new(3);
+        for _ in 0..5 {
+            for p in 0..3 {
+                replayed.advance(PartyId(p));
+            }
+        }
+        let mut joined = PeriodicEcho::new(3);
+        joined.join_at(5);
+        assert_eq!(joined.time(), replayed.time());
+        // Joining backwards (or at the current round) is a no-op.
+        joined.join_at(2);
+        assert_eq!(joined.time(), 5);
+    }
+
+    #[test]
     fn corrupt_shorthand_matches_adv_command() {
         let mut dual = DualRun::new(
             PeriodicEcho::new(2),
@@ -997,13 +1078,14 @@ mod tests {
     }
 
     impl PoolWorld for EchoPool {
+        type OpenError = std::convert::Infallible;
         fn n(&self) -> usize {
             self.n
         }
         fn round(&self) -> u64 {
             self.round
         }
-        fn open_instance(&mut self) -> InstanceId {
+        fn open_instance(&mut self) -> Result<InstanceId, Self::OpenError> {
             let id = self.next;
             self.next += 1;
             let mut w = match self.bias {
@@ -1017,7 +1099,7 @@ mod tests {
             }
             w.time = self.round;
             self.live.insert(id, w);
-            InstanceId(id)
+            Ok(InstanceId(id))
         }
         fn live_instances(&self) -> Vec<InstanceId> {
             self.live.keys().copied().map(InstanceId).collect()

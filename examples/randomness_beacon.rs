@@ -37,13 +37,13 @@ fn main() -> Result<(), SbcError> {
     // pool — stream B opens while stream A is mid-period, both on one
     // clock.
     let mut streams = DursPool::new(4, b"beacon-streams")?;
-    let block = streams.open_stream();
+    let block = streams.open_stream()?;
     for p in 0..4 {
         streams.contribute(block, p)?;
     }
     streams.step_round()?;
     streams.step_round()?;
-    let committee = streams.open_stream();
+    let committee = streams.open_stream()?;
     for p in 0..4 {
         streams.contribute(committee, p)?;
     }

@@ -26,7 +26,10 @@ fn main() -> Result<(), SbcError> {
     ];
 
     let mut house = SbcPool::builder(4).phi(4).seed(b"auction-house").build()?;
-    let ids: Vec<_> = lots.iter().map(|_| house.open_instance()).collect();
+    let ids: Vec<_> = lots
+        .iter()
+        .map(|_| house.open_instance())
+        .collect::<Result<_, _>>()?;
     for (lot, lot_bids) in ids.iter().zip(bids) {
         for (bidder, amount) in lot_bids {
             let bid = format!("bidder-{bidder}:{amount:08}");

@@ -7,16 +7,24 @@
 //! with adaptive corruption, adversarial injection, leakage probes, and a
 //! staggered late-opened instance. The error-path tests pin down the typed
 //! `SbcError` surface of the session-level `SbcPool`.
+//!
+//! The scheduling tests assert the pool's two performance paths are
+//! observation-equivalent to their references: parallel `tick_all` vs the
+//! serial loop (bit-identical keyed transcripts under adaptive corruption)
+//! and the O(1) `join_at` offset join vs the literal idle-round replay.
+//! The lifecycle regression tests cover the retire-drops-drains and
+//! panicking-`open_instance` bugs.
 
-use sbc_core::api::SbcError;
-use sbc_core::pool::{InstanceId, PooledSbcWorld, SbcPool};
+use sbc_core::api::{SbcError, SbcResult};
+use sbc_core::pool::{InstanceId, PooledSbcWorld, SbcPool, TickMode};
 use sbc_core::protocol::sbc_wire;
 use sbc_core::worlds::{IdealSbcWorld, RealSbcWorld, SbcBackend, SbcParams};
 use sbc_primitives::drbg::Drbg;
-use sbc_uc::exec::{CompareLevel, PoolDualRun};
+use sbc_uc::exec::{CompareLevel, PoolDualRun, SbcWorld};
 use sbc_uc::ids::PartyId;
 use sbc_uc::value::{Command, Value};
-use sbc_uc::world::AdvCommand;
+use sbc_uc::world::{AdvCommand, Leak, World};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 type Pair = PoolDualRun<PooledSbcWorld<RealSbcWorld>, PooledSbcWorld<IdealSbcWorld>>;
 
@@ -212,7 +220,7 @@ fn unknown_instance_is_a_typed_error_everywhere() {
 #[test]
 fn finished_instance_refuses_further_traffic() {
     let mut pool = SbcPool::builder(2).seed(b"finished").build().unwrap();
-    let id = pool.open_instance();
+    let id = pool.open_instance().unwrap();
     pool.submit(id, 0, b"final").unwrap();
     let result = pool.finish(id).unwrap();
     assert_eq!(result.messages, vec![b"final".to_vec()]);
@@ -223,7 +231,7 @@ fn finished_instance_refuses_further_traffic() {
     assert_eq!(pool.epoch(id).unwrap_err(), err.clone());
     assert_eq!(pool.tle_leakage(id).unwrap_err(), err);
     // The pool itself keeps working: new instances get fresh ids.
-    let next = pool.open_instance();
+    let next = pool.open_instance().unwrap();
     assert_ne!(next, id, "ids are never reused");
     pool.submit(next, 1, b"still-open").unwrap();
     assert_eq!(pool.finish(next).unwrap().messages.len(), 1);
@@ -234,8 +242,8 @@ fn cross_instance_corruption_visibility() {
     // Corrupting a party through the pool is visible in every instance —
     // those already open, and those opened afterwards.
     let mut pool = SbcPool::builder(3).seed(b"x-corr").build().unwrap();
-    let a = pool.open_instance();
-    let b = pool.open_instance();
+    let a = pool.open_instance().unwrap();
+    let b = pool.open_instance().unwrap();
     pool.submit(a, 1, b"pending-in-a").unwrap();
     let views = pool.corrupt(1).unwrap();
     assert_eq!(views.len(), 2, "per-instance corruption views");
@@ -257,7 +265,7 @@ fn cross_instance_corruption_visibility() {
             "other parties stay honest in every instance"
         );
     }
-    let c = pool.open_instance();
+    let c = pool.open_instance().unwrap();
     assert_eq!(
         pool.submit(c, 1, b"no"),
         Err(SbcError::CorruptedParty { party: 1 }),
@@ -276,7 +284,7 @@ fn pool_close_semantics_match_session_close_semantics() {
     // After release (without epoch turnover) the period stays closed: a
     // pool instance behaves exactly like a session would.
     let mut pool = SbcPool::builder(2).seed(b"close-sem").build().unwrap();
-    let id = pool.open_instance();
+    let id = pool.open_instance().unwrap();
     pool.submit(id, 0, b"on-time").unwrap();
     pool.run_to_completion(id).unwrap();
     assert!(matches!(
@@ -299,8 +307,370 @@ fn empty_pool_and_empty_instances_behave() {
     assert!(pool.step_round().unwrap().is_empty());
     assert_eq!(pool.round(), 1);
     assert!(pool.live_instances().is_empty());
-    let id = pool.open_instance();
+    let id = pool.open_instance().unwrap();
     assert_eq!(pool.run_epoch(id).unwrap_err(), SbcError::NoInput);
     assert_eq!(pool.finish(id).unwrap_err(), SbcError::NoInput);
     assert_eq!(pool.epoch(id).unwrap(), 0, "failed runs do not turn epochs");
+}
+
+// ---------------------------------------------------------------------------
+// Parallel stepping: observation-equivalence to the serial reference
+// ---------------------------------------------------------------------------
+
+/// Acceptance test for parallel `tick_all`: a 16-instance pool stepped by
+/// the forced-parallel scheduler must produce **bit-identical** keyed
+/// transcripts — inputs, outputs, and leak order per instance — to the
+/// serial reference loop, including across an adaptive mid-period
+/// corruption and late drains. `PoolDualRun` at `CompareLevel::Exact` is
+/// the strictest comparator in the workspace, so any merge-order slip in
+/// the parallel path fails loudly here.
+#[test]
+fn parallel_tick_all_is_bit_identical_to_serial() {
+    fn world(mode: TickMode) -> PooledSbcWorld<RealSbcWorld> {
+        let mut w =
+            PooledSbcWorld::new(SbcParams::default_for(3), b"par-vs-ser").expect("valid params");
+        w.set_tick_mode(mode);
+        w
+    }
+    let mut dual = PoolDualRun::new(
+        world(TickMode::Serial),
+        world(TickMode::Parallel),
+        CompareLevel::Exact,
+    );
+    let ids: Vec<InstanceId> = (0..16).map(|_| dual.open_instance()).collect();
+    for (k, &id) in ids.iter().enumerate() {
+        dual.submit(id, PartyId((k % 2) as u32), format!("m{k}").as_bytes());
+    }
+    dual.step_round();
+    // Adaptive corruption mid-period hits every instance in both pools.
+    let (cr, ci) = dual.corrupt(PartyId(2));
+    assert!(cr && ci);
+    dual.submit(ids[5], PartyId(0), b"post-corruption");
+    dual.idle_rounds(9); // all release at τ_rel = 5; drain late
+    dual.check()
+        .unwrap_or_else(|d| panic!("parallel diverged from serial: {d}"));
+    assert_eq!(dual.round(), 10);
+}
+
+/// The same invariant one layer up: the session-level release stream
+/// (`step_round`'s return values, in order) is tick-mode invariant.
+#[test]
+fn pool_release_stream_is_tick_mode_invariant() {
+    fn run(mode: TickMode) -> Vec<(InstanceId, SbcResult)> {
+        let mut pool = SbcPool::builder(3)
+            .seed(b"mode-invariant")
+            .tick_mode(mode)
+            .build()
+            .expect("valid params");
+        let ids: Vec<InstanceId> = (0..12).map(|_| pool.open_instance().unwrap()).collect();
+        for (k, &id) in ids.iter().enumerate() {
+            pool.submit(id, (k % 3) as u32, format!("lot-{k}").as_bytes())
+                .unwrap();
+        }
+        let mut releases = Vec::new();
+        for _ in 0..8 {
+            releases.extend(pool.step_round().unwrap());
+        }
+        assert_eq!(releases.len(), ids.len(), "all released");
+        releases
+    }
+    assert_eq!(run(TickMode::Serial), run(TickMode::Parallel));
+    assert_eq!(run(TickMode::Serial), run(TickMode::Auto));
+}
+
+// ---------------------------------------------------------------------------
+// O(1) offset join: observation-equivalence to the idle-round replay
+// ---------------------------------------------------------------------------
+
+/// A backend wrapper that pins `join_at` to the trait's default idle-round
+/// replay — the reference the O(1) offset join must match bit for bit.
+#[derive(Debug)]
+struct ReplayJoin<W: SbcWorld>(W);
+
+impl<W: SbcWorld> World for ReplayJoin<W> {
+    fn n(&self) -> usize {
+        self.0.n()
+    }
+    fn time(&self) -> u64 {
+        self.0.time()
+    }
+    fn input(&mut self, party: PartyId, cmd: Command) {
+        self.0.input(party, cmd);
+    }
+    fn advance(&mut self, party: PartyId) {
+        self.0.advance(party);
+    }
+    fn adversary(&mut self, cmd: AdvCommand) -> Value {
+        self.0.adversary(cmd)
+    }
+    fn drain_outputs(&mut self) -> Vec<(PartyId, Command)> {
+        self.0.drain_outputs()
+    }
+    fn drain_leaks(&mut self) -> Vec<Leak> {
+        self.0.drain_leaks()
+    }
+    fn is_corrupted(&self, party: PartyId) -> bool {
+        self.0.is_corrupted(party)
+    }
+}
+
+impl<W: SbcWorld> SbcWorld for ReplayJoin<W> {
+    fn begin_new_period(&mut self) {
+        self.0.begin_new_period();
+    }
+    fn release_round(&self) -> Option<u64> {
+        self.0.release_round()
+    }
+    fn period_end(&self) -> Option<u64> {
+        self.0.period_end()
+    }
+    fn would_abort(&self) -> bool {
+        self.0.would_abort()
+    }
+    // `join_at` deliberately NOT forwarded: the default replay runs.
+}
+
+impl<W: SbcBackend> SbcBackend for ReplayJoin<W> {
+    fn from_params(params: SbcParams, seed: &[u8]) -> Result<Self, SbcError> {
+        Ok(ReplayJoin(W::from_params(params, seed)?))
+    }
+}
+
+/// Acceptance test for the clock-offset join: an instance opened at pool
+/// round `T = 32` through the O(1) `join_at` fast path is bit-identical —
+/// same transcripts, same `τ_rel`, same outputs — to one opened through
+/// the literal `O(T·n)` idle-round replay, for the real and the ideal
+/// backend, including a pre-join global corruption.
+#[test]
+fn offset_join_is_bit_identical_to_idle_replay() {
+    fn drive<W: SbcBackend>(seed: &[u8]) {
+        let mut dual: PoolDualRun<PooledSbcWorld<ReplayJoin<W>>, PooledSbcWorld<W>> =
+            PoolDualRun::new(
+                PooledSbcWorld::new(SbcParams::default_for(3), seed).expect("valid params"),
+                PooledSbcWorld::new(SbcParams::default_for(3), seed).expect("valid params"),
+                CompareLevel::Exact,
+            );
+        let early = dual.open_instance();
+        dual.submit(early, PartyId(0), b"early-traffic");
+        dual.idle_rounds(32); // long-lived pool: the clock is at T = 32
+        let (cr, ci) = dual.corrupt(PartyId(2)); // replayed into late joiners
+        assert!(cr && ci);
+        let late = dual.open_instance(); // replay join vs O(1) clock jump
+        assert_eq!(dual.round(), 32);
+        dual.submit(late, PartyId(1), b"late-joiner");
+        dual.idle_rounds(9);
+        dual.check()
+            .unwrap_or_else(|d| panic!("offset join diverged from replay: {d}"));
+        // Woken at T = 32: τ_rel = T + Φ + ∆ in both pools.
+        assert_eq!(dual.release_round(late), Some(32 + 3 + 2));
+    }
+    drive::<RealSbcWorld>(b"join-real");
+    drive::<IdealSbcWorld>(b"join-ideal");
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle bugfix regressions
+// ---------------------------------------------------------------------------
+
+/// A minimal backend whose period turnover buffers an audit leak (as a
+/// networked backend logging dropped wires would) — the kind of
+/// late-buffered drain `retire` must surface rather than drop.
+#[derive(Debug)]
+struct AuditWorld {
+    n: usize,
+    time: u64,
+    advanced: usize,
+    corrupted: Vec<bool>,
+    leaks: Vec<Leak>,
+}
+
+impl World for AuditWorld {
+    fn n(&self) -> usize {
+        self.n
+    }
+    fn time(&self) -> u64 {
+        self.time
+    }
+    fn input(&mut self, _party: PartyId, _cmd: Command) {}
+    fn advance(&mut self, _party: PartyId) {
+        self.advanced += 1;
+        if self.advanced >= self.n {
+            self.advanced = 0;
+            self.time += 1;
+        }
+    }
+    fn adversary(&mut self, cmd: AdvCommand) -> Value {
+        if let AdvCommand::Corrupt(p) = cmd {
+            self.corrupted[p.index()] = true;
+            return Value::List(Vec::new());
+        }
+        Value::Unit
+    }
+    fn drain_outputs(&mut self) -> Vec<(PartyId, Command)> {
+        Vec::new()
+    }
+    fn drain_leaks(&mut self) -> Vec<Leak> {
+        std::mem::take(&mut self.leaks)
+    }
+    fn is_corrupted(&self, party: PartyId) -> bool {
+        self.corrupted[party.index()]
+    }
+}
+
+impl SbcWorld for AuditWorld {
+    fn begin_new_period(&mut self) {
+        self.leaks.push(Leak {
+            source: "audit".into(),
+            cmd: Command::new("PeriodClosed", Value::U64(self.time)),
+        });
+    }
+    fn release_round(&self) -> Option<u64> {
+        None
+    }
+    fn period_end(&self) -> Option<u64> {
+        None
+    }
+}
+
+impl SbcBackend for AuditWorld {
+    fn from_params(params: SbcParams, _seed: &[u8]) -> Result<Self, SbcError> {
+        Ok(AuditWorld {
+            n: params.n,
+            time: 0,
+            advanced: 0,
+            corrupted: vec![false; params.n],
+            leaks: Vec::new(),
+        })
+    }
+}
+
+/// Regression for the retire-drops-drains bug: `retire` removed the
+/// instance world without a final drain, silently discarding leaks (and
+/// outputs) still buffered inside it. Retirement must be a final drain.
+#[test]
+fn retire_surfaces_late_buffered_drains() {
+    let mut w =
+        PooledSbcWorld::<AuditWorld>::new(SbcParams::default_for(2), b"audit").expect("valid");
+    let id = w.open_instance().unwrap();
+    assert!(w.take_leaks().is_empty());
+    // The backend buffers an audit leak at period turnover; nothing has
+    // pulled it into the pool buffers yet.
+    w.begin_new_period_of(id);
+    w.retire(id);
+    let leaks = w.take_leaks();
+    assert_eq!(leaks.len(), 1, "late-buffered leak surfaced by retire");
+    assert_eq!(leaks[0].0, id);
+    assert_eq!(leaks[0].1.source, "audit");
+    assert!(w.is_retired(id));
+}
+
+/// The session-level face of the same guarantee: leaks captured for an
+/// instance stay readable after `finish` retires it (they used to be
+/// dropped with the per-instance state, breaking the PR 2 late-drain
+/// contract at the pool layer).
+#[test]
+fn finished_instance_keeps_captured_leaks_readable() {
+    let mut pool = SbcPool::builder(3)
+        .seed(b"late-leaks")
+        .capture_leaks()
+        .build()
+        .unwrap();
+    let id = pool.open_instance().unwrap();
+    pool.submit(id, 0, b"watched").unwrap();
+    pool.finish(id).unwrap();
+    // Traffic still refuses with the typed error...
+    assert!(matches!(
+        pool.submit(id, 0, b"late"),
+        Err(SbcError::InstanceFinished { .. })
+    ));
+    // ...but the captured leaks survive retirement and drain exactly once.
+    let leaks = pool.take_leaks(id).unwrap();
+    assert!(!leaks.is_empty(), "captured leaks readable after finish");
+    assert!(pool.take_leaks(id).unwrap().is_empty());
+    assert_eq!(
+        pool.leaks(InstanceId(99)).unwrap_err(),
+        SbcError::UnknownInstance { instance: 99 }
+    );
+}
+
+static FLAKY_FAIL_NEXT_OPEN: AtomicBool = AtomicBool::new(false);
+
+/// A backend whose construction fails on demand — exercises the
+/// `open_instance` error path that used to be a
+/// `.expect("params validated at pool construction")` panic.
+#[derive(Debug)]
+struct FlakyBackend(RealSbcWorld);
+
+impl World for FlakyBackend {
+    fn n(&self) -> usize {
+        self.0.n()
+    }
+    fn time(&self) -> u64 {
+        self.0.time()
+    }
+    fn input(&mut self, party: PartyId, cmd: Command) {
+        self.0.input(party, cmd);
+    }
+    fn advance(&mut self, party: PartyId) {
+        self.0.advance(party);
+    }
+    fn adversary(&mut self, cmd: AdvCommand) -> Value {
+        self.0.adversary(cmd)
+    }
+    fn drain_outputs(&mut self) -> Vec<(PartyId, Command)> {
+        self.0.drain_outputs()
+    }
+    fn drain_leaks(&mut self) -> Vec<Leak> {
+        self.0.drain_leaks()
+    }
+    fn is_corrupted(&self, party: PartyId) -> bool {
+        self.0.is_corrupted(party)
+    }
+}
+
+impl SbcWorld for FlakyBackend {
+    fn begin_new_period(&mut self) {
+        self.0.begin_new_period();
+    }
+    fn release_round(&self) -> Option<u64> {
+        self.0.release_round()
+    }
+    fn period_end(&self) -> Option<u64> {
+        self.0.period_end()
+    }
+    fn join_at(&mut self, round: u64) {
+        self.0.join_at(round);
+    }
+}
+
+impl SbcBackend for FlakyBackend {
+    fn from_params(params: SbcParams, seed: &[u8]) -> Result<Self, SbcError> {
+        if FLAKY_FAIL_NEXT_OPEN.swap(false, Ordering::SeqCst) {
+            return Err(SbcError::Internal {
+                detail: "transient backend failure".into(),
+            });
+        }
+        Ok(FlakyBackend(RealSbcWorld::from_params(params, seed)?))
+    }
+}
+
+/// Regression for the panicking `open_instance`: a backend construction
+/// failure surfaces as a typed `SbcError`, consumes no instance id, and
+/// leaves the pool fully usable.
+#[test]
+fn open_instance_failure_is_a_typed_error_not_a_panic() {
+    let mut pool = SbcPool::builder(2)
+        .seed(b"flaky")
+        .build_backend::<FlakyBackend>()
+        .unwrap();
+    let first = pool.open_instance().unwrap();
+    FLAKY_FAIL_NEXT_OPEN.store(true, Ordering::SeqCst);
+    let err = pool.open_instance().unwrap_err();
+    assert!(matches!(err, SbcError::Internal { .. }), "typed: {err}");
+    assert_eq!(pool.live_instances(), vec![first], "pool unchanged");
+    // The failed open burned no id: the next open gets the successor id.
+    let second = pool.open_instance().unwrap();
+    assert_eq!(second.0, first.0 + 1, "no id gap after a failed open");
+    pool.submit(second, 0, b"still-works").unwrap();
+    assert_eq!(pool.finish(second).unwrap().messages.len(), 1);
 }
