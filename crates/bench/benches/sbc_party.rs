@@ -1,0 +1,193 @@
+//! `sbc_party_scaling`: round throughput of ONE simultaneous-broadcast
+//! instance as the party count grows (8 → 64 → 256 → 1000), measured on
+//! the serial reference schedule and on the intra-instance party-sharded
+//! schedule (`PartyShard::Sharded` over the persistent executor).
+//!
+//! Each iteration runs one full broadcast epoch (`submit` × senders,
+//! `run_epoch`) on a **long-lived session**, so the persistent worker pool
+//! is built once per configuration and amortized across iterations —
+//! exactly the service shape the two-level executor targets. The headline
+//! metric is **rounds per second**; the sharded rows also record their
+//! speedup over the serial row at the same `n`.
+//!
+//! The hot spots the sharded schedule attacks are the two `O(n²)`-scan
+//! phases of a large-`n` round: the release round (every party `Dec`-scans
+//! every received wire) and the broadcast round (every wire's delivery
+//! runs the replay-protection scan at every recipient). On a single-core
+//! host the sharded rows mostly pay dispatch overhead — the recorded
+//! `threads` metric says which regime a report came from.
+//!
+//! **Determinism gate:** before measuring anything, the run drives a
+//! serial-schedule and a sharded-schedule world pair through identical
+//! adversarial traffic (corruption + wire injection) and asserts
+//! `CompareLevel::Exact` transcript equality, exiting non-zero on any
+//! divergence — the CI smoke step therefore fails on any ordering bug.
+//!
+//! The run writes a machine-readable `BENCH_party.json` (the CI smoke step
+//! archives it).
+
+use sbc_bench::harness;
+use sbc_core::api::SbcSession;
+use sbc_core::pool::{PartyShard, PooledSbcWorld, TickMode};
+use sbc_core::protocol::sbc_wire;
+use sbc_core::worlds::{RealSbcWorld, SbcParams};
+use sbc_primitives::drbg::Drbg;
+use sbc_uc::exec::{CompareLevel, PoolDualRun};
+use sbc_uc::ids::PartyId;
+use sbc_uc::value::{Command, Value};
+use sbc_uc::world::AdvCommand;
+
+/// Cap on submitting parties: full participation at n = 1000 would make a
+/// single release round cost `n³` scans (~10⁹) per iteration; a capped
+/// sender set keeps iterations measurable while the scan phases — release
+/// `Dec`-scans and delivery replay-scans, both `O(senders² · n)` — still
+/// dominate the round, which is the regime the party sharding targets.
+const SENDERS: usize = 128;
+
+fn senders(n: usize) -> usize {
+    SENDERS.min(n / 2).max(1)
+}
+
+/// Serial-vs-sharded determinism gate at `CompareLevel::Exact`, under
+/// corruption and wire injection. Panics (→ non-zero exit) on divergence.
+fn determinism_gate(n: usize, threads: usize) {
+    fn world(n: usize, mode: TickMode, shard: PartyShard) -> PooledSbcWorld<RealSbcWorld> {
+        let mut w = PooledSbcWorld::new(SbcParams::default_for(n), b"party-bench-gate")
+            .expect("valid params");
+        w.set_tick_mode(mode);
+        w.set_party_shard(shard);
+        w
+    }
+    let mut dual = PoolDualRun::new(
+        world(n, TickMode::Serial, PartyShard::Serial),
+        world(n, TickMode::Threads(threads), PartyShard::Sharded),
+        CompareLevel::Exact,
+    );
+    let mut adv_rng = Drbg::from_seed(b"party-bench-gate/adv");
+    let id = dual.open_instance();
+    for p in 0..senders(n) {
+        dual.submit(id, PartyId(p as u32), format!("gate-{p}").as_bytes());
+    }
+    dual.step_round();
+    let corrupt = PartyId((n - 1) as u32);
+    let (cr, ci) = dual.corrupt(corrupt);
+    assert!(cr && ci, "corruption accepted in both schedules");
+    let tau = dual.release_round(id).expect("period open");
+    dual.adversary(
+        id,
+        AdvCommand::SendAs {
+            party: corrupt,
+            cmd: Command::new(
+                "Broadcast",
+                sbc_wire(
+                    &Value::bytes(adv_rng.gen_bytes(64)),
+                    tau,
+                    &adv_rng.gen_bytes(16),
+                ),
+            ),
+        },
+    );
+    dual.idle_rounds(8);
+    dual.check().unwrap_or_else(|d| {
+        panic!("sharded schedule diverged from the serial reference at n = {n}: {d}")
+    });
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let threads = cores.max(2);
+
+    let gate_sizes: &[usize] = if harness::smoke_mode() {
+        &[8, 64]
+    } else {
+        &[64, 256]
+    };
+    for &n in gate_sizes {
+        determinism_gate(n, threads);
+    }
+    println!(
+        "determinism gate: sharded transcripts == serial (Exact) at n ∈ {gate_sizes:?} \
+         under corruption + injection"
+    );
+
+    let sizes: &[usize] = if harness::smoke_mode() {
+        // Smoke mode is a bit-rot check, not a measurement: skip the
+        // multi-second n = 1000 row.
+        &[8, 64, 256]
+    } else {
+        &[8, 64, 256, 1000]
+    };
+
+    let g = harness::group("sbc_party_scaling");
+    let mut records = Vec::new();
+    let mut serial_median = 0.0f64;
+    for &n in sizes {
+        for (shard, mode_name) in [(false, "serial"), (true, "sharded")] {
+            let (tick_mode, party_shard) = if shard {
+                (TickMode::Threads(threads), PartyShard::Sharded)
+            } else {
+                (TickMode::Serial, PartyShard::Serial)
+            };
+            // One long-lived session per configuration: the persistent
+            // executor is built once and reused by every epoch.
+            let mut session = SbcSession::builder(n)
+                .seed(b"party-bench")
+                .tick_mode(tick_mode)
+                .party_shard(party_shard)
+                .build()
+                .expect("valid params");
+            let label = format!("n={n}/{mode_name}");
+            let mut rounds = 0u64;
+            let stats = g.bench(&label, || {
+                let start = session.round();
+                for p in 0..senders(n) {
+                    session
+                        .submit(p as u32, format!("m-{p}").as_bytes())
+                        .expect("in period");
+                }
+                let r = session.run_epoch().expect("epoch releases");
+                rounds = session.round() - start;
+                r
+            });
+            let rounds_per_sec = rounds as f64 * 1e9 / stats.median_ns;
+            let mut metrics = vec![
+                ("n".into(), n as f64),
+                ("senders".into(), senders(n) as f64),
+                ("rounds".into(), rounds as f64),
+                ("rounds_per_sec".into(), rounds_per_sec),
+                ("sharded".into(), f64::from(u8::from(shard))),
+                ("threads".into(), if shard { threads } else { 1 } as f64),
+                ("cores".into(), cores as f64),
+            ];
+            if shard {
+                let speedup = serial_median / stats.median_ns;
+                metrics.push(("speedup_vs_serial".into(), speedup));
+                println!(
+                    "{:<44} {:>10.0} rounds/s   speedup vs serial: {:.2}x",
+                    format!("sbc_party_scaling/{label}"),
+                    rounds_per_sec,
+                    speedup
+                );
+            } else {
+                serial_median = stats.median_ns;
+                println!(
+                    "{:<44} {:>10.0} rounds/s",
+                    format!("sbc_party_scaling/{label}"),
+                    rounds_per_sec
+                );
+            }
+            records.push(harness::Record {
+                group: "sbc_party_scaling".into(),
+                label,
+                stats,
+                metrics,
+            });
+        }
+    }
+
+    // Default target is the bench cwd (the sbc-bench package root);
+    // SBC_BENCH_JSON overrides it, which CI uses to surface the artifact.
+    let path = std::env::var("SBC_BENCH_JSON").unwrap_or_else(|_| "BENCH_party.json".to_string());
+    harness::write_json_report(&path, &records).expect("write BENCH_party.json");
+    println!("\nwrote {path} ({} records)", records.len());
+}

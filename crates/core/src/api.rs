@@ -84,7 +84,7 @@
 //! # }
 //! ```
 
-use crate::pool::{InstanceId, SbcPool, SbcPoolBuilder};
+use crate::pool::{InstanceId, PartyShard, SbcPool, SbcPoolBuilder, TickMode};
 use crate::worlds::{IdealSbcWorld, RealSbcWorld, SbcBackend, SbcParams};
 use sbc_uc::exec::SbcWorld;
 use sbc_uc::value::{Command, Value};
@@ -168,6 +168,24 @@ impl SbcSessionBuilder {
     /// Installs an adversary configuration.
     pub fn adversary(mut self, cfg: AdversaryConfig) -> Self {
         self.pool = self.pool.adversary(cfg);
+        self
+    }
+
+    /// Sets how rounds are scheduled (see [`TickMode`]) — for a
+    /// single-instance session this governs the persistent executor's
+    /// worker count ([`TickMode::Threads`] pins it explicitly). A
+    /// performance knob only: every mode is observation-equivalent.
+    pub fn tick_mode(mut self, mode: TickMode) -> Self {
+        self.pool = self.pool.tick_mode(mode);
+        self
+    }
+
+    /// Sets whether rounds shard the per-party work of this session's
+    /// instance across the executor's workers (see [`PartyShard`]) — the
+    /// throughput knob for large-`n` single-instance sessions. A
+    /// performance knob only: every mode is observation-equivalent.
+    pub fn party_shard(mut self, shard: PartyShard) -> Self {
+        self.pool = self.pool.party_shard(shard);
         self
     }
 

@@ -66,6 +66,13 @@ pub enum SbcError {
         /// The finished instance id.
         instance: u64,
     },
+    /// A reclamation operation (`SbcPool::prune`) addressed an instance
+    /// that is still live — pruning it would silently discard an
+    /// unreleased period; finish the instance first.
+    InstanceLive {
+        /// The live instance id.
+        instance: u64,
+    },
     /// `run_epoch`/`run_to_completion` was called with nothing submitted —
     /// the period would never open and the session would spin forever.
     NoInput,
@@ -114,6 +121,12 @@ impl fmt::Display for SbcError {
             SbcError::InstanceFinished { instance } => {
                 write!(f, "instance #{instance} is already finished")
             }
+            SbcError::InstanceLive { instance } => {
+                write!(
+                    f,
+                    "instance #{instance} is still live (finish it before pruning)"
+                )
+            }
             SbcError::NoInput => write!(f, "nothing submitted: the period would never open"),
             SbcError::Timeout { budget } => {
                 write!(f, "session failed to release within {budget} rounds")
@@ -152,6 +165,7 @@ mod tests {
             (SbcError::PeriodNotOpen, "τ_rel"),
             (SbcError::UnknownInstance { instance: 4 }, "instance #4"),
             (SbcError::InstanceFinished { instance: 7 }, "instance #7"),
+            (SbcError::InstanceLive { instance: 3 }, "still live"),
             (SbcError::NoInput, "nothing submitted"),
             (SbcError::Timeout { budget: 9 }, "9 rounds"),
             (

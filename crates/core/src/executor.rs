@@ -1,0 +1,373 @@
+//! A persistent worker-pool executor for the two-level round scheduler —
+//! std-only (channels-of-tasks via `Mutex` + `Condvar`, `std::thread`
+//! workers), no external dependencies.
+//!
+//! # Why a persistent pool
+//!
+//! PR 4 parallelized the instance pool's shared clock tick with
+//! `std::thread::scope`, which spawns and joins OS threads on **every
+//! tick**. At tens of thousands of ticks per second the spawn/join cost
+//! (~10–50µs per worker) dominates small batches — it is exactly why the
+//! old `TickMode::Auto` refused to parallelize small pools. [`Executor`]
+//! keeps its workers alive for the life of the pool and feeds them batches
+//! through a shared queue, so a tick costs a queue push and a condvar
+//! wake-up instead of thread creation.
+//!
+//! # The two-level schedule
+//!
+//! The executor implements [`ShardRunner`], the scheduling seam of
+//! `sbc_uc::exec`, and serves **both levels** of work the pool produces:
+//!
+//! * **Across instances** — `PooledSbcWorld::tick_all` splits the live
+//!   instances into contiguous id-ranges and runs each range as one job.
+//! * **Across parties within one instance** — each instance job may call
+//!   back into the *same* executor through `SbcWorld::tick_sharded`
+//!   (`RealSbcWorld` shards its release-round compute and its delivery
+//!   distribution). Nesting is deadlock-free by construction: a batch is
+//!   drained by its **submitting thread** as well as by idle workers, so a
+//!   batch always completes even when every worker is busy with outer
+//!   jobs.
+//!
+//! # Safety
+//!
+//! Jobs borrow caller-local state (`&mut` world shards), so their closures
+//! are not `'static`; handing them to persistent threads requires erasing
+//! the lifetime. The erasure is sound because [`ShardRunner::run_boxed`]
+//! never returns before every job of the batch has finished running (the
+//! completion latch counts panicked jobs too), so no borrow captured by a
+//! job can outlive the stack frame that owns it. This is the same
+//! contract `std::thread::scope` enforces — amortized across calls — and
+//! the only `unsafe` in the workspace; it is confined to the private
+//! `erase_job_lifetime` helper below.
+
+#![allow(unsafe_code)]
+
+use sbc_uc::exec::ShardRunner;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+/// A lifetime-erased job.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Erases a job's borrow lifetime so it can ride a persistent worker.
+///
+/// # Safety
+///
+/// The caller must guarantee the job has **finished executing** before any
+/// borrow it captures expires. [`Executor::run_boxed`] upholds this by
+/// blocking on the batch's completion latch — which counts every job,
+/// including panicked ones — before returning (and before re-raising any
+/// captured panic).
+unsafe fn erase_job_lifetime(job: Box<dyn FnOnce() + Send + '_>) -> Task {
+    // SAFETY: deferred to the caller (see above); the transmute only
+    // widens the trait object's lifetime bound, layout is identical.
+    unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Task>(job) }
+}
+
+/// Ignore mutex poisoning: the executor's locks are only held for queue
+/// pushes/pops and counter updates (jobs run *outside* the locks, wrapped
+/// in `catch_unwind`), so a poisoned lock still guards consistent data.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// One submitted batch of jobs: its own work queue, a completion latch,
+/// and the first captured panic.
+struct Batch {
+    jobs: Mutex<VecDeque<Task>>,
+    /// Jobs not yet finished (running or queued).
+    pending: Mutex<usize>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl Batch {
+    /// Runs queued jobs until the batch's queue is empty. Shared by the
+    /// submitting thread and any helping workers.
+    fn drain(&self) {
+        loop {
+            let Some(job) = lock(&self.jobs).pop_front() else {
+                return;
+            };
+            if let Err(panic) = catch_unwind(AssertUnwindSafe(job)) {
+                let mut slot = lock(&self.panic);
+                slot.get_or_insert(panic);
+            }
+            let mut pending = lock(&self.pending);
+            *pending -= 1;
+            if *pending == 0 {
+                self.done.notify_all();
+            }
+        }
+    }
+}
+
+/// The shared worker-facing state: a queue of batch-drain notifications.
+struct Shared {
+    queue: Mutex<(VecDeque<Task>, bool)>,
+    ready: Condvar,
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let task = {
+            let mut guard = lock(&shared.queue);
+            loop {
+                if let Some(t) = guard.0.pop_front() {
+                    break t;
+                }
+                if guard.1 {
+                    return; // shutdown
+                }
+                guard = shared
+                    .ready
+                    .wait(guard)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        // Tasks are batch-drain notifications; panics inside jobs are
+        // captured by `Batch::drain`, so the worker itself never unwinds.
+        task();
+    }
+}
+
+/// A persistent pool of worker threads implementing [`ShardRunner`].
+///
+/// Construction spawns the workers once; every
+/// [`ShardRunner::run_boxed`] call after that costs a queue push per
+/// helper plus one condvar broadcast. The submitting thread participates
+/// in draining its own batch, so:
+///
+/// * a 1-thread executor degrades to the inline serial loop,
+/// * nested batches (an outer job submitting an inner batch) complete
+///   without any idle worker — no deadlock by construction,
+/// * panics propagate to the submitter after the batch settles, matching
+///   the inline-loop contract.
+///
+/// Dropping the executor shuts the workers down and joins them.
+pub struct Executor {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("threads", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Executor {
+    /// Spawns a pool of `threads` persistent workers (at least one).
+    pub fn new(threads: usize) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new((VecDeque::new(), false)),
+            ready: Condvar::new(),
+        });
+        let workers = (0..threads.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("sbc-executor-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn executor worker")
+            })
+            .collect();
+        Executor { shared, workers }
+    }
+
+    /// Number of persistent worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        lock(&self.shared.queue).1 = true;
+        self.shared.ready.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl ShardRunner for Executor {
+    fn run_boxed(&self, jobs: Vec<Box<dyn FnOnce() + Send + '_>>) {
+        // A single job — or a pool too small for any helper to beat the
+        // submitting thread, which drains the batch itself anyway — runs
+        // inline: same semantics, no queue traffic.
+        if jobs.len() <= 1 || self.workers.len() <= 1 {
+            for job in jobs {
+                job();
+            }
+            return;
+        }
+        let count = jobs.len();
+        let batch = Arc::new(Batch {
+            // SAFETY: `erase_job_lifetime`'s contract — this function does
+            // not return (or re-raise a job panic) until the completion
+            // latch below reports every job finished, so no borrow
+            // captured by a job outlives the caller's frame. Leftover
+            // drain notifications in the worker queue only hold the
+            // (by then empty) batch through its Arc.
+            jobs: Mutex::new(
+                jobs.into_iter()
+                    .map(|j| unsafe { erase_job_lifetime(j) })
+                    .collect(),
+            ),
+            pending: Mutex::new(count),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        // Notify up to jobs-1 workers (the submitter takes jobs too).
+        let helpers = self.workers.len().min(count - 1);
+        {
+            let mut guard = lock(&self.shared.queue);
+            for _ in 0..helpers {
+                let b = Arc::clone(&batch);
+                guard.0.push_back(Box::new(move || b.drain()));
+            }
+        }
+        self.shared.ready.notify_all();
+        // Participate, then wait for jobs still running on helpers.
+        batch.drain();
+        {
+            let mut pending = lock(&batch.pending);
+            while *pending > 0 {
+                pending = batch
+                    .done
+                    .wait(pending)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        }
+        let panic = lock(&batch.panic).take();
+        if let Some(panic) = panic {
+            resume_unwind(panic);
+        }
+    }
+
+    fn width(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbc_uc::exec::run_shards;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        let exec = Executor::new(4);
+        for len in [0usize, 1, 2, 7, 64, 1000] {
+            let jobs: Vec<_> = (0..len).map(|i| move || i * 3).collect();
+            let out = run_shards(&exec, jobs);
+            assert_eq!(out, (0..len).map(|i| i * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn jobs_borrow_caller_state_mutably() {
+        let exec = Executor::new(3);
+        let mut slots = vec![0u64; 97];
+        {
+            let jobs: Vec<_> = slots
+                .chunks_mut(10)
+                .enumerate()
+                .map(|(k, chunk)| {
+                    move || {
+                        for (i, slot) in chunk.iter_mut().enumerate() {
+                            *slot = (k * 10 + i) as u64;
+                        }
+                    }
+                })
+                .collect();
+            run_shards(&exec, jobs);
+        }
+        assert_eq!(slots, (0..97u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_is_reusable_across_many_batches() {
+        let exec = Executor::new(2);
+        let hits = AtomicUsize::new(0);
+        for _ in 0..200 {
+            let jobs: Vec<_> = (0..4)
+                .map(|_| || hits.fetch_add(1, Ordering::Relaxed))
+                .collect();
+            run_shards(&exec, jobs);
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 800);
+    }
+
+    #[test]
+    fn panics_propagate_after_the_batch_settles() {
+        let exec = Executor::new(2);
+        let finished = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let jobs: Vec<Box<dyn FnOnce() + Send>> = (0..8)
+                .map(|i| {
+                    let finished = &finished;
+                    Box::new(move || {
+                        if i == 3 {
+                            panic!("executor boom");
+                        }
+                        finished.fetch_add(1, Ordering::SeqCst);
+                    }) as Box<dyn FnOnce() + Send>
+                })
+                .collect();
+            exec.run_boxed(jobs);
+        }));
+        assert!(result.is_err(), "job panic reaches the submitter");
+        // Every non-panicking job still ran exactly once (the latch waits
+        // for the whole batch before re-raising).
+        assert_eq!(finished.load(Ordering::SeqCst), 7);
+        // The pool survives a panicked batch.
+        assert_eq!(run_shards(&exec, vec![|| 41 + 1]), vec![42]);
+    }
+
+    #[test]
+    fn nested_batches_complete_even_when_all_workers_are_busy() {
+        // 2 workers, 4 outer jobs each submitting an inner batch: inner
+        // batches must complete by submitter participation alone.
+        let exec = Executor::new(2);
+        let outer: Vec<_> = (0..4)
+            .map(|k| {
+                let exec = &exec;
+                move || {
+                    let inner: Vec<_> = (0..8).map(|i| move || k * 100 + i).collect();
+                    run_shards(exec, inner).iter().sum::<usize>()
+                }
+            })
+            .collect();
+        let sums = run_shards(&exec, outer);
+        assert_eq!(sums, vec![28, 828, 1628, 2428]);
+    }
+
+    #[test]
+    fn single_thread_executor_is_the_serial_loop() {
+        let exec = Executor::new(1);
+        assert_eq!(exec.threads(), 1);
+        let order = Mutex::new(Vec::new());
+        let jobs: Vec<_> = (0..5)
+            .map(|i| {
+                let order = &order;
+                move || lock(order).push(i)
+            })
+            .collect();
+        run_shards(&exec, jobs);
+        assert_eq!(*lock(&order), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn drop_joins_workers_cleanly() {
+        let exec = Executor::new(3);
+        run_shards(&exec, (0..10).map(|i| move || i).collect::<Vec<_>>());
+        drop(exec); // must not hang or leak threads
+    }
+}

@@ -47,6 +47,49 @@ struct PendEntry {
     broadcast: bool,
 }
 
+/// The precomputed release-round step of one party — the output of the
+/// **parallel compute phase** of a sharded round
+/// (`RealSbcWorld::tick_sharded`).
+///
+/// At `τ_rel` a party's step is pure given the round snapshot: its received
+/// wire list is frozen (receptions at `Cl ≥ t_end` are discarded), `F_TLE.Dec`
+/// never mutates the record set, and `F_RO` is input-addressed — so the
+/// whole decrypt/unmask/sort pipeline can run read-only on a worker thread.
+/// The serial merge phase then replays the observable effects in party-id
+/// order: [`SbcParty::on_advance_planned`] absorbs the party's oracle
+/// queries and emits the precomputed output command, bit-identical to the
+/// inline computation.
+#[derive(Clone, Debug)]
+pub struct ReleasePlan {
+    /// The round the plan was computed for (stale plans are ignored).
+    round: u64,
+    /// The party's release output (the sorted message vector).
+    cmd: Command,
+    /// The `F_RO` queries the inline step would have issued, in order —
+    /// `(ρ, η)` pairs replayed via `RandomOracle::absorb_party_queries`.
+    ro_queries: Vec<(Vec<u8>, Vec<u8>)>,
+}
+
+impl ReleasePlan {
+    /// Warms `ro`'s memo cache with this plan's oracle points (a pure
+    /// cache operation — see [`RandomOracle::warm`]). Broadcast reaches
+    /// every party, so all honest parties derive the *same* mask set at
+    /// release: warming from the first computed plan turns the remaining
+    /// parties' plan-phase [`RandomOracle::peek_bytes`] calls into cache
+    /// hits instead of `n` redundant mask expansions.
+    pub fn warm_oracle(&self, ro: &mut RandomOracle) {
+        let points: Vec<sbc_uc::ro::RoPoint> = self
+            .ro_queries
+            .iter()
+            .map(|(x, y)| sbc_uc::ro::RoPoint::Var {
+                x: x.clone(),
+                y: y.clone(),
+            })
+            .collect();
+        ro.warm(&points);
+    }
+}
+
 /// Per-party state of `Π_SBC`.
 #[derive(Clone, Debug)]
 pub struct SbcParty {
@@ -194,10 +237,19 @@ impl SbcParty {
             }
             return;
         }
+        self.on_wire_deliver(payload, ctx.time());
+    }
+
+    /// The non-wake-up half of [`on_ubc_deliver`](SbcParty::on_ubc_deliver):
+    /// records a `(c, τ_rel, y)` wire. Touches only this party's own state
+    /// (no functionality, no randomness, no leaks), which is what lets the
+    /// world fan a broadcast's deliveries out across recipient shards —
+    /// recipients are independent, and per-recipient arrival order is all
+    /// that matters.
+    pub fn on_wire_deliver(&mut self, payload: &Value, now: u64) {
         let Some((ct, tau, y)) = parse_sbc_wire(payload) else {
             return;
         };
-        let now = ctx.time();
         let (Some(tau_rel), Some(end)) = (self.tau_rel, self.t_end) else {
             return;
         };
@@ -212,6 +264,53 @@ impl SbcParty {
         self.rec.push((ct, y));
     }
 
+    /// The parallel compute phase of a sharded release round: precomputes
+    /// this party's `τ_rel` step against an immutable snapshot of the round
+    /// (`F_TLE` records, `F_RO` view, the party's frozen wire list).
+    /// Returns `None` whenever the party would not release this round — in
+    /// particular in every non-release round, where the serial step is the
+    /// right (and cheap) path.
+    ///
+    /// The computation mirrors the release branch of
+    /// [`on_advance`](SbcParty::on_advance) statement for statement:
+    /// `Dec` via the read-only `TleFunc::dec_peek`, masks via the
+    /// order-independent `RandomOracle::peek_bytes`. Stability of the
+    /// snapshot across the round is a protocol invariant: at `τ_rel` no
+    /// honest party broadcasts (`Cl ≥ t_end`), receptions are discarded,
+    /// and `Dec` inserts nothing — so a plan computed before the round's
+    /// serial merge equals the inline computation bit for bit (pinned by
+    /// the `CompareLevel::Exact` scheduling tests).
+    pub fn plan_release(&self, now: u64, ftle: &TleFunc, ro: &RandomOracle) -> Option<ReleasePlan> {
+        if self.last_advance == Some(now) || self.tau_rel != Some(now) {
+            return None;
+        }
+        let tau_rel = now;
+        let mut ro_queries = Vec::new();
+        let mut out = Vec::new();
+        for (ct, y) in &self.rec {
+            let resp = match ftle.dec_peek(ct, tau_rel as i64, now) {
+                Some(r) => r,
+                None => continue, // unknown ciphertext: ⊥, skipped
+            };
+            let DecResponse::Message(rho_v) = resp else {
+                continue;
+            };
+            let Some(rho) = rho_v.as_bytes() else {
+                continue;
+            };
+            let eta = ro.peek_bytes(rho, y.len());
+            let m_bytes: Vec<u8> = y.iter().zip(eta.iter()).map(|(a, b)| a ^ b).collect();
+            ro_queries.push((rho.to_vec(), eta));
+            out.push(Value::decode(&m_bytes).unwrap_or(Value::Bytes(m_bytes)));
+        }
+        out.sort();
+        Some(ReleasePlan {
+            round: now,
+            cmd: Command::new("Broadcast", Value::List(out)),
+            ro_queries,
+        })
+    }
+
     /// The round step: publish ready ciphertexts during the period, decrypt
     /// and output everything at `τ_rel`. Returns the (sorted) message
     /// vector at the release round.
@@ -221,6 +320,26 @@ impl SbcParty {
         ftle: &mut TleFunc,
         ro: &mut RandomOracle,
         ctx: &mut HybridCtx<'_>,
+    ) -> Option<Command> {
+        self.on_advance_planned(ubc, ftle, ro, ctx, None)
+    }
+
+    /// [`on_advance`](SbcParty::on_advance) with an optional precomputed
+    /// release step — the serial merge phase of a sharded round. With
+    /// `plan = None` this *is* the serial reference step. With a plan for
+    /// the current round, the release branch replays the plan's oracle
+    /// queries ([`RandomOracle::absorb_party_queries`]) and returns the
+    /// precomputed output (consumed, not cloned — at `n = 1000` parties ×
+    /// hundreds of messages the clone alone is measurable); a stale plan
+    /// (wrong round, or the party turned out not to release) is ignored
+    /// and the inline path runs.
+    pub fn on_advance_planned<U: UbcLayer>(
+        &mut self,
+        ubc: &mut U,
+        ftle: &mut TleFunc,
+        ro: &mut RandomOracle,
+        ctx: &mut HybridCtx<'_>,
+        plan: Option<ReleasePlan>,
     ) -> Option<Command> {
         let now = ctx.time();
         if self.last_advance == Some(now) {
@@ -251,6 +370,10 @@ impl SbcParty {
             }
         }
         if now == tau_rel {
+            if let Some(plan) = plan.filter(|p| p.round == now) {
+                ro.absorb_party_queries(&plan.ro_queries);
+                return Some(plan.cmd);
+            }
             let mut out = Vec::new();
             for (ct, y) in &self.rec {
                 let resp = match ftle.dec(ct, tau_rel as i64, ctx) {
@@ -484,6 +607,66 @@ mod tests {
         }
         let p1_out = all.iter().find(|(p, _)| *p == 1).unwrap();
         assert_eq!(p1_out.1.value.as_list().unwrap().len(), 1, "replay dropped");
+    }
+
+    #[test]
+    fn planned_release_is_bit_identical_to_inline_release() {
+        // Drive two identical stacks to the release round; release one
+        // inline and one through plan_release + on_advance_planned. The
+        // outputs and the oracle state (query counts included) must match.
+        fn drive_to_release(s: &mut Stack) {
+            s.input(0, Value::bytes(b"zulu"));
+            s.round();
+            s.input(1, Value::bytes(b"alpha"));
+            for _ in 0..(PHI + DELTA - 1) {
+                assert!(s.round().is_empty());
+            }
+        }
+        let (mut inline, mut planned) = (Stack::new(3), Stack::new(3));
+        drive_to_release(&mut inline);
+        drive_to_release(&mut planned);
+        let inline_out = inline.round();
+
+        let now = planned.fx.clock.read();
+        let n = planned.parties.len();
+        let plans: Vec<Option<ReleasePlan>> = planned
+            .parties
+            .iter()
+            .map(|p| p.plan_release(now, &planned.ftle, &planned.ro))
+            .collect();
+        let mut planned_out = Vec::new();
+        for (i, plan) in plans.clone().into_iter().enumerate().take(n) {
+            let out = {
+                let mut ctx = planned.fx.ctx();
+                planned.parties[i].on_advance_planned(
+                    &mut planned.ubc,
+                    &mut planned.ftle,
+                    &mut planned.ro,
+                    &mut ctx,
+                    plan,
+                )
+            };
+            if let Some(cmd) = out {
+                planned_out.push((i as u32, cmd));
+            }
+            planned.fx.clock.advance_party(PartyId(i as u32));
+        }
+        assert!(plans.iter().all(|p| p.is_some()), "all parties planned");
+        assert_eq!(planned_out, inline_out);
+        assert_eq!(planned.ro.query_count(), inline.ro.query_count());
+        // Plans are round-stamped: a stale plan must be ignored, not replayed.
+        let stale = plans[0].clone().unwrap();
+        inline.round();
+        let mut ctx = inline.fx.ctx();
+        assert!(inline.parties[0]
+            .on_advance_planned(
+                &mut inline.ubc,
+                &mut inline.ftle,
+                &mut inline.ro,
+                &mut ctx,
+                Some(stale)
+            )
+            .is_none());
     }
 
     #[test]

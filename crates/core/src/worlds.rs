@@ -18,11 +18,11 @@
 
 use crate::error::SbcError;
 use crate::func::SbcFunc;
-use crate::protocol::{parse_sbc_wire, sbc_wire, wake_up, SbcParty};
+use crate::protocol::{parse_sbc_wire, sbc_wire, wake_up, ReleasePlan, SbcParty};
 use sbc_broadcast::ubc::func::{UbcFunc, UBC_SOURCE};
 use sbc_primitives::drbg::Drbg;
 use sbc_tle::func::{TleFunc, TLE_SOURCE};
-use sbc_uc::exec::SbcWorld;
+use sbc_uc::exec::{run_shards, shard_ranges, SbcWorld, ShardRunner};
 use sbc_uc::ids::{PartyId, Tag};
 use sbc_uc::ro::{Caller, RandomOracle};
 use sbc_uc::value::{Command, Value};
@@ -36,7 +36,7 @@ use sbc_uc::world::{AdvCommand, Leak, World, WorldCore};
 /// traits.
 ///
 /// Backends are `Send` (inherited from [`SbcWorld`]): the instance pool
-/// steps independent backend worlds on `std::thread::scope` workers, so a
+/// steps independent backend worlds on persistent executor workers, so a
 /// backend's whole state must be movable across threads.
 pub trait SbcBackend: SbcWorld + Sized {
     /// Creates the backend.
@@ -180,6 +180,120 @@ impl RealSbcWorld {
             self.parties[d.to.index()].on_ubc_deliver(&d.cmd.value, &mut self.ftle, &mut ctx);
         }
     }
+
+    /// Minimum delivery-batch size before [`distribute_sharded`]
+    /// (RealSbcWorld::distribute_sharded) fans recipients out — below
+    /// this, shard dispatch costs more than the replay scans it saves.
+    const PAR_DELIVERY_MIN: usize = 64;
+
+    /// One party's round step, optionally with a precomputed release plan
+    /// (the serial merge phase of `tick_sharded`) and a round-level
+    /// deferral buffer for wire deliveries. `advance` delegates here with
+    /// neither, making this the single definition of the round step.
+    ///
+    /// With `defer = Some(buf)`, pure-wire delivery batches are appended
+    /// to `buf` (global flush order preserved) instead of delivered
+    /// inline; the sharded round flushes the buffer once, recipient-
+    /// sharded, at end of round. Deferral is sound because mid-round wire
+    /// receptions are inert — a wire received in round `t` is only ever
+    /// *read* at the release round, and the replay-dedup depends only on
+    /// each recipient's own arrival order, which deferral preserves. A
+    /// batch containing a `Wake_Up` (which must take effect in flush
+    /// position — it sets period times that decide whether later wires of
+    /// the same round are accepted, and its `F_TLE` encryptions draw
+    /// randomness in order) first flushes the buffer, then delivers
+    /// serially in place, keeping the equivalence unconditional.
+    fn advance_planned(
+        &mut self,
+        party: PartyId,
+        plan: Option<ReleasePlan>,
+        defer: Option<&mut Vec<sbc_uc::hybrid::Delivery>>,
+    ) {
+        if self.core.corr.is_corrupted(party) {
+            return;
+        }
+        let out = {
+            let mut ctx = sbc_uc::hybrid::HybridCtx {
+                clock: &mut self.core.clock,
+                rng: &mut self.core.rng,
+                leaks: &mut self.core.leaks,
+                corr: &mut self.core.corr,
+            };
+            self.parties[party.index()].on_advance_planned(
+                &mut self.ubc,
+                &mut self.ftle,
+                &mut self.ro,
+                &mut ctx,
+                plan,
+            )
+        };
+        if let Some(cmd) = out {
+            self.core.outputs.push((party, cmd));
+        }
+        let ds = {
+            let mut ctx = self.core.ctx();
+            self.ubc.advance_clock(party, &mut ctx)
+        };
+        match defer {
+            Some(buf) => {
+                let wake = wake_up();
+                if ds.iter().any(|d| d.cmd.value == wake) {
+                    let pending = std::mem::take(buf);
+                    self.distribute(pending);
+                    self.distribute(ds);
+                } else {
+                    buf.extend(ds);
+                }
+            }
+            None => self.distribute(ds),
+        }
+        self.core.clock.advance_party(party);
+    }
+
+    /// [`distribute`](RealSbcWorld::distribute), recipient-sharded at a
+    /// pinned round time: the UBC net layer's delivery loop is the other
+    /// `O(n²)`-scan hot spot of a large-`n` round (every wire reaches
+    /// every party, and each reception runs the replay-protection scan
+    /// over everything received so far). Pure-wire deliveries touch only
+    /// the receiving party's own state — no functionality, no randomness,
+    /// no leaks — so recipients are independent and the batch fans out
+    /// across recipient shards, each preserving its own arrival order.
+    ///
+    /// Callers guarantee the batch is wake-up-free (`Wake_Up` mutates
+    /// `F_TLE` and leaks — it takes the serial [`distribute`]
+    /// (RealSbcWorld::distribute) path) and pass the round the deliveries
+    /// belong to: a sharded round defers its wire deliveries to one
+    /// end-of-round fan-out, past the clock tick, so the reception time
+    /// must be the round the wires were flushed in, exactly as the serial
+    /// loop's in-round deliveries saw it.
+    fn distribute_wires_sharded(
+        &mut self,
+        deliveries: Vec<sbc_uc::hybrid::Delivery>,
+        now: u64,
+        shards: &dyn ShardRunner,
+    ) {
+        let mut per_party: Vec<Vec<Value>> = vec![Vec::new(); self.parties.len()];
+        for d in deliveries {
+            per_party[d.to.index()].push(d.cmd.value);
+        }
+        let ranges = shard_ranges(self.parties.len(), shards.width());
+        let mut parties: Vec<(&mut SbcParty, Vec<Value>)> =
+            self.parties.iter_mut().zip(per_party).collect();
+        let mut rest = parties.as_mut_slice();
+        let mut jobs = Vec::with_capacity(ranges.len());
+        for r in &ranges {
+            let (chunk, tail) = rest.split_at_mut(r.len());
+            rest = tail;
+            jobs.push(move || {
+                for (party, wires) in chunk {
+                    for wire in wires.drain(..) {
+                        party.on_wire_deliver(&wire, now);
+                    }
+                }
+            });
+        }
+        run_shards(shards, jobs);
+    }
 }
 
 impl World for RealSbcWorld {
@@ -205,32 +319,7 @@ impl World for RealSbcWorld {
     }
 
     fn advance(&mut self, party: PartyId) {
-        if self.core.corr.is_corrupted(party) {
-            return;
-        }
-        let out = {
-            let mut ctx = sbc_uc::hybrid::HybridCtx {
-                clock: &mut self.core.clock,
-                rng: &mut self.core.rng,
-                leaks: &mut self.core.leaks,
-                corr: &mut self.core.corr,
-            };
-            self.parties[party.index()].on_advance(
-                &mut self.ubc,
-                &mut self.ftle,
-                &mut self.ro,
-                &mut ctx,
-            )
-        };
-        if let Some(cmd) = out {
-            self.core.outputs.push((party, cmd));
-        }
-        let ds = {
-            let mut ctx = self.core.ctx();
-            self.ubc.advance_clock(party, &mut ctx)
-        };
-        self.distribute(ds);
-        self.core.clock.advance_party(party);
+        self.advance_planned(party, None, None);
     }
 
     fn adversary(&mut self, cmd: AdvCommand) -> Value {
@@ -356,6 +445,93 @@ impl SbcWorld for RealSbcWorld {
             self.core.clock.fast_forward(round);
         } else {
             sbc_uc::exec::replay_join(self, round);
+        }
+    }
+
+    /// Party-sharded round: the two scan-heavy hot spots of a large-`n`
+    /// instance fan out across workers while every mutation stays serial in
+    /// party-id order, keeping transcripts bit-identical to
+    /// [`SbcWorld::tick`]:
+    ///
+    /// 1. **Release round** (`Cl = τ_rel`): each party's step — `Dec`-scan
+    ///    of every received wire against the `F_TLE` records, mask
+    ///    derivation, unmask, sort — is pure against the frozen round
+    ///    snapshot ([`SbcParty::plan_release`] documents why), so the plans
+    ///    compute in parallel and the serial merge replays their observable
+    ///    oracle effects in party-id order.
+    /// 2. **Broadcast rounds**: every wire delivery of the round is
+    ///    deferred (flush order preserved) into one end-of-round batch
+    ///    that fans out across recipient shards — recipients are
+    ///    independent, and one dispatch per round amortizes the scheduling
+    ///    cost (see `advance_planned` for why deferral is
+    ///    observation-equivalent).
+    ///
+    /// Mid-round states (some party already advanced this round) fall back
+    /// to the serial reference loop: sharding assumes a round boundary.
+    fn tick_sharded(&mut self, shards: &dyn ShardRunner) {
+        let n = self.core.n();
+        if n <= 1 || self.core.clock.mid_round() {
+            return self.tick();
+        }
+        let now = self.core.clock.read();
+        let releasing = self.release_round() == Some(now);
+        let plans: Vec<Option<ReleasePlan>> = if releasing {
+            // Broadcast reaches everyone, so all honest parties derive the
+            // same mask set at release: compute the first honest party's
+            // plan inline and warm the oracle cache with its points, so
+            // the parallel phase's peeks are cache hits instead of `n`
+            // redundant mask expansions (the serial loop gets the same
+            // sharing through the memo table).
+            let first = (0..n).find(|&i| !self.core.corr.is_corrupted(PartyId(i as u32)));
+            let first_plan =
+                first.and_then(|i| self.parties[i].plan_release(now, &self.ftle, &self.ro));
+            if let Some(plan) = &first_plan {
+                plan.warm_oracle(&mut self.ro);
+            }
+            let parties = &self.parties;
+            let ftle = &self.ftle;
+            let ro = &self.ro;
+            let corr = &self.core.corr;
+            let jobs: Vec<_> = shard_ranges(n, shards.width())
+                .into_iter()
+                .map(|range| {
+                    let first_plan = &first_plan;
+                    move || {
+                        range
+                            .map(|i| {
+                                let p = PartyId(i as u32);
+                                if corr.is_corrupted(p) {
+                                    None
+                                } else if Some(i) == first {
+                                    first_plan.clone()
+                                } else {
+                                    parties[i].plan_release(now, ftle, ro)
+                                }
+                            })
+                            .collect::<Vec<_>>()
+                    }
+                })
+                .collect();
+            run_shards(shards, jobs).into_iter().flatten().collect()
+        } else {
+            vec![None; n]
+        };
+        let mut deferred: Vec<sbc_uc::hybrid::Delivery> = Vec::new();
+        for (i, plan) in plans.into_iter().enumerate() {
+            let p = PartyId(i as u32);
+            if !self.core.corr.is_corrupted(p) {
+                self.advance_planned(p, plan, Some(&mut deferred));
+            }
+        }
+        if deferred.len() >= Self::PAR_DELIVERY_MIN {
+            self.distribute_wires_sharded(deferred, now, shards);
+        } else {
+            // Too small to amortize a dispatch — deliver serially, still at
+            // the round the wires were flushed in (the clock has ticked by
+            // now; the serial loop's deliveries happened pre-tick).
+            for d in deferred {
+                self.parties[d.to.index()].on_wire_deliver(&d.cmd.value, now);
+            }
         }
     }
 }
@@ -1006,6 +1182,13 @@ impl SbcWorld for IdealSbcWorld {
             sbc_uc::exec::replay_join(self, round);
         }
     }
+
+    // `tick_sharded` deliberately keeps the default serial round: the ideal
+    // world's step is S_SBC threading one sequential state machine (shared
+    // mirrored randomness streams, order-coupled across parties), so there
+    // is no independent per-party compute to shard. Ideal-world throughput
+    // comes from the pool's *cross-instance* parallelism, which covers both
+    // backends uniformly.
 }
 
 impl SbcBackend for IdealSbcWorld {

@@ -202,11 +202,19 @@ impl TleFunc {
     /// `Dec` for a known ciphertext; returns `None` when the functionality
     /// must ask the simulator (unknown ciphertext).
     pub fn dec(&mut self, ct: &Value, tau: i64, ctx: &HybridCtx<'_>) -> Option<DecResponse> {
+        self.dec_peek(ct, tau, ctx.time())
+    }
+
+    /// Read-only `Dec`: byte-identical to [`dec`](TleFunc::dec) (which
+    /// delegates here) but usable from a shared reference at a caller-
+    /// supplied clock reading. `Dec` never mutates the record set, so
+    /// parallel per-party release compute can run it against an immutable
+    /// snapshot of the functionality.
+    pub fn dec_peek(&self, ct: &Value, tau: i64, now: u64) -> Option<DecResponse> {
         if tau < 0 {
             return Some(DecResponse::Bottom);
         }
         let tau = tau as u64;
-        let now = ctx.time();
         if now < tau {
             return Some(DecResponse::MoreTime);
         }

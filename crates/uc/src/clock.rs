@@ -33,6 +33,13 @@ pub enum ClockEntity {
 }
 
 /// The global clock `G_clock(P, F)`.
+///
+/// Advancement checks are O(log n): the clock maintains the number of
+/// still-required `Advance_Clock` marks (`required − advanced.len()`)
+/// incrementally instead of recomputing the waiting set per call — at
+/// `n = 1000` parties the old per-advance
+/// [`waiting_on`](GlobalClock::waiting_on) scan made every round O(n²)
+/// in the clock alone, dominating whole-protocol round cost.
 #[derive(Clone, Debug)]
 pub struct GlobalClock {
     time: u64,
@@ -40,6 +47,9 @@ pub struct GlobalClock {
     corrupted: BTreeSet<PartyId>,
     functionalities: BTreeSet<String>,
     advanced: BTreeSet<ClockEntity>,
+    /// Entities currently gating the tick: honest registered parties plus
+    /// registered functionalities. Maintained incrementally.
+    required: usize,
     ticks: u64,
 }
 
@@ -47,9 +57,11 @@ impl GlobalClock {
     /// Creates a clock gated by the given party set (no functionalities
     /// registered yet).
     pub fn new(parties: impl IntoIterator<Item = PartyId>) -> Self {
+        let parties: BTreeSet<PartyId> = parties.into_iter().collect();
         GlobalClock {
+            required: parties.len(),
             time: 0,
-            parties: parties.into_iter().collect(),
+            parties,
             corrupted: BTreeSet::new(),
             functionalities: BTreeSet::new(),
             advanced: BTreeSet::new(),
@@ -59,7 +71,9 @@ impl GlobalClock {
 
     /// Registers a clock-aware functionality (e.g. `F_TLE`).
     pub fn register_functionality(&mut self, name: impl Into<String>) {
-        self.functionalities.insert(name.into());
+        if self.functionalities.insert(name.into()) {
+            self.required += 1;
+        }
     }
 
     /// `Read_Clock`: the current time `Cl`.
@@ -76,7 +90,9 @@ impl GlobalClock {
     ///
     /// Mirrors the honest-party filter `P_sid` in Fig. 2.
     pub fn set_corrupted(&mut self, party: PartyId) {
-        self.corrupted.insert(party);
+        if self.corrupted.insert(party) && self.parties.contains(&party) {
+            self.required -= 1;
+        }
         self.advanced.remove(&ClockEntity::Party(party));
         self.try_tick();
     }
@@ -154,7 +170,12 @@ impl GlobalClock {
     }
 
     fn try_tick(&mut self) -> bool {
-        if self.waiting_on().is_empty()
+        // `advanced` only ever holds currently-gating entities (corruption
+        // evicts a party's mark), so full-count equality is exactly
+        // "nobody is waiting" — without the O(n) waiting-set scan the old
+        // implementation paid on every single Advance_Clock.
+        debug_assert!(self.advanced.len() <= self.required);
+        if self.advanced.len() == self.required
             && !(self.parties.is_empty() && self.functionalities.is_empty())
         {
             self.time += 1;
@@ -271,6 +292,28 @@ mod tests {
         assert!(c.mid_round());
         c.advance_party(PartyId(1));
         assert!(!c.mid_round(), "tick clears the partial marks");
+    }
+
+    #[test]
+    fn required_count_survives_duplicate_registration_and_corruption() {
+        // The O(1) tick check counts gating entities incrementally:
+        // duplicate registrations and double corruptions must not skew it.
+        let mut c = GlobalClock::new(PartyId::all(3));
+        c.register_functionality("F");
+        c.register_functionality("F"); // duplicate: still one gate
+        c.set_corrupted(PartyId(2));
+        c.set_corrupted(PartyId(2)); // double corruption: one decrement
+        c.set_corrupted(PartyId(9)); // unregistered: no decrement
+        c.advance_party(PartyId(0));
+        c.advance_party(PartyId(1));
+        assert_eq!(c.read(), 0, "functionality still gates");
+        assert!(c.advance_functionality("F"));
+        assert_eq!(c.read(), 1);
+        // Steady state keeps ticking with the same counts.
+        c.advance_party(PartyId(0));
+        c.advance_party(PartyId(1));
+        assert!(c.advance_functionality("F"));
+        assert_eq!(c.read(), 2);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! panicking-`open_instance` bugs.
 
 use sbc_core::api::{SbcError, SbcResult};
-use sbc_core::pool::{InstanceId, PooledSbcWorld, SbcPool, TickMode};
+use sbc_core::pool::{InstanceId, PartyShard, PooledSbcWorld, SbcPool, TickMode};
 use sbc_core::protocol::sbc_wire;
 use sbc_core::worlds::{IdealSbcWorld, RealSbcWorld, SbcBackend, SbcParams};
 use sbc_primitives::drbg::Drbg;
@@ -350,6 +350,94 @@ fn parallel_tick_all_is_bit_identical_to_serial() {
     dual.check()
         .unwrap_or_else(|d| panic!("parallel diverged from serial: {d}"));
     assert_eq!(dual.round(), 10);
+}
+
+/// Acceptance test for the two-level executor: a 16-instance × 64-party
+/// pool stepped by the fully parallel schedule — instances fanned across
+/// the persistent executor AND every instance's party loop sharded
+/// (`PartyShard::Sharded` forced on) — must produce **bit-identical** keyed
+/// transcripts to the all-serial reference schedule, across ≥ 2 epochs per
+/// instance, under adaptive mid-period corruption and adversarial wire
+/// injection. `CompareLevel::Exact` compares full transcripts (leak order
+/// included), so any slip in the plan/merge split, the recipient-sharded
+/// delivery, or the drain merge fails loudly here.
+#[test]
+fn two_level_sharded_schedule_is_bit_identical_to_serial() {
+    const N: usize = 64;
+    const INSTANCES: usize = 16;
+    fn world(mode: TickMode, shard: PartyShard) -> PooledSbcWorld<RealSbcWorld> {
+        let mut w =
+            PooledSbcWorld::new(SbcParams::default_for(N), b"two-level").expect("valid params");
+        w.set_tick_mode(mode);
+        w.set_party_shard(shard);
+        w
+    }
+    let mut dual = PoolDualRun::new(
+        world(TickMode::Serial, PartyShard::Serial),
+        world(TickMode::Parallel, PartyShard::Sharded),
+        CompareLevel::Exact,
+    );
+    let mut adv_rng = Drbg::from_seed(b"two-level/adversary");
+    let ids: Vec<InstanceId> = (0..INSTANCES).map(|_| dual.open_instance()).collect();
+    for epoch in 0..2u64 {
+        for (k, &id) in ids.iter().enumerate() {
+            dual.submit(
+                id,
+                PartyId((k % 7) as u32),
+                format!("e{epoch}/i{k}/a").as_bytes(),
+            );
+            dual.submit(
+                id,
+                PartyId((k % 7 + 8) as u32),
+                format!("e{epoch}/i{k}/b").as_bytes(),
+            );
+        }
+        dual.step_round(); // periods open: τ_rel agreed everywhere
+        if epoch == 0 {
+            // Adaptive mid-period corruption hits every instance in both
+            // pools (and the sharded schedule must keep ignoring the
+            // corrupted party identically from here on).
+            let (cr, ci) = dual.corrupt(PartyId(63));
+            assert!(cr && ci);
+        }
+        // Adversarial wire injection on behalf of the corrupted party, on a
+        // quarter of the instances, plus a garbage wire on one.
+        for (_, &id) in ids.iter().enumerate().filter(|(k, _)| k % 4 == 0) {
+            let real_inject = sbc_wire(
+                &Value::bytes(adv_rng.gen_bytes(64)),
+                dual.release_round(id).expect("period open"),
+                &adv_rng.gen_bytes(16),
+            );
+            dual.adversary(
+                id,
+                AdvCommand::SendAs {
+                    party: PartyId(63),
+                    cmd: Command::new("Broadcast", real_inject),
+                },
+            );
+        }
+        dual.adversary(
+            ids[3],
+            AdvCommand::SendAs {
+                party: PartyId(63),
+                cmd: Command::new("Broadcast", Value::bytes(b"not a wire")),
+            },
+        );
+        dual.idle_rounds(8); // release at τ_rel; drain late
+        for &id in &ids {
+            assert_eq!(
+                dual.finish_epoch(id).unwrap_or_else(|d| panic!("{d}")),
+                epoch,
+                "epoch {epoch} aligned"
+            );
+        }
+    }
+    let (t_serial, t_sharded) = dual.into_transcripts();
+    assert_eq!(t_serial.len(), INSTANCES);
+    for id in ids {
+        assert_eq!(t_serial[&id].digest(), t_sharded[&id].digest());
+        assert!(!t_serial[&id].outputs().is_empty(), "{id} released");
+    }
 }
 
 /// The same invariant one layer up: the session-level release stream

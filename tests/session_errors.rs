@@ -153,6 +153,7 @@ fn exhaustive_sbc_error_variant_round_trips() {
             SbcError::PeriodNotOpen => "τ_rel",
             SbcError::UnknownInstance { .. } => "never opened",
             SbcError::InstanceFinished { .. } => "already finished",
+            SbcError::InstanceLive { .. } => "still live",
             SbcError::NoInput => "nothing submitted",
             SbcError::Timeout { .. } => "rounds",
             SbcError::Internal { .. } => "internal",
@@ -170,6 +171,7 @@ fn exhaustive_sbc_error_variant_round_trips() {
         SbcError::PeriodNotOpen,
         SbcError::UnknownInstance { instance: 11 },
         SbcError::InstanceFinished { instance: 5 },
+        SbcError::InstanceLive { instance: 6 },
         SbcError::NoInput,
         SbcError::Timeout { budget: 9 },
         SbcError::Internal {
