@@ -344,6 +344,14 @@ impl<W: SbcWorld> PooledSbcWorld<W> {
         self.live.keys().copied().map(InstanceId).collect()
     }
 
+    /// Borrows the backend world of a live instance — the introspection
+    /// seam for backend-specific assertions (e.g. a networked backend's
+    /// transport statistics) that the instance-addressed [`PoolWorld`]
+    /// surface deliberately does not carry.
+    pub fn instance_world(&self, instance: InstanceId) -> Option<&W> {
+        self.live.get(&instance.0)
+    }
+
     /// Number of corrupted parties.
     pub fn corrupted_count(&self) -> usize {
         self.corrupted.iter().filter(|c| **c).count()

@@ -14,6 +14,7 @@ use sbc_uc::hybrid::HybridCtx;
 use sbc_uc::ids::PartyId;
 use sbc_uc::ro::{Caller, RandomOracle};
 use sbc_uc::value::{Command, Value};
+use std::collections::HashSet;
 
 /// The `Wake_Up` sentinel (not in the broadcast message space).
 pub fn wake_up() -> Value {
@@ -37,6 +38,60 @@ pub fn parse_sbc_wire(v: &Value) -> Option<(Value, u64, Vec<u8>)> {
         items[1].as_u64()?,
         items[2].as_bytes()?.to_vec(),
     ))
+}
+
+/// The received-wire log of one party: insertion-ordered `(c, y)` entries
+/// with O(1) replay dedup.
+///
+/// The protocol discards a reception when *either* component matches
+/// something already recorded — a replayed ciphertext under a fresh mask,
+/// or a replayed mask under a fresh ciphertext, are both replays — so the
+/// log keeps one hash set per key next to the ordered entry list the
+/// release round iterates. This replaces the per-reception linear scan
+/// (the `O(s²)` half of the release-phase scans at large sender counts);
+/// the accept/reject decisions, and hence the release transcript, are
+/// unchanged.
+#[derive(Clone, Debug, Default)]
+pub struct WireLog {
+    entries: Vec<(Value, Vec<u8>)>,
+    seen_cts: HashSet<Value>,
+    seen_ys: HashSet<Vec<u8>>,
+}
+
+impl WireLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        WireLog::default()
+    }
+
+    /// Records `(ct, y)` unless either key was seen before; returns whether
+    /// the entry was fresh.
+    pub fn insert(&mut self, ct: Value, y: Vec<u8>) -> bool {
+        if self.seen_cts.contains(&ct) || self.seen_ys.contains(&y) {
+            return false;
+        }
+        self.seen_cts.insert(ct.clone());
+        self.seen_ys.insert(y.clone());
+        self.entries.push((ct, y));
+        true
+    }
+
+    /// The recorded entries, in arrival order.
+    pub fn entries(&self) -> &[(Value, Vec<u8>)] {
+        &self.entries
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Forgets everything (period turnover).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.seen_cts.clear();
+        self.seen_ys.clear();
+    }
 }
 
 #[derive(Clone, Debug)]
@@ -99,7 +154,7 @@ pub struct SbcParty {
     tle_delay: u64,
     rng: sbc_primitives::drbg::Drbg,
     pend: Vec<PendEntry>,
-    rec: Vec<(Value, Vec<u8>)>,
+    rec: WireLog,
     t_awake: Option<u64>,
     t_end: Option<u64>,
     tau_rel: Option<u64>,
@@ -124,7 +179,7 @@ impl SbcParty {
             tle_delay,
             rng,
             pend: Vec::new(),
-            rec: Vec::new(),
+            rec: WireLog::new(),
             t_awake: None,
             t_end: None,
             tau_rel: None,
@@ -258,10 +313,7 @@ impl SbcParty {
         if tau != tau_rel || now >= end {
             return;
         }
-        if self.rec.iter().any(|(c, yy)| c == &ct || yy == &y) {
-            return; // replay protection
-        }
-        self.rec.push((ct, y));
+        self.rec.insert(ct, y); // replay protection: dedup on either key
     }
 
     /// The parallel compute phase of a sharded release round: precomputes
@@ -287,7 +339,7 @@ impl SbcParty {
         let tau_rel = now;
         let mut ro_queries = Vec::new();
         let mut out = Vec::new();
-        for (ct, y) in &self.rec {
+        for (ct, y) in self.rec.entries() {
             let resp = match ftle.dec_peek(ct, tau_rel as i64, now) {
                 Some(r) => r,
                 None => continue, // unknown ciphertext: ⊥, skipped
@@ -375,7 +427,7 @@ impl SbcParty {
                 return Some(plan.cmd);
             }
             let mut out = Vec::new();
-            for (ct, y) in &self.rec {
+            for (ct, y) in self.rec.entries() {
                 let resp = match ftle.dec(ct, tau_rel as i64, ctx) {
                     Some(r) => r,
                     None => continue, // unknown ciphertext: ⊥, skipped
@@ -607,6 +659,24 @@ mod tests {
         }
         let p1_out = all.iter().find(|(p, _)| *p == 1).unwrap();
         assert_eq!(p1_out.1.value.as_list().unwrap().len(), 1, "replay dropped");
+    }
+
+    #[test]
+    fn partial_collision_wires_dropped() {
+        // Either key replayed — the same ciphertext under a fresh mask, or
+        // the same mask under a fresh ciphertext — is a replay. The hash
+        // sets must keep the OR semantics of the old linear scan.
+        let mut log = WireLog::new();
+        assert!(log.insert(Value::bytes(b"ct-a"), b"y-a".to_vec()));
+        assert!(!log.insert(Value::bytes(b"ct-a"), b"y-b".to_vec()));
+        assert!(!log.insert(Value::bytes(b"ct-b"), b"y-a".to_vec()));
+        assert!(log.insert(Value::bytes(b"ct-b"), b"y-b".to_vec()));
+        assert_eq!(log.entries().len(), 2);
+        assert!(!log.is_empty());
+        log.clear();
+        assert!(log.is_empty());
+        // A cleared log accepts previously seen keys again (fresh period).
+        assert!(log.insert(Value::bytes(b"ct-a"), b"y-a".to_vec()));
     }
 
     #[test]

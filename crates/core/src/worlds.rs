@@ -101,7 +101,35 @@ impl SbcParams {
     }
 }
 
-fn fork_streams(core: &mut WorldCore) -> (Drbg, Drbg, Drbg, Drbg, Vec<Drbg>, Drbg) {
+/// The labelled randomness streams every Theorem 2 backend forks off the
+/// experiment seed, in a fixed order. Forking mutates the parent stream,
+/// so a backend must fork *all* of them in exactly this order even when it
+/// discards some — [`RealSbcWorld`] discards the `F_SBC` tag and
+/// equivocation streams, [`IdealSbcWorld`] uses them. Alternative
+/// backends (e.g. the networked world in `sbc-net`) call
+/// [`fork_world_streams`] so their functionalities and parties draw
+/// bit-identical randomness from the same seed, which is what makes
+/// `CompareLevel::Exact` conformance against the in-process world
+/// possible at all.
+#[derive(Debug)]
+pub struct WorldStreams {
+    /// `F_RO` answer stream.
+    pub ro: Drbg,
+    /// `F_UBC` broadcast-tag stream.
+    pub ubc_tags: Drbg,
+    /// `F_TLE` ciphertext-tag stream (the fill stream is forked off it
+    /// inside `TleFunc::new`).
+    pub tle_tags: Drbg,
+    /// `F_SBC` tag stream (ideal world only).
+    pub sbc_tags: Drbg,
+    /// Per-party `ρ` streams, party-id order.
+    pub parties: Vec<Drbg>,
+    /// The simulator's equivocation stream (ideal world only).
+    pub equiv: Drbg,
+}
+
+/// Forks the canonical [`WorldStreams`] off a world core's seed stream.
+pub fn fork_world_streams(core: &mut WorldCore) -> WorldStreams {
     let ro = core.rng.fork(b"ro/fro");
     let ubc_tags = core.rng.fork(b"tags/F_UBC");
     let tle_tags = core.rng.fork(b"tags/F_TLE");
@@ -110,7 +138,19 @@ fn fork_streams(core: &mut WorldCore) -> (Drbg, Drbg, Drbg, Drbg, Vec<Drbg>, Drb
         .map(|i| core.rng.fork(format!("party/{i}").as_bytes()))
         .collect();
     let equiv = core.rng.fork(b"sim/equiv");
-    (ro, ubc_tags, tle_tags, sbc_tags, parties, equiv)
+    WorldStreams {
+        ro,
+        ubc_tags,
+        tle_tags,
+        sbc_tags,
+        parties,
+        equiv,
+    }
+}
+
+fn fork_streams(core: &mut WorldCore) -> (Drbg, Drbg, Drbg, Drbg, Vec<Drbg>, Drbg) {
+    let s = fork_world_streams(core);
+    (s.ro, s.ubc_tags, s.tle_tags, s.sbc_tags, s.parties, s.equiv)
 }
 
 fn leakage_response(records: &[(Value, Option<Value>, u64)]) -> Value {

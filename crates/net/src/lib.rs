@@ -1,0 +1,43 @@
+//! # sbc-net
+//!
+//! The networked execution backend for the SBC stack: parties as isolated
+//! state machines that speak only length-prefixed [`codec::Frame`]s over a
+//! [`transport::Transport`], instead of calling the hybrid functionalities
+//! in-process.
+//!
+//! Three layers:
+//!
+//! * [`codec`] — the versioned wire format. Every protocol message that
+//!   crosses a party boundary (submissions, clock ticks, UBC casts and
+//!   deliveries, `F_TLE` encrypt/retrieve/decrypt exchanges, `F_RO`
+//!   queries, release outputs) has a [`codec::Frame`] encoding. The
+//!   decoder treats its input as hostile: every malformed frame comes
+//!   back as a typed [`codec::CodecError`], never a panic.
+//! * [`transport`] — the delivery seam. [`transport::Loopback`] is the
+//!   bit-compatible stand-in for today's in-process delivery;
+//!   [`transport::SimNet`] is a deterministic, seeded adversarial
+//!   network injecting per-link latency (within ∆), reorder,
+//!   duplication, drops from corrupted senders, and transient partitions
+//!   that heal before the release round.
+//! * [`world`] — [`world::NetSbcWorld`], an
+//!   [`SbcBackend`](sbc_core::worlds::SbcBackend) that plugs into
+//!   `SbcSession`/`SbcPool` through the existing builder seams and is
+//!   held to `CompareLevel::Exact` transcript equality against
+//!   `RealSbcWorld` (the conformance tests and the `sbc_net` bench gate
+//!   on it).
+//!
+//! The headline invariant: the network may delay, reorder and duplicate,
+//! but it must not change what the protocol decides or leaks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod transport;
+pub mod world;
+
+pub use codec::{CodecError, Endpoint, Frame, FrameKind, NetError};
+pub use transport::{Loopback, SimConfig, SimNet, Transport, TransportStats};
+pub use world::{
+    AdversarialProfile, LoopbackProfile, LoopbackSbcWorld, NetSbcWorld, SimNetSbcWorld,
+};

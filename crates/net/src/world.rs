@@ -1,0 +1,854 @@
+//! The networked Theorem 2 world: parties as frame-speaking state machines.
+//!
+//! [`NetSbcWorld`] re-runs the real-world experiment of
+//! `sbc_core::worlds::RealSbcWorld` with one structural change: nothing
+//! crosses a party boundary except encoded [`Frame`]s moved by a
+//! [`Transport`]. Each party is an isolated [`NetParty`] state machine;
+//! the hybrid functionalities (`F_UBC`, `F_TLE`, `F_RO`) live behind the
+//! functionality host, answered over request/response frames; the
+//! environment's submissions and clock ticks arrive as frames too.
+//!
+//! # The conformance envelope
+//!
+//! The backend is held to `CompareLevel::Exact` transcript equality
+//! against the in-process world (same seed, same schedule). That works
+//! because the streams fork identically
+//! ([`fork_world_streams`]), every
+//! functionality interaction is replayed in the same order the in-process
+//! round makes it, and the only frames the network is free to disturb —
+//! party-to-party `(c, τ_rel, y)` wire deliveries — are *inert* on
+//! arrival: a recorded wire has no observable effect until the release
+//! round, the replay dedup is order-insensitive for distinct wires, and
+//! release outputs are sorted. Delay (clamped before the period end ∆
+//! guarantees), reorder, duplication and healing partitions therefore
+//! cannot change outputs or leaks. Dropping a corrupted sender's wires
+//! *does* change the received sets — that knob sits outside the `Exact`
+//! envelope and has its own tests.
+
+use crate::codec::{Endpoint, Frame, FrameKind};
+use crate::transport::{Loopback, SimConfig, SimNet, Transport, TransportStats};
+use sbc_broadcast::ubc::func::UbcFunc;
+use sbc_core::error::SbcError;
+use sbc_core::protocol::{parse_sbc_wire, sbc_wire, wake_up, WireLog};
+use sbc_core::worlds::{fork_world_streams, SbcBackend, SbcParams};
+use sbc_primitives::drbg::Drbg;
+use sbc_tle::func::TleFunc;
+use sbc_uc::exec::SbcWorld;
+use sbc_uc::ids::PartyId;
+use sbc_uc::ro::{Caller, RandomOracle};
+use sbc_uc::value::{Command, Value};
+use sbc_uc::world::{AdvCommand, Leak, World, WorldCore};
+use std::marker::PhantomData;
+
+/// The link a [`NetParty`] speaks through: posts one request frame to the
+/// functionality host and returns the response frame's kind, if any.
+/// Every call crosses the wire — encode, transport, decode — twice.
+type HostLink<'a> = dyn FnMut(FrameKind) -> Option<FrameKind> + 'a;
+
+#[derive(Clone, Debug)]
+struct PendEntry {
+    rho: Vec<u8>,
+    msg: Value,
+    encrypted: bool,
+    broadcast: bool,
+}
+
+/// One party of the networked world: the `Π_SBC` per-party state machine
+/// of `sbc_core::protocol::SbcParty`, re-expressed over frames. Every
+/// statement that draws randomness, leaks, or talks to a functionality
+/// happens in the same order as the in-process party — that is the whole
+/// bit-compatibility argument.
+#[derive(Debug)]
+pub struct NetParty {
+    id: u32,
+    phi: u64,
+    delta: u64,
+    tle_delay: u64,
+    rng: Drbg,
+    pend: Vec<PendEntry>,
+    rec: WireLog,
+    t_awake: Option<u64>,
+    t_end: Option<u64>,
+    tau_rel: Option<u64>,
+    last_advance: Option<u64>,
+    woke_up_sent: bool,
+}
+
+impl NetParty {
+    fn new(id: u32, params: &SbcParams, rng: Drbg) -> Self {
+        NetParty {
+            id,
+            phi: params.phi,
+            delta: params.delta,
+            tle_delay: params.tle_delay,
+            rng,
+            pend: Vec::new(),
+            rec: WireLog::new(),
+            t_awake: None,
+            t_end: None,
+            tau_rel: None,
+            last_advance: None,
+            woke_up_sent: false,
+        }
+    }
+
+    /// A throwaway party used while the real one is checked out of the
+    /// world for a frame dispatch.
+    fn placeholder() -> Self {
+        NetParty::new(
+            u32::MAX,
+            &SbcParams::default_for(1),
+            Drbg::from_seed(b"net/placeholder"),
+        )
+    }
+
+    /// The agreed release time, once awake.
+    pub fn tau_rel(&self) -> Option<u64> {
+        self.tau_rel
+    }
+
+    /// The end of the broadcast period, once awake.
+    pub fn t_end(&self) -> Option<u64> {
+        self.t_end
+    }
+
+    fn reset_period(&mut self) {
+        self.pend.clear();
+        self.rec.clear();
+        self.t_awake = None;
+        self.t_end = None;
+        self.tau_rel = None;
+        self.woke_up_sent = false;
+    }
+
+    fn is_idle(&self) -> bool {
+        self.t_awake.is_none() && self.pend.is_empty() && self.rec.is_empty()
+    }
+
+    fn pending_messages(&self) -> Vec<Value> {
+        self.pend
+            .iter()
+            .filter(|e| !e.broadcast)
+            .map(|e| e.msg.clone())
+            .collect()
+    }
+
+    /// A `Submit` frame: the `(sid, Broadcast, M)` input.
+    fn on_submit(&mut self, msg: Value, now: u64, link: &mut HostLink<'_>) {
+        match self.t_awake {
+            None => {
+                let rho = self.rng.gen_bytes(32);
+                self.pend.push(PendEntry {
+                    rho,
+                    msg,
+                    encrypted: false,
+                    broadcast: false,
+                });
+                if !self.woke_up_sent {
+                    self.woke_up_sent = true;
+                    link(FrameKind::Cast(wake_up()));
+                }
+            }
+            Some(_) => {
+                let (Some(end), Some(tau_rel)) = (self.t_end, self.tau_rel) else {
+                    return;
+                };
+                if now + self.tle_delay >= end {
+                    return; // cannot be ready before the period closes
+                }
+                let rho = self.rng.gen_bytes(32);
+                link(FrameKind::TleEnc {
+                    rho: Value::bytes(&rho),
+                    tau: tau_rel,
+                });
+                self.pend.push(PendEntry {
+                    rho,
+                    msg,
+                    encrypted: true,
+                    broadcast: false,
+                });
+            }
+        }
+    }
+
+    /// A control-plane `Deliver`: a `Wake_Up` (or a wire that arrived
+    /// with zero latency in the same pump).
+    fn on_deliver(&mut self, payload: &Value, now: u64, link: &mut HostLink<'_>) {
+        if payload == &wake_up() {
+            if self.t_awake.is_none() {
+                self.t_awake = Some(now);
+                self.t_end = Some(now + self.phi);
+                let tau_rel = now + self.phi + self.delta;
+                self.tau_rel = Some(tau_rel);
+                // Encrypt everything queued while asleep.
+                for e in self.pend.iter_mut().filter(|e| !e.encrypted) {
+                    e.encrypted = true;
+                    link(FrameKind::TleEnc {
+                        rho: Value::bytes(&e.rho),
+                        tau: tau_rel,
+                    });
+                }
+            }
+            return;
+        }
+        self.on_wire(payload, now);
+    }
+
+    /// A data-plane wire delivery: pure recording, no functionality.
+    fn on_wire(&mut self, payload: &Value, now: u64) {
+        let Some((ct, tau, y)) = parse_sbc_wire(payload) else {
+            return;
+        };
+        let (Some(tau_rel), Some(end)) = (self.tau_rel, self.t_end) else {
+            return;
+        };
+        if tau != tau_rel || now >= end {
+            return;
+        }
+        self.rec.insert(ct, y);
+    }
+
+    /// A `Tick` frame: the round step. Returns the release output vector
+    /// at `τ_rel`.
+    fn on_tick(&mut self, now: u64, link: &mut HostLink<'_>) -> Option<Value> {
+        if self.last_advance == Some(now) {
+            return None;
+        }
+        self.last_advance = Some(now);
+        let (Some(awake), Some(end), Some(tau_rel)) = (self.t_awake, self.t_end, self.tau_rel)
+        else {
+            return None;
+        };
+        if awake <= now && now < end {
+            // Fetch ciphertexts that became ready and broadcast them.
+            let triples = match link(FrameKind::TleRetrieve) {
+                Some(FrameKind::TleTriples(v)) => v,
+                _ => Value::list([]),
+            };
+            for triple in triples.as_list().unwrap_or(&[]) {
+                let Some([rho_v, ct, _tau]) = triple.as_list() else {
+                    continue;
+                };
+                let Some(rho) = rho_v.as_bytes() else {
+                    continue;
+                };
+                let Some(entry) = self.pend.iter_mut().find(|e| e.rho == rho && !e.broadcast)
+                else {
+                    continue;
+                };
+                entry.broadcast = true;
+                let m_bytes = entry.msg.encode();
+                let Some(FrameKind::RoAnswer(eta)) = link(FrameKind::RoQuery {
+                    x: entry.rho.clone(),
+                    len: m_bytes.len() as u64,
+                }) else {
+                    continue;
+                };
+                let y: Vec<u8> = m_bytes.iter().zip(eta.iter()).map(|(a, b)| a ^ b).collect();
+                link(FrameKind::Cast(sbc_wire(ct, tau_rel, &y)));
+            }
+        }
+        if now == tau_rel {
+            let mut out = Vec::new();
+            for (ct, y) in self.rec.entries() {
+                let Some(FrameKind::TleDecResp(resp)) = link(FrameKind::TleDec {
+                    ct: ct.clone(),
+                    tau: tau_rel,
+                }) else {
+                    continue;
+                };
+                // `Unit` is an unknown ciphertext (⊥); non-`Message`
+                // responses are skipped like the in-process release loop.
+                let Some([label, rho_v]) = resp.as_list() else {
+                    continue;
+                };
+                if label.as_str() != Some("Message") {
+                    continue;
+                }
+                let Some(rho) = rho_v.as_bytes() else {
+                    continue;
+                };
+                let Some(FrameKind::RoAnswer(eta)) = link(FrameKind::RoQuery {
+                    x: rho.to_vec(),
+                    len: y.len() as u64,
+                }) else {
+                    continue;
+                };
+                let m_bytes: Vec<u8> = y.iter().zip(eta.iter()).map(|(a, b)| a ^ b).collect();
+                out.push(Value::decode(&m_bytes).unwrap_or(Value::Bytes(m_bytes)));
+            }
+            out.sort();
+            return Some(Value::List(out));
+        }
+        None
+    }
+}
+
+/// How a [`NetSbcWorld`] builds its transport from the experiment
+/// parameters and seed — the type-level knob that lets the same world be
+/// a [`LoopbackSbcWorld`] or a [`SimNetSbcWorld`] behind the one
+/// `SbcBackend` registration seam.
+pub trait NetProfile: Send + std::fmt::Debug + 'static {
+    /// Builds the transport for an instance.
+    fn transport(params: &SbcParams, seed: &[u8]) -> Box<dyn Transport>;
+}
+
+/// Zero-latency in-order delivery ([`Loopback`]).
+#[derive(Debug)]
+pub struct LoopbackProfile;
+
+impl NetProfile for LoopbackProfile {
+    fn transport(params: &SbcParams, _seed: &[u8]) -> Box<dyn Transport> {
+        Box::new(Loopback::new(params.n, params.delta))
+    }
+}
+
+/// The seeded adversarial schedule ([`SimNet`] under
+/// [`SimConfig::adversarial`]). The schedule seed is derived from the
+/// instance seed with a domain-separation label, *not* drawn from the
+/// world's own stream — the experiment's randomness must stay
+/// bit-identical to the in-process world's.
+#[derive(Debug)]
+pub struct AdversarialProfile;
+
+impl NetProfile for AdversarialProfile {
+    fn transport(params: &SbcParams, seed: &[u8]) -> Box<dyn Transport> {
+        let mut s = seed.to_vec();
+        s.extend_from_slice(b"/net-schedule");
+        Box::new(SimNet::new(
+            params.n,
+            SimConfig::adversarial(params.delta),
+            &s,
+        ))
+    }
+}
+
+/// The networked world over the loopback transport — bit-compatible with
+/// the in-process delivery path.
+pub type LoopbackSbcWorld = NetSbcWorld<LoopbackProfile>;
+
+/// The networked world over the deterministic adversarial [`SimNet`].
+pub type SimNetSbcWorld = NetSbcWorld<AdversarialProfile>;
+
+/// The networked Theorem 2 world: an [`SbcBackend`] whose parties speak
+/// only [`Frame`]s over a [`Transport`]. Plugs into `SbcSession`/`SbcPool`
+/// via `build_backend::<LoopbackSbcWorld>()` (or `SimNetSbcWorld`), and
+/// into `PooledSbcWorld` like any other backend.
+#[derive(Debug)]
+pub struct NetSbcWorld<P: NetProfile = LoopbackProfile> {
+    core: WorldCore,
+    /// Experiment parameters (exposed for harness introspection).
+    pub params: SbcParams,
+    parties: Vec<NetParty>,
+    ubc: UbcFunc,
+    ftle: TleFunc,
+    ro: RandomOracle,
+    transport: Box<dyn Transport>,
+    _profile: PhantomData<P>,
+}
+
+impl<P: NetProfile> NetSbcWorld<P> {
+    /// Creates the world with the profile's transport.
+    ///
+    /// # Errors
+    ///
+    /// [`SbcError::InvalidParams`] if the parameters violate Theorem 2's
+    /// constraints.
+    pub fn new(params: SbcParams, seed: &[u8]) -> Result<Self, SbcError> {
+        let transport = P::transport(&params, seed);
+        Self::with_transport(params, seed, transport)
+    }
+
+    /// Creates the world over a caller-supplied transport (tests drive
+    /// custom [`SimConfig`]s through this).
+    ///
+    /// # Errors
+    ///
+    /// [`SbcError::InvalidParams`] if the parameters violate Theorem 2's
+    /// constraints.
+    pub fn with_transport(
+        params: SbcParams,
+        seed: &[u8],
+        transport: Box<dyn Transport>,
+    ) -> Result<Self, SbcError> {
+        params.validate()?;
+        let mut core = WorldCore::new(params.n, seed);
+        // Same forks, same order, as every other Theorem 2 backend.
+        let streams = fork_world_streams(&mut core);
+        let parties = streams
+            .parties
+            .into_iter()
+            .enumerate()
+            .map(|(i, rng)| NetParty::new(i as u32, &params, rng))
+            .collect();
+        Ok(NetSbcWorld {
+            core,
+            params,
+            parties,
+            ubc: UbcFunc::new(params.n, streams.ubc_tags),
+            ftle: TleFunc::new(params.tle_alpha, params.tle_delay, streams.tle_tags),
+            ro: RandomOracle::new(streams.ro),
+            transport,
+            _profile: PhantomData,
+        })
+    }
+
+    /// The transport's delivery counters (the conformance tests and the
+    /// bench read these to prove the chaos schedule actually fired).
+    pub fn transport_stats(&self) -> TransportStats {
+        self.transport.stats()
+    }
+
+    /// Encodes and ships one frame. Send failures are counted by the
+    /// transport and otherwise ignored — an adversarial net is allowed to
+    /// lose what it cannot parse.
+    fn post(&mut self, frame: Frame) {
+        let now = self.core.clock.read();
+        let _ = self.transport.send(frame.encode(), now);
+    }
+
+    /// Runs `f` on party `idx` with a live host link. The party is
+    /// checked out of the world for the duration so the link can borrow
+    /// the world (transport + functionalities) mutably.
+    fn with_party<R>(
+        &mut self,
+        idx: usize,
+        f: impl FnOnce(&mut NetParty, &mut HostLink<'_>) -> R,
+    ) -> R {
+        let mut party = std::mem::replace(&mut self.parties[idx], NetParty::placeholder());
+        let pid = party.id;
+        let mut link = |kind: FrameKind| self.host_rpc(pid, kind);
+        let r = f(&mut party, &mut link);
+        // `link` borrows `self`; shadow it out of scope before the
+        // write-back below.
+        let _ = &link;
+        self.parties[idx] = party;
+        r
+    }
+
+    /// One request/response exchange with the functionality host, fully
+    /// over the wire. The control queue is empty whenever this is called
+    /// (the pump buffers its batch before dispatching), so the host inbox
+    /// contains exactly this request.
+    fn host_rpc(&mut self, from: u32, kind: FrameKind) -> Option<FrameKind> {
+        let now = self.core.clock.read();
+        self.post(Frame {
+            from: Endpoint::Party(from),
+            to: Endpoint::Host,
+            sent_at: now,
+            kind,
+        });
+        let inbox = self.transport.recv_control();
+        let mut responses = Vec::new();
+        for bytes in inbox {
+            if let Ok(frame) = Frame::decode(&bytes) {
+                responses.extend(self.host_handle(frame));
+            }
+        }
+        for r in responses {
+            self.post(r);
+        }
+        let mut out = None;
+        for bytes in self.transport.recv_rpc(from) {
+            if let Ok(frame) = Frame::decode(&bytes) {
+                out = Some(frame.kind);
+            }
+        }
+        out
+    }
+
+    /// The functionality host: answers one party request, touching the
+    /// hybrid functionalities exactly as the in-process round does.
+    fn host_handle(&mut self, frame: Frame) -> Vec<Frame> {
+        let now = self.core.clock.read();
+        let Endpoint::Party(p) = frame.from else {
+            return Vec::new();
+        };
+        let party = PartyId(p);
+        let reply = |kind: FrameKind| Frame {
+            from: Endpoint::Host,
+            to: Endpoint::Party(p),
+            sent_at: now,
+            kind,
+        };
+        match frame.kind {
+            FrameKind::Cast(msg) => {
+                let mut ctx = self.core.ctx();
+                self.ubc.broadcast_honest(party, msg, &mut ctx);
+                Vec::new()
+            }
+            FrameKind::TleEnc { rho, tau } => {
+                let mut ctx = self.core.ctx();
+                self.ftle.enc(party, rho, tau as i64, &mut ctx);
+                Vec::new()
+            }
+            FrameKind::TleRetrieve => {
+                let triples = {
+                    let mut ctx = self.core.ctx();
+                    self.ftle.retrieve(party, &mut ctx)
+                };
+                let v = Value::List(
+                    triples
+                        .into_iter()
+                        .map(|(m, c, tau)| Value::list([m, c, Value::U64(tau)]))
+                        .collect(),
+                );
+                vec![reply(FrameKind::TleTriples(v))]
+            }
+            FrameKind::TleDec { ct, tau } => {
+                let resp = {
+                    let ctx = self.core.ctx();
+                    self.ftle.dec(&ct, tau as i64, &ctx)
+                };
+                let v = match resp {
+                    None => Value::Unit,
+                    Some(r) => r.to_value(),
+                };
+                vec![reply(FrameKind::TleDecResp(v))]
+            }
+            FrameKind::RoQuery { x, len } => {
+                let ans = self.ro.query_bytes(Caller::Party(party), &x, len as usize);
+                vec![reply(FrameKind::RoAnswer(ans))]
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Drains and dispatches the control plane until quiescent. Batches
+    /// are buffered before dispatch so a handler's own RPC round trips
+    /// (which drain the control queue themselves) cannot steal queued
+    /// deliveries.
+    fn pump_control(&mut self) {
+        loop {
+            let batch = self.transport.recv_control();
+            if batch.is_empty() {
+                return;
+            }
+            for bytes in batch {
+                let Ok(frame) = Frame::decode(&bytes) else {
+                    continue;
+                };
+                self.dispatch_control(frame);
+            }
+        }
+    }
+
+    fn dispatch_control(&mut self, frame: Frame) {
+        let now = self.core.clock.read();
+        match frame.to {
+            Endpoint::Party(p) if (p as usize) < self.parties.len() => {
+                let idx = p as usize;
+                match frame.kind {
+                    FrameKind::Submit(v) => {
+                        self.with_party(idx, |party, link| party.on_submit(v, now, link));
+                    }
+                    FrameKind::Tick => {
+                        let out = self.with_party(idx, |party, link| party.on_tick(now, link));
+                        if let Some(v) = out {
+                            self.post(Frame {
+                                from: Endpoint::Party(p),
+                                to: Endpoint::Env,
+                                sent_at: now,
+                                kind: FrameKind::Output(v),
+                            });
+                            self.pump_env();
+                        }
+                    }
+                    FrameKind::Deliver { payload, .. } => {
+                        self.with_party(idx, |party, link| party.on_deliver(&payload, now, link));
+                    }
+                    _ => {}
+                }
+            }
+            Endpoint::Host => {
+                let responses = self.host_handle(frame);
+                for r in responses {
+                    self.post(r);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Routes `Output` frames back to the environment's output buffer.
+    fn pump_env(&mut self) {
+        for bytes in self.transport.recv_control() {
+            let Ok(frame) = Frame::decode(&bytes) else {
+                continue;
+            };
+            if let (Endpoint::Env, Endpoint::Party(p), FrameKind::Output(v)) =
+                (frame.to, frame.from, frame.kind)
+            {
+                self.core
+                    .outputs
+                    .push((PartyId(p), Command::new("Broadcast", v)));
+            }
+        }
+    }
+
+    /// Ships a batch of UBC deliveries as `Deliver` frames (flush order
+    /// preserved; the transport classifies wake-ups as control and wires
+    /// as data).
+    fn post_deliveries(&mut self, origin: u32, ds: Vec<sbc_uc::hybrid::Delivery>, now: u64) {
+        for d in ds {
+            self.post(Frame {
+                from: Endpoint::Host,
+                to: Endpoint::Party(d.to.0),
+                sent_at: now,
+                kind: FrameKind::Deliver {
+                    origin,
+                    payload: d.cmd.value,
+                },
+            });
+        }
+    }
+
+    /// Delivers the data-plane frames due for one party.
+    fn pump_data_for(&mut self, p: u32, now: u64) {
+        let batch = self.transport.recv_data(p, now);
+        for bytes in batch {
+            let Ok(frame) = Frame::decode(&bytes) else {
+                continue;
+            };
+            if let FrameKind::Deliver { payload, .. } = frame.kind {
+                // Wire recording is pure — no host link needed.
+                self.parties[p as usize].on_wire(&payload, now);
+            }
+        }
+    }
+
+    /// Delivers due data frames to every party (corrupted recipients
+    /// included — the in-process world delivers to them too; their state
+    /// is just never observable again).
+    fn pump_data_all(&mut self, now: u64) {
+        for p in 0..self.parties.len() as u32 {
+            self.pump_data_for(p, now);
+        }
+    }
+}
+
+impl<P: NetProfile> World for NetSbcWorld<P> {
+    fn n(&self) -> usize {
+        self.core.n()
+    }
+
+    fn time(&self) -> u64 {
+        self.core.clock.read()
+    }
+
+    fn input(&mut self, party: PartyId, cmd: Command) {
+        if cmd.name != "Broadcast" || self.core.corr.is_corrupted(party) {
+            return;
+        }
+        let now = self.core.clock.read();
+        self.post(Frame {
+            from: Endpoint::Env,
+            to: Endpoint::Party(party.0),
+            sent_at: now,
+            kind: FrameKind::Submit(cmd.value),
+        });
+        self.pump_control();
+    }
+
+    fn advance(&mut self, party: PartyId) {
+        if self.core.corr.is_corrupted(party) {
+            return;
+        }
+        let now = self.core.clock.read();
+        // Due data-plane deliveries land before the round step, so a
+        // delayed wire is seen at its scheduled round like the in-process
+        // world's in-round delivery.
+        self.pump_data_for(party.0, now);
+        self.post(Frame {
+            from: Endpoint::Env,
+            to: Endpoint::Party(party.0),
+            sent_at: now,
+            kind: FrameKind::Tick,
+        });
+        self.pump_control();
+        // Host side of the tick: flush this party's UBC pending.
+        let ds = {
+            let mut ctx = self.core.ctx();
+            self.ubc.advance_clock(party, &mut ctx)
+        };
+        self.post_deliveries(party.0, ds, now);
+        self.pump_control();
+        self.pump_data_all(now);
+        self.core.clock.advance_party(party);
+    }
+
+    fn adversary(&mut self, cmd: AdvCommand) -> Value {
+        match cmd {
+            AdvCommand::Corrupt(p) => {
+                if !self.core.corrupt(p) {
+                    return Value::Bool(false);
+                }
+                self.transport.set_corrupted(p.0);
+                Value::List(self.parties[p.index()].pending_messages())
+            }
+            AdvCommand::SendAs { party, cmd } if cmd.name == "Broadcast" => {
+                if self.core.corr.is_corrupted(party) {
+                    let now = self.core.clock.read();
+                    let ds = {
+                        let mut ctx = self.core.ctx();
+                        self.ubc.broadcast_corrupted(party, cmd.value, &mut ctx)
+                    };
+                    self.post_deliveries(party.0, ds, now);
+                    self.pump_control();
+                    self.pump_data_all(now);
+                }
+                Value::Unit
+            }
+            AdvCommand::Control { target, cmd } => match (target.as_str(), cmd.name.as_str()) {
+                ("F_TLE", "Insert") => {
+                    let Some(items) = cmd.value.as_list() else {
+                        return Value::Unit;
+                    };
+                    if items.len() == 3 {
+                        if let (Some(_), Some(_), Some(tau)) =
+                            (items[0].as_bytes(), items[1].as_bytes(), items[2].as_u64())
+                        {
+                            self.ftle
+                                .insert_adversarial(items[0].clone(), items[1].clone(), tau);
+                            return Value::Bool(true);
+                        }
+                    }
+                    Value::Unit
+                }
+                ("F_TLE", "Leakage") => {
+                    let recs = {
+                        let ctx = self.core.ctx();
+                        self.ftle.leakage(&ctx)
+                    };
+                    Value::List(
+                        recs.into_iter()
+                            .map(|r| {
+                                Value::list([r.msg, r.ct.unwrap_or(Value::Unit), Value::U64(r.tau)])
+                            })
+                            .collect(),
+                    )
+                }
+                ("F_RO", "QueryBytes") => {
+                    let Some(items) = cmd.value.as_list() else {
+                        return Value::Unit;
+                    };
+                    if items.len() == 2 {
+                        if let (Some(x), Some(len)) = (items[0].as_bytes(), items[1].as_u64()) {
+                            return Value::Bytes(self.ro.query_bytes(
+                                Caller::Adversary,
+                                x,
+                                len as usize,
+                            ));
+                        }
+                    }
+                    Value::Unit
+                }
+                _ => Value::Unit,
+            },
+            _ => Value::Unit,
+        }
+    }
+
+    fn drain_outputs(&mut self) -> Vec<(PartyId, Command)> {
+        std::mem::take(&mut self.core.outputs)
+    }
+
+    fn drain_leaks(&mut self) -> Vec<Leak> {
+        std::mem::take(&mut self.core.leaks)
+    }
+
+    fn is_corrupted(&self, party: PartyId) -> bool {
+        self.core.corr.is_corrupted(party)
+    }
+}
+
+impl<P: NetProfile> SbcWorld for NetSbcWorld<P> {
+    /// Period turnover: parties forget their period state, undelivered
+    /// UBC messages are dropped, released `F_TLE` records pruned — and
+    /// the transport's in-flight frames flushed, the networked image of
+    /// the in-process `clear_pending`.
+    fn begin_new_period(&mut self) {
+        for p in &mut self.parties {
+            p.reset_period();
+        }
+        self.ubc.clear_pending();
+        self.ftle.clear_records();
+        self.transport.clear_in_flight();
+    }
+
+    fn release_round(&self) -> Option<u64> {
+        self.parties.iter().find_map(|p| p.tau_rel())
+    }
+
+    fn period_end(&self) -> Option<u64> {
+        self.parties.iter().find_map(|p| p.t_end())
+    }
+
+    /// O(1) join when verifiably idle — including an idle *network*: a
+    /// frame still in flight means an idle round is not a pure clock tick.
+    fn join_at(&mut self, round: u64) {
+        let idle = self.parties.iter().all(|p| p.is_idle())
+            && self.ubc.pending().is_empty()
+            && self.transport.idle()
+            && !self.core.clock.mid_round();
+        if idle {
+            self.core.clock.fast_forward(round);
+        } else {
+            sbc_uc::exec::replay_join(self, round);
+        }
+    }
+}
+
+impl<P: NetProfile> SbcBackend for NetSbcWorld<P> {
+    fn from_params(params: SbcParams, seed: &[u8]) -> Result<Self, SbcError> {
+        NetSbcWorld::new(params, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_world_runs_a_period_end_to_end() {
+        let params = SbcParams::default_for(3);
+        let mut w = LoopbackSbcWorld::new(params, b"net-seed").expect("valid params");
+        w.input(PartyId(0), Command::new("Broadcast", Value::bytes(b"m0")));
+        for _ in 0..(params.phi + params.delta + 2) {
+            w.tick();
+        }
+        let outs = w.drain_outputs();
+        assert_eq!(outs.len(), 3, "every party outputs at τ_rel");
+        for (_, cmd) in &outs {
+            assert_eq!(cmd.value.as_list().map(<[Value]>::len), Some(1));
+        }
+        // Everything that moved, moved as frames.
+        let stats = w.transport_stats();
+        assert!(stats.sent > 0 && stats.delivered > 0 && stats.bytes > 0);
+        assert_eq!(stats.decode_errors, 0);
+    }
+
+    #[test]
+    fn simnet_world_same_outputs_as_loopback() {
+        let params = SbcParams::default_for(4);
+        let run = |mut w: Box<dyn FnMut() -> Vec<(PartyId, Command)>>| w();
+        let mut loopback = LoopbackSbcWorld::new(params, b"seed-x").expect("valid");
+        let mut simnet = SimNetSbcWorld::new(params, b"seed-x").expect("valid");
+        let drive = |w: &mut dyn SbcWorld| {
+            w.input(PartyId(0), Command::new("Broadcast", Value::bytes(b"a")));
+            w.tick();
+            w.input(PartyId(1), Command::new("Broadcast", Value::bytes(b"b")));
+            w.input(PartyId(2), Command::new("Broadcast", Value::bytes(b"c")));
+            for _ in 0..(params.phi + params.delta + 2) {
+                w.tick();
+            }
+            w.drain_outputs()
+        };
+        let a = drive(&mut loopback);
+        let b = drive(&mut simnet);
+        assert_eq!(a, b);
+        let _ = run;
+        let s = simnet.transport_stats();
+        assert!(s.delayed > 0 || s.duplicated > 0, "chaos fired: {s:?}");
+    }
+}

@@ -505,6 +505,13 @@ impl<R: SbcWorld, I: SbcWorld> DualRun<R, I> {
         Ok(finished)
     }
 
+    /// Borrows both worlds — the post-run introspection hook for
+    /// backend-specific assertions the driver surface does not carry
+    /// (e.g. a networked backend's transport statistics).
+    pub fn worlds(&self) -> (&R, &I) {
+        (&self.real, &self.ideal)
+    }
+
     /// Consumes the harness, returning both transcripts.
     pub fn into_transcripts(self) -> (Transcript, Transcript) {
         (self.t_real, self.t_ideal)
@@ -970,6 +977,13 @@ impl<R: PoolWorld, I: PoolWorld> PoolDualRun<R, I> {
         let t = self.ideal.round();
         self.ideal.close_instance(instance);
         pool_sync(&mut self.ideal, &mut self.t_ideal, t);
+    }
+
+    /// Borrows both pools — the post-run introspection hook for
+    /// backend-specific assertions the instance-addressed driver surface
+    /// does not carry (e.g. a networked backend's transport statistics).
+    pub fn worlds(&self) -> (&R, &I) {
+        (&self.real, &self.ideal)
     }
 
     /// Consumes the harness, returning both per-instance transcript maps.

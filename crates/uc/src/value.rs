@@ -172,10 +172,16 @@ impl Value {
         }
     }
 
+    /// Nesting bound for [`decode`](Value::decode): protocol values nest a
+    /// handful of levels, while a hostile encoding could nest one list per
+    /// 9 input bytes and overflow the decoder's stack. Anything deeper
+    /// than this is rejected as malformed, not recursed into.
+    const MAX_DECODE_DEPTH: usize = 64;
+
     /// Decodes a canonical encoding produced by [`encode`](Value::encode).
     pub fn decode(bytes: &[u8]) -> Option<Value> {
         let mut pos = 0usize;
-        let v = Self::decode_from(bytes, &mut pos)?;
+        let v = Self::decode_from(bytes, &mut pos, 0)?;
         if pos == bytes.len() {
             Some(v)
         } else {
@@ -183,7 +189,10 @@ impl Value {
         }
     }
 
-    fn decode_from(bytes: &[u8], pos: &mut usize) -> Option<Value> {
+    fn decode_from(bytes: &[u8], pos: &mut usize, depth: usize) -> Option<Value> {
+        if depth > Self::MAX_DECODE_DEPTH {
+            return None;
+        }
         let tag = *bytes.get(*pos)?;
         *pos += 1;
         let read_u64 = |bytes: &[u8], pos: &mut usize| -> Option<u64> {
@@ -219,7 +228,7 @@ impl Value {
                 let len = read_u64(bytes, pos)? as usize;
                 let mut items = Vec::with_capacity(len.min(1024));
                 for _ in 0..len {
-                    items.push(Self::decode_from(bytes, pos)?);
+                    items.push(Self::decode_from(bytes, pos, depth + 1)?);
                 }
                 Some(Value::List(items))
             }

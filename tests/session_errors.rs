@@ -238,3 +238,102 @@ fn multi_epoch_with_mid_session_corruption() {
     let r = s.run_epoch().unwrap();
     assert_eq!(r.messages, vec![b"e1-a".to_vec()]);
 }
+
+/// Every `sbc-net` error variant, round-tripped like `SbcError` above:
+/// `Display` needles, clone/eq, `std::error::Error` with the
+/// `NetError::Codec` → `CodecError` source chain, pairwise distinctness.
+/// The needle matches are deliberately without `_` arms: adding a codec
+/// or net variant without extending this test is a compile error.
+#[test]
+fn exhaustive_net_error_variant_round_trips() {
+    use sbc_net::{CodecError, NetError};
+
+    fn codec_needle(e: &CodecError) -> &'static str {
+        match e {
+            CodecError::Truncated { .. } => "truncated frame",
+            CodecError::BadMagic { .. } => "bad magic",
+            CodecError::UnsupportedVersion { .. } => "unsupported wire version",
+            CodecError::UnknownKind { .. } => "unknown frame kind",
+            CodecError::UnknownEndpoint { .. } => "unknown endpoint",
+            CodecError::LengthMismatch { .. } => "length prefix mismatch",
+            CodecError::Oversize { .. } => "cap is",
+            CodecError::BadPayload { .. } => "malformed payload",
+            CodecError::TrailingBytes { .. } => "trailing bytes",
+        }
+    }
+    let all_codec = vec![
+        CodecError::Truncated {
+            needed: 26,
+            have: 3,
+        },
+        CodecError::BadMagic {
+            found: [0x00, 0xFF],
+        },
+        CodecError::UnsupportedVersion { found: 9 },
+        CodecError::UnknownKind { tag: 42 },
+        CodecError::UnknownEndpoint { tag: 7 },
+        CodecError::LengthMismatch {
+            declared: 10,
+            actual: 30,
+        },
+        CodecError::Oversize {
+            len: 1 << 30,
+            max: 1 << 24,
+        },
+        CodecError::BadPayload { kind: "TleEnc" },
+        CodecError::TrailingBytes { extra: 4 },
+    ];
+    for err in &all_codec {
+        assert_eq!(&err.clone(), err);
+        let rendered = err.to_string();
+        assert!(
+            rendered.contains(codec_needle(err)),
+            "{err:?} rendered as {rendered:?}"
+        );
+        // Codec errors are leaf errors: no source.
+        let dyn_err: &dyn std::error::Error = err;
+        assert!(dyn_err.source().is_none());
+    }
+    for (i, a) in all_codec.iter().enumerate() {
+        for (j, b) in all_codec.iter().enumerate() {
+            assert_eq!(a == b, i == j, "{a:?} vs {b:?}");
+        }
+    }
+
+    fn net_needle(e: &NetError) -> &'static str {
+        match e {
+            NetError::Codec(_) => "undecodable frame",
+            NetError::UnknownParty { .. } => "experiment has",
+        }
+    }
+    let all_net = vec![
+        NetError::Codec(CodecError::BadMagic { found: [1, 2] }),
+        NetError::UnknownParty { party: 9, n: 4 },
+    ];
+    for err in &all_net {
+        assert_eq!(&err.clone(), err);
+        let rendered = err.to_string();
+        assert!(
+            rendered.contains(net_needle(err)),
+            "{err:?} rendered as {rendered:?}"
+        );
+    }
+    for (i, a) in all_net.iter().enumerate() {
+        for (j, b) in all_net.iter().enumerate() {
+            assert_eq!(a == b, i == j, "{a:?} vs {b:?}");
+        }
+    }
+
+    // The source chain: NetError::Codec exposes the codec failure through
+    // std::error::Error::source; UnknownParty is a leaf.
+    let chained: &dyn std::error::Error = &all_net[0];
+    let source = chained.source().expect("Codec carries its source");
+    assert!(source.to_string().contains("bad magic"));
+    assert!(source.source().is_none(), "chain terminates at the codec");
+    let leaf: &dyn std::error::Error = &all_net[1];
+    assert!(leaf.source().is_none());
+
+    // From<CodecError> wraps into the chained variant.
+    let wrapped: NetError = CodecError::UnknownKind { tag: 3 }.into();
+    assert_eq!(wrapped, NetError::Codec(CodecError::UnknownKind { tag: 3 }));
+}
