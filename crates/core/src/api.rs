@@ -104,6 +104,13 @@ pub struct AdversaryConfig {
     /// Retain every adversary-visible leak for inspection through
     /// [`SbcSession::leaks`] instead of discarding it.
     pub capture_leaks: bool,
+    /// Cap the per-instance captured-leak buffer at this many entries,
+    /// evicting the oldest and counting evictions (see
+    /// `SbcPool::leak_overflow`). `None` (the default) retains everything
+    /// — the behavior every indistinguishability experiment relies on;
+    /// long-lived services set a cap so leak capture can stay on without
+    /// growing per-instance memory without bound.
+    pub leak_cap: Option<usize>,
 }
 
 impl AdversaryConfig {
@@ -121,6 +128,14 @@ impl AdversaryConfig {
     /// Retains adversary-visible leaks for inspection.
     pub fn capture_leaks(mut self) -> Self {
         self.capture_leaks = true;
+        self
+    }
+
+    /// Caps each instance's captured-leak buffer at `cap` entries
+    /// (oldest evicted first, evictions counted). Implies nothing about
+    /// capture itself — combine with [`AdversaryConfig::capture_leaks`].
+    pub fn leak_cap(mut self, cap: usize) -> Self {
+        self.leak_cap = Some(cap);
         self
     }
 }
@@ -201,6 +216,13 @@ impl SbcSessionBuilder {
     /// Delegates to [`AdversaryConfig::capture_leaks`].
     pub fn capture_leaks(mut self) -> Self {
         self.pool = self.pool.capture_leaks();
+        self
+    }
+
+    /// Convenience: cap the captured-leak buffer. Delegates to
+    /// [`AdversaryConfig::leak_cap`].
+    pub fn leak_cap(mut self, cap: usize) -> Self {
+        self.pool = self.pool.leak_cap(cap);
         self
     }
 

@@ -357,6 +357,22 @@ impl<W: SbcWorld> PooledSbcWorld<W> {
         self.corrupted.iter().filter(|c| **c).count()
     }
 
+    /// Number of retired (finished, not yet forgotten) instance ids still
+    /// tracked.
+    pub fn retired_count(&self) -> usize {
+        self.retired.len()
+    }
+
+    /// Number of release outputs buffered and not yet drained.
+    pub fn buffered_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Number of leaks buffered and not yet drained.
+    pub fn buffered_leaks(&self) -> usize {
+        self.leaks.len()
+    }
+
     /// Whether `party` is corrupted (globally, in every instance).
     pub fn party_corrupted(&self, party: PartyId) -> bool {
         (party.index()) < self.params.n && self.corrupted[party.index()]
@@ -727,6 +743,13 @@ impl SbcPoolBuilder {
         self
     }
 
+    /// Convenience: cap each instance's captured-leak buffer (see
+    /// [`AdversaryConfig::leak_cap`]).
+    pub fn leak_cap(mut self, cap: usize) -> Self {
+        self.adversary = self.adversary.leak_cap(cap);
+        self
+    }
+
     /// Builds the pool over the real protocol stack.
     ///
     /// # Errors
@@ -764,7 +787,12 @@ impl SbcPoolBuilder {
                 });
             }
         }
-        let mut pool = SbcPool::from_parts(self.params, &self.seed, self.adversary.capture_leaks)?;
+        let mut pool = SbcPool::from_parts(
+            self.params,
+            &self.seed,
+            self.adversary.capture_leaks,
+            self.adversary.leak_cap,
+        )?;
         pool.set_tick_mode(self.tick_mode);
         pool.set_party_shard(self.party_shard);
         for &p in &self.adversary.corrupt_at_start {
@@ -782,6 +810,36 @@ struct InstanceState {
     submitted: usize,
     released: Option<SbcResult>,
     leaks: Vec<Leak>,
+    /// Leaks evicted from `leaks` by the pool's leak cap (0 when
+    /// uncapped): the typed overflow counter that keeps a bounded buffer
+    /// honest.
+    dropped_leaks: u64,
+}
+
+/// A point-in-time memory-bookkeeping census of a pool — the steady-state
+/// proxy long-lived services watch to prove churn (instances opening and
+/// finishing while others run) does not accumulate state.
+///
+/// All fields count entries, not bytes; a pool that drains and prunes
+/// everything it has consumed returns to the all-zeros footprint (modulo
+/// whatever is deliberately live).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolFootprint {
+    /// Live (open, unfinished) instances.
+    pub live: usize,
+    /// Finished instances not yet pruned.
+    pub retired: usize,
+    /// Instances with per-instance bookkeeping still tracked (live +
+    /// finished-but-unpruned).
+    pub tracked: usize,
+    /// Release outputs buffered in the world layer, not yet drained.
+    pub buffered_outputs: usize,
+    /// Leaks buffered in the world layer, not yet routed to instances.
+    pub buffered_leaks: usize,
+    /// Captured leaks retained across all tracked instances.
+    pub captured_leaks: usize,
+    /// Total leaks evicted by the leak cap across all tracked instances.
+    pub dropped_leaks: u64,
 }
 
 /// A pool of concurrent simultaneous-broadcast instances over one shared
@@ -802,6 +860,7 @@ struct InstanceState {
 pub struct SbcPool<W: SbcWorld = RealSbcWorld> {
     world: PooledSbcWorld<W>,
     capture_leaks: bool,
+    leak_cap: Option<usize>,
     adv_rng: Drbg,
     state: BTreeMap<u64, InstanceState>,
 }
@@ -824,6 +883,7 @@ impl<W: SbcWorld> SbcPool<W> {
         params: SbcParams,
         seed: &[u8],
         capture_leaks: bool,
+        leak_cap: Option<usize>,
     ) -> Result<Self, SbcError>
     where
         W: SbcBackend,
@@ -833,6 +893,7 @@ impl<W: SbcWorld> SbcPool<W> {
         Ok(SbcPool {
             world: PooledSbcWorld::new(params, seed)?,
             capture_leaks,
+            leak_cap,
             adv_rng: Drbg::from_seed(&adv_seed),
             state: BTreeMap::new(),
         })
@@ -934,7 +995,19 @@ impl<W: SbcWorld> SbcPool<W> {
         for (id, leak) in self.world.take_leaks() {
             if self.capture_leaks {
                 if let Some(st) = self.state.get_mut(&id.0) {
-                    st.leaks.push(leak);
+                    match self.leak_cap {
+                        // A zero cap retains nothing: count and move on.
+                        Some(0) => st.dropped_leaks += 1,
+                        Some(cap) => {
+                            if st.leaks.len() >= cap {
+                                let excess = st.leaks.len() + 1 - cap;
+                                st.leaks.drain(..excess);
+                                st.dropped_leaks += excess as u64;
+                            }
+                            st.leaks.push(leak);
+                        }
+                        None => st.leaks.push(leak),
+                    }
                 }
             }
         }
@@ -1353,6 +1426,40 @@ impl<W: SbcWorld> SbcPool<W> {
             .unwrap_or_default())
     }
 
+    /// How many captured leaks the leak cap has evicted from `instance`'s
+    /// buffer so far (always 0 when the pool is uncapped — see
+    /// [`AdversaryConfig::leak_cap`](crate::api::AdversaryConfig::leak_cap)).
+    /// Like [`leaks`](SbcPool::leaks), readable for live and finished
+    /// instances.
+    ///
+    /// # Errors
+    ///
+    /// [`SbcError::UnknownInstance`].
+    pub fn leak_overflow(&self, instance: InstanceId) -> Result<u64, SbcError> {
+        self.check_known(instance)?;
+        Ok(self
+            .state
+            .get(&instance.0)
+            .map(|s| s.dropped_leaks)
+            .unwrap_or(0))
+    }
+
+    /// A point-in-time census of the pool's per-instance and buffered
+    /// state (see [`PoolFootprint`]). O(tracked instances); intended for
+    /// steady-state flatness assertions in churn tests and service
+    /// telemetry, not the hot path of every tick.
+    pub fn footprint(&self) -> PoolFootprint {
+        PoolFootprint {
+            live: self.world.live_ids().len(),
+            retired: self.world.retired_count(),
+            tracked: self.state.len(),
+            buffered_outputs: self.world.buffered_outputs(),
+            buffered_leaks: self.world.buffered_leaks(),
+            captured_leaks: self.state.values().map(|s| s.leaks.len()).sum(),
+            dropped_leaks: self.state.values().map(|s| s.dropped_leaks).sum(),
+        }
+    }
+
     // ------------------------------------------------------------------
     // Retired-instance reclamation
     // ------------------------------------------------------------------
@@ -1731,6 +1838,64 @@ mod tests {
         assert_eq!(
             pool.prune(InstanceId(99)),
             Err(SbcError::UnknownInstance { instance: 99 })
+        );
+    }
+
+    #[test]
+    fn leak_cap_rings_and_counts_overflow() {
+        // Same scenario twice: uncapped is the reference; a cap of 2
+        // retains exactly the 2 most recent leaks and counts the rest.
+        let run = |cap: Option<usize>| {
+            let mut b = SbcPool::builder(2).seed(b"leak-cap").capture_leaks();
+            if let Some(c) = cap {
+                b = b.leak_cap(c);
+            }
+            let mut pool = b.build().unwrap();
+            let a = pool.open_instance().unwrap();
+            pool.submit(a, 0, b"m0").unwrap();
+            pool.submit(a, 1, b"m1").unwrap();
+            pool.finish(a).unwrap();
+            let leaks = pool.leaks(a).unwrap().to_vec();
+            let dropped = pool.leak_overflow(a).unwrap();
+            (leaks, dropped)
+        };
+        let (full, none_dropped) = run(None);
+        assert_eq!(none_dropped, 0, "uncapped never drops");
+        assert!(full.len() > 2, "scenario produces enough leaks to overflow");
+        let (capped, dropped) = run(Some(2));
+        assert_eq!(capped.len(), 2);
+        assert_eq!(dropped, (full.len() - 2) as u64);
+        // Ring semantics: survivors are the most recent, in order.
+        assert_eq!(capped.as_slice(), &full[full.len() - 2..]);
+        // A zero cap retains nothing and counts everything.
+        let (empty, all_dropped) = run(Some(0));
+        assert!(empty.is_empty());
+        assert_eq!(all_dropped, full.len() as u64);
+    }
+
+    #[test]
+    fn footprint_returns_to_zero_after_drain_and_prune() {
+        let mut pool = SbcPool::builder(2)
+            .seed(b"footprint")
+            .capture_leaks()
+            .build()
+            .unwrap();
+        assert_eq!(pool.footprint(), PoolFootprint::default());
+        let a = pool.open_instance().unwrap();
+        pool.submit(a, 0, b"a").unwrap();
+        let mid = pool.footprint();
+        assert_eq!(mid.live, 1);
+        assert_eq!(mid.tracked, 1);
+        pool.finish(a).unwrap();
+        let done = pool.footprint();
+        assert_eq!(done.live, 0);
+        assert_eq!(done.retired, 1);
+        assert!(done.captured_leaks > 0, "finish retains leaks");
+        pool.prune(a).unwrap();
+        assert_eq!(
+            pool.footprint(),
+            PoolFootprint::default(),
+            "prune reclaims every proxy"
         );
     }
 

@@ -146,6 +146,10 @@ pub enum FrameKind {
     RoAnswer(Vec<u8>),
     /// Party → environment: the release-round output vector.
     Output(Value),
+    /// Service ↔ storage: a serialized service/pool snapshot image
+    /// (`sbc-service` persistence rides the same versioned framing as
+    /// the protocol wires).
+    Snapshot(Value),
 }
 
 impl FrameKind {
@@ -163,6 +167,7 @@ impl FrameKind {
             FrameKind::RoQuery { .. } => 9,
             FrameKind::RoAnswer(_) => 10,
             FrameKind::Output(_) => 11,
+            FrameKind::Snapshot(_) => 12,
         }
     }
 
@@ -180,6 +185,7 @@ impl FrameKind {
             9 => "RoQuery",
             10 => "RoAnswer",
             11 => "Output",
+            12 => "Snapshot",
             _ => "?",
         }
     }
@@ -192,7 +198,10 @@ impl FrameKind {
                 Value::pair(Value::U64(u64::from(*origin)), payload.clone())
             }
             FrameKind::TleEnc { rho, tau } => Value::pair(rho.clone(), Value::U64(*tau)),
-            FrameKind::TleTriples(v) | FrameKind::TleDecResp(v) | FrameKind::Output(v) => v.clone(),
+            FrameKind::TleTriples(v)
+            | FrameKind::TleDecResp(v)
+            | FrameKind::Output(v)
+            | FrameKind::Snapshot(v) => v.clone(),
             FrameKind::TleDec { ct, tau } => Value::pair(ct.clone(), Value::U64(*tau)),
             FrameKind::RoQuery { x, len } => Value::pair(Value::bytes(x), Value::U64(*len)),
             FrameKind::RoAnswer(b) => Value::bytes(b),
@@ -252,6 +261,7 @@ impl FrameKind {
                 _ => Err(bad()),
             },
             11 => Ok(FrameKind::Output(body)),
+            12 => Ok(FrameKind::Snapshot(body)),
             _ => Err(CodecError::UnknownKind { tag }),
         }
     }
@@ -547,6 +557,7 @@ mod tests {
             },
             FrameKind::RoAnswer(vec![1, 2, 3]),
             FrameKind::Output(Value::list([Value::bytes(b"out")])),
+            FrameKind::Snapshot(Value::list([Value::str("sbc-service/v1"), Value::U64(7)])),
         ];
         for kind in kinds {
             let f = Frame {

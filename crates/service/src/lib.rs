@@ -1,0 +1,70 @@
+//! # sbc-service
+//!
+//! A long-lived, epoch-structured **simultaneous-broadcast service** over
+//! [`sbc_core::pool::SbcPool`] — the paper's applications (DURS randomness
+//! beacons, elections, sealed-bid auctions) consumed the way they are
+//! meant to be: as a continuously running submission-serving front end,
+//! not a test harness.
+//!
+//! The service wraps a pool of concurrent SBC instances behind four
+//! surfaces:
+//!
+//! * **Ingestion + batching** — [`SbcService::submit`] accepts client
+//!   submissions (client id, payload, [`DeadlineClass`]) through a
+//!   bounded three-class queue, batches them into pool instances
+//!   round-robin over the party slots, admits late arrivals into the
+//!   *next* instance instead of erroring, and answers saturation with a
+//!   typed [`ServiceError::QueueFull`].
+//! * **Epoch lifecycle** — [`SbcService::tick`] steps the shared clock,
+//!   opens instances when the admission policy fires, finishes released
+//!   instances, streams [`ReleaseRecord`]s to registered
+//!   [`ReleaseSink`]s, and continuously prunes what has been delivered so
+//!   steady-state memory is flat under churn (watch it with
+//!   [`SbcService::footprint`]).
+//! * **Observability** — per-submission submit→release latency in rounds,
+//!   recorded off the hot path into a fixed-bucket histogram and exposed
+//!   as a [`ServiceStats`] snapshot (p50/p90/p99, counters, peaks).
+//! * **Snapshot/restore** — [`SbcService::snapshot`] serializes the
+//!   service as a deterministic operation journal through the `sbc-net`
+//!   codec ([`sbc_net::Frame`] / `FrameKind::Snapshot`);
+//!   [`SbcService::restore`] replays it, reproducing release transcripts
+//!   bit-identically — a service killed mid-epoch resumes where it died.
+//!
+//! The service is generic over the [`sbc_core::worlds::SbcBackend`] seam:
+//! the same driver runs over `RealSbcWorld` (in-process),
+//! `LoopbackSbcWorld` (networked frames, ideal links), or
+//! `SimNetSbcWorld` (networked frames over the adversarial simulated
+//! transport).
+//!
+//! # Example
+//!
+//! ```
+//! use sbc_service::{DeadlineClass, ServiceConfig, ServiceMode, SbcService};
+//!
+//! # fn main() -> Result<(), sbc_service::ServiceError> {
+//! let cfg = ServiceConfig::new(4, ServiceMode::Beacon).seed(b"docs");
+//! let mut svc: SbcService = SbcService::new(cfg)?;
+//! svc.submit(7, b"entropy".to_vec(), DeadlineClass::Interactive)?;
+//! while svc.stats().finished == 0 {
+//!     svc.tick()?;
+//! }
+//! let record = svc.drain_releases().pop().expect("released");
+//! assert!(record.messages.iter().any(|m| m == b"entropy"));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod loadgen;
+mod service;
+mod snapshot;
+mod stats;
+
+pub use loadgen::{LoadGen, LoadProfile};
+pub use service::{
+    DeadlineClass, Outcome, ReleaseRecord, ReleaseSink, SbcService, ServiceConfig, ServiceError,
+    ServiceMode,
+};
+pub use stats::{LatencyHistogram, LatencySummary, ServiceStats};

@@ -1,0 +1,323 @@
+//! Snapshot/restore: the service as a deterministic operation journal,
+//! framed through the `sbc-net` codec.
+//!
+//! ## Why a journal, not a state dump
+//!
+//! Every externally observable state transition of [`SbcService`] is a
+//! deterministic function of the *accepted operation sequence* — the
+//! interleaving of accepted submissions and driver ticks. All pool
+//! randomness derives from the seeded DRBG, admission and batching
+//! decisions are pure functions of (queue, pool round, config), and
+//! latency is measured in rounds. So the journal of accepted operations,
+//! plus the config it runs under, **is** the state: replaying it from a
+//! fresh service reproduces the pool, the queues, the in-flight epoch,
+//! the histogram, and — the property the conformance test pins down —
+//! release transcripts bit-identical to the uninterrupted original.
+//!
+//! The only facts the replay cannot rederive are the ones that left the
+//! service (records already delivered to sinks or drained — the restored
+//! run must not re-deliver them) and the ones that never entered it
+//! (submissions rejected with `QueueFull` touch a counter but not the
+//! journal). Those two numbers ride alongside the journal.
+//!
+//! ## Wire format
+//!
+//! One [`Frame`] with `FrameKind::Snapshot`, `Env → Env`, `sent_at` = the
+//! shared-clock round at capture. The body is
+//!
+//! ```text
+//! List[ Str("sbc-service/v1"),
+//!       List[n, Φ, ∆, α, delay]          (U64s)
+//!       Bytes(seed),
+//!       U64(mode),
+//!       List[queue_cap, batch_size, max_live, flush_after, leak_cap+1|0],
+//!       U64(delivered), U64(rejected),
+//!       List[op…] ]                      (op = List[0] tick
+//!                                         | List[1, client, Bytes, class])
+//! ```
+//!
+//! The frame inherits the codec's hostile-input guarantees: versioned
+//! magic, the `MAX_FRAME` size cap (a journal that outgrows it is a typed
+//! [`ServiceError::SnapshotTooLarge`] at capture time, not a corrupt
+//! image at restore time), and typed decode errors surfaced as
+//! [`ServiceError::BadSnapshot`].
+
+use sbc_core::worlds::{SbcBackend, SbcParams};
+use sbc_net::codec::MAX_FRAME;
+use sbc_net::{Endpoint, Frame, FrameKind};
+use sbc_uc::value::Value;
+
+use crate::service::{DeadlineClass, Op, SbcService, ServiceConfig, ServiceError, ServiceMode};
+
+/// The version string leading every snapshot body.
+const VERSION_TAG: &str = "sbc-service/v1";
+
+fn bad(detail: impl Into<String>) -> ServiceError {
+    ServiceError::BadSnapshot {
+        detail: detail.into(),
+    }
+}
+
+fn field(list: &[Value], idx: usize, what: &str) -> Result<Value, ServiceError> {
+    list.get(idx)
+        .cloned()
+        .ok_or_else(|| bad(format!("missing field {idx} ({what})")))
+}
+
+fn as_u64(v: &Value, what: &str) -> Result<u64, ServiceError> {
+    v.as_u64()
+        .ok_or_else(|| bad(format!("{what}: expected U64")))
+}
+
+impl<W: SbcBackend> SbcService<W> {
+    /// Serializes the service into one codec frame (the wire format is
+    /// documented at the top of `snapshot.rs`).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::SnapshotTooLarge`] if the journal no longer fits
+    /// the codec's frame cap — snapshot earlier, or accept that this
+    /// service's history has outgrown single-frame images.
+    pub fn snapshot(&self) -> Result<Vec<u8>, ServiceError> {
+        let cfg = self.config();
+        let ops: Vec<Value> = self
+            .journal
+            .iter()
+            .map(|op| match op {
+                Op::Tick => Value::list([Value::U64(0)]),
+                Op::Submit {
+                    client,
+                    payload,
+                    class,
+                } => Value::list([
+                    Value::U64(1),
+                    Value::U64(*client),
+                    Value::bytes(payload),
+                    Value::U64(class.tag()),
+                ]),
+            })
+            .collect();
+        let body = Value::list([
+            Value::str(VERSION_TAG),
+            Value::list([
+                Value::U64(cfg.params.n as u64),
+                Value::U64(cfg.params.phi),
+                Value::U64(cfg.params.delta),
+                Value::U64(cfg.params.tle_alpha),
+                Value::U64(cfg.params.tle_delay),
+            ]),
+            Value::bytes(&cfg.seed),
+            Value::U64(cfg.mode.tag()),
+            Value::list([
+                Value::U64(cfg.queue_cap as u64),
+                Value::U64(cfg.batch_size as u64),
+                Value::U64(cfg.max_live as u64),
+                Value::U64(cfg.flush_after),
+                Value::U64(cfg.leak_cap.map_or(0, |c| c as u64 + 1)),
+            ]),
+            Value::U64(self.stats().delivered),
+            Value::U64(self.stats().rejected),
+            Value::List(ops),
+        ]);
+        let frame = Frame {
+            from: Endpoint::Env,
+            to: Endpoint::Env,
+            sent_at: self.round(),
+            kind: FrameKind::Snapshot(body),
+        };
+        let bytes = frame.encode();
+        if bytes.len() > MAX_FRAME {
+            return Err(ServiceError::SnapshotTooLarge {
+                len: bytes.len(),
+                max: MAX_FRAME,
+            });
+        }
+        Ok(bytes)
+    }
+
+    /// Rebuilds a service from a [`snapshot`](Self::snapshot) image by
+    /// replaying its operation journal against a fresh pool.
+    ///
+    /// The restored service has **no sinks** — re-register them; records
+    /// the original had already delivered are not re-delivered, and
+    /// records that were still parked are parked again, in order.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServiceError::BadSnapshot`] for anything that fails to decode
+    ///   as a v1 service image (including codec-level corruption).
+    /// * [`ServiceError::Pool`] if replay itself fails — impossible for a
+    ///   journal captured from a healthy service.
+    pub fn restore(bytes: &[u8]) -> Result<Self, ServiceError> {
+        let frame = Frame::decode(bytes).map_err(|e| bad(format!("frame: {e}")))?;
+        let FrameKind::Snapshot(body) = frame.kind else {
+            return Err(bad("not a Snapshot frame"));
+        };
+        let fields = body.as_list().ok_or_else(|| bad("body: expected List"))?;
+        let version = field(fields, 0, "version")?;
+        if version.as_str() != Some(VERSION_TAG) {
+            return Err(bad(format!("unsupported version {version:?}")));
+        }
+
+        let pv = field(fields, 1, "params")?;
+        let pl = pv.as_list().ok_or_else(|| bad("params: expected List"))?;
+        if pl.len() != 5 {
+            return Err(bad("params: expected 5 fields"));
+        }
+        let params = SbcParams {
+            n: as_u64(&pl[0], "n")? as usize,
+            phi: as_u64(&pl[1], "phi")?,
+            delta: as_u64(&pl[2], "delta")?,
+            tle_alpha: as_u64(&pl[3], "tle_alpha")?,
+            tle_delay: as_u64(&pl[4], "tle_delay")?,
+        };
+        let seed = field(fields, 2, "seed")?;
+        let seed = seed.as_bytes().ok_or_else(|| bad("seed: expected Bytes"))?;
+        let mode = ServiceMode::from_tag(as_u64(&field(fields, 3, "mode")?, "mode")?)
+            .ok_or_else(|| bad("mode: unknown tag"))?;
+        let tv = field(fields, 4, "tuning")?;
+        let tl = tv.as_list().ok_or_else(|| bad("tuning: expected List"))?;
+        if tl.len() != 5 {
+            return Err(bad("tuning: expected 5 fields"));
+        }
+        let leak_cap = match as_u64(&tl[4], "leak_cap")? {
+            0 => None,
+            c => Some((c - 1) as usize),
+        };
+        let cfg = ServiceConfig {
+            params,
+            seed: seed.to_vec(),
+            mode,
+            queue_cap: as_u64(&tl[0], "queue_cap")? as usize,
+            batch_size: as_u64(&tl[1], "batch_size")? as usize,
+            max_live: as_u64(&tl[2], "max_live")? as usize,
+            flush_after: as_u64(&tl[3], "flush_after")?,
+            leak_cap,
+        };
+        let delivered = as_u64(&field(fields, 5, "delivered")?, "delivered")?;
+        let rejected = as_u64(&field(fields, 6, "rejected")?, "rejected")?;
+        let ops_v = field(fields, 7, "ops")?;
+        let ops = ops_v.as_list().ok_or_else(|| bad("ops: expected List"))?;
+
+        let mut svc = SbcService::<W>::new(cfg)?;
+        for (i, op) in ops.iter().enumerate() {
+            let op = op
+                .as_list()
+                .ok_or_else(|| bad(format!("op {i}: expected List")))?;
+            match as_u64(
+                op.first().ok_or_else(|| bad(format!("op {i}: empty")))?,
+                "op tag",
+            )? {
+                0 => svc.tick()?,
+                1 => {
+                    if op.len() != 4 {
+                        return Err(bad(format!("op {i}: submit arity")));
+                    }
+                    let client = as_u64(&op[1], "client")?;
+                    let payload = op[2]
+                        .as_bytes()
+                        .ok_or_else(|| bad(format!("op {i}: payload")))?
+                        .to_vec();
+                    let class = DeadlineClass::from_tag(as_u64(&op[3], "class")?)
+                        .ok_or_else(|| bad(format!("op {i}: unknown class")))?;
+                    // The original accepted this op, and acceptance is a
+                    // deterministic function of the prefix — replay
+                    // accepts it too; a refusal means a corrupt journal.
+                    svc.submit(client, payload, class)
+                        .map_err(|e| bad(format!("op {i}: replay refused: {e}")))?;
+                }
+                t => return Err(bad(format!("op {i}: unknown tag {t}"))),
+            }
+        }
+        svc.mark_restored(delivered, rejected);
+        Ok(svc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{DeadlineClass, ServiceMode};
+
+    type Service = SbcService<sbc_core::worlds::RealSbcWorld>;
+
+    fn seeded() -> Service {
+        Service::new(
+            ServiceConfig::new(3, ServiceMode::Election)
+                .seed(b"snap")
+                .batch_size(3),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_mid_epoch() {
+        let mut a = seeded();
+        a.submit(1, vec![4], DeadlineClass::Standard).unwrap();
+        a.submit(2, vec![4], DeadlineClass::Standard).unwrap();
+        a.tick().unwrap();
+        a.tick().unwrap(); // mid-epoch: instance live, nothing released
+        assert_eq!(a.stats().finished, 0);
+        let image = a.snapshot().unwrap();
+        let mut b = Service::restore(&image).unwrap();
+        assert_eq!(a.round(), b.round());
+        assert_eq!(a.stats(), b.stats());
+        // Both runs, continued identically, release identically.
+        let ra = a.shutdown().unwrap();
+        let rb = b.shutdown().unwrap();
+        assert_eq!(ra, rb);
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn restore_does_not_redeliver_consumed_records() {
+        let mut a = seeded();
+        a.submit(1, vec![1], DeadlineClass::Interactive).unwrap();
+        while a.stats().finished == 0 {
+            a.tick().unwrap();
+        }
+        let first = a.drain_releases();
+        assert_eq!(first.len(), 1);
+        a.submit(2, vec![2], DeadlineClass::Interactive).unwrap();
+        while a.stats().finished < 2 {
+            a.tick().unwrap();
+        }
+        // Second record still parked; first already consumed.
+        let image = a.snapshot().unwrap();
+        let mut b = Service::restore(&image).unwrap();
+        let parked = b.drain_releases();
+        assert_eq!(parked.len(), 1);
+        assert_eq!(parked, a.drain_releases());
+        assert_eq!(b.stats().delivered, 2);
+    }
+
+    #[test]
+    fn garbage_and_wrong_frames_are_typed_errors() {
+        assert!(matches!(
+            Service::restore(b"junk"),
+            Err(ServiceError::BadSnapshot { .. })
+        ));
+        let not_snapshot = Frame {
+            from: Endpoint::Env,
+            to: Endpoint::Env,
+            sent_at: 0,
+            kind: FrameKind::Tick,
+        }
+        .encode();
+        assert!(matches!(
+            Service::restore(&not_snapshot),
+            Err(ServiceError::BadSnapshot { .. })
+        ));
+        let wrong_version = Frame {
+            from: Endpoint::Env,
+            to: Endpoint::Env,
+            sent_at: 0,
+            kind: FrameKind::Snapshot(Value::list([Value::str("sbc-service/v9")])),
+        }
+        .encode();
+        assert!(matches!(
+            Service::restore(&wrong_version),
+            Err(ServiceError::BadSnapshot { .. })
+        ));
+    }
+}

@@ -1,0 +1,182 @@
+//! Service observability: latency histogram and the stats snapshot.
+//!
+//! Latency is measured in **rounds** (submit tick → release round), the
+//! deterministic unit every backend shares — wall-clock throughput is the
+//! bench harness's job, not the service's. The histogram is fixed-bucket
+//! (one bucket per round up to [`LatencyHistogram::BUCKETS`], plus an
+//! overflow bucket) so recording is O(1), allocation-free, and identical
+//! across a snapshot/restore cycle.
+
+/// Fixed-bucket submit→release latency histogram over rounds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// `buckets[r]` counts submissions that released `r` rounds after
+    /// submit; the last bucket absorbs everything `≥ BUCKETS - 1`.
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: vec![0; Self::BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Number of fixed buckets (rounds 0..=62, plus one overflow bucket).
+    /// Far above any reachable submit→release distance for sane `Φ + ∆`:
+    /// a submission admitted immediately releases within `Φ + ∆ + 1`.
+    pub const BUCKETS: usize = 64;
+
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// Records one submission that released `rounds` after submit.
+    pub fn record(&mut self, rounds: u64) {
+        let idx = (rounds as usize).min(Self::BUCKETS - 1);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += rounds;
+        self.max = self.max.max(rounds);
+    }
+
+    /// Number of recorded submissions.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The `q`-quantile latency in rounds (`q` in 0..=100): the smallest
+    /// bucket whose cumulative count reaches `q%` of the total. Returns 0
+    /// on an empty histogram.
+    pub fn quantile(&self, q: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        // Ceiling so quantile(100) is the last non-empty bucket.
+        let target = (self.count * q).div_ceil(100).max(1);
+        let mut seen = 0u64;
+        for (idx, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return idx as u64;
+            }
+        }
+        (Self::BUCKETS - 1) as u64
+    }
+
+    /// Collapses the histogram into the summary carried by
+    /// [`ServiceStats`].
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count,
+            p50: self.quantile(50),
+            p90: self.quantile(90),
+            p99: self.quantile(99),
+            max: self.max,
+            mean_milli: (self.sum * 1000).checked_div(self.count).unwrap_or(0),
+        }
+    }
+}
+
+/// Percentile summary of submit→release latency, in rounds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Submissions measured.
+    pub count: u64,
+    /// Median latency (rounds).
+    pub p50: u64,
+    /// 90th-percentile latency (rounds).
+    pub p90: u64,
+    /// 99th-percentile latency (rounds).
+    pub p99: u64,
+    /// Worst observed latency (rounds).
+    pub max: u64,
+    /// Mean latency in milli-rounds (mean × 1000, integer — the stats
+    /// surface stays `Eq` and bit-stable across snapshot/restore).
+    pub mean_milli: u64,
+}
+
+/// A point-in-time census of the service: counters, peaks, and the
+/// latency summary. Obtained from `SbcService::stats`; every field is a
+/// deterministic function of the accepted operation history.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Submissions accepted into the queue.
+    pub accepted: u64,
+    /// Submissions refused with `QueueFull`.
+    pub rejected: u64,
+    /// Submissions that hit a closing window and were re-queued into the
+    /// next instance (the late-arrival path).
+    pub deferred: u64,
+    /// Release records handed to sinks or drained by the caller.
+    pub delivered: u64,
+    /// Pool instances opened.
+    pub opened: u64,
+    /// Pool instances finished (released + retired).
+    pub finished: u64,
+    /// Pool instances pruned (bookkeeping reclaimed).
+    pub pruned: u64,
+    /// Clock ticks driven.
+    pub ticks: u64,
+    /// Most instances simultaneously live.
+    pub peak_live: usize,
+    /// Deepest the ingress queue has been.
+    pub peak_queue: usize,
+    /// Submissions currently queued (all classes).
+    pub queued: usize,
+    /// Instances currently live.
+    pub live: usize,
+    /// Captured leaks evicted by the pool's leak cap (bounded-memory
+    /// mode's typed overflow counter, accumulated across pruned
+    /// instances).
+    pub leak_overflow: u64,
+    /// The shared clock round.
+    pub round: u64,
+    /// Submit→release latency summary (rounds).
+    pub latency: LatencySummary,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zeroes() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(50), 0);
+        assert_eq!(h.summary(), LatencySummary::default());
+    }
+
+    #[test]
+    fn quantiles_walk_the_buckets() {
+        let mut h = LatencyHistogram::new();
+        for r in [5u64, 5, 5, 6, 7, 7, 9, 9, 9, 40] {
+            h.record(r);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 10);
+        assert_eq!(s.p50, 7);
+        assert_eq!(s.p90, 9);
+        assert_eq!(s.p99, 40);
+        assert_eq!(s.max, 40);
+        assert_eq!(s.mean_milli, 10200);
+    }
+
+    #[test]
+    fn overflow_bucket_absorbs_the_tail() {
+        let mut h = LatencyHistogram::new();
+        h.record(10_000);
+        assert_eq!(h.quantile(50), (LatencyHistogram::BUCKETS - 1) as u64);
+        assert_eq!(h.summary().max, 10_000);
+    }
+}

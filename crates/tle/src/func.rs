@@ -16,6 +16,7 @@
 use sbc_uc::hybrid::HybridCtx;
 use sbc_uc::ids::{PartyId, Tag};
 use sbc_uc::value::Value;
+use std::collections::HashMap;
 
 /// A recorded tuple `(M, c, τ, tag, Cl, P)`.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -63,11 +64,32 @@ impl DecResponse {
 pub const TLE_SOURCE: &str = "F_TLE";
 
 /// The functionality `F_TLE^{leak,delay}(P)`.
+///
+/// The record set carries three lookup indices so the per-round interfaces
+/// stay ~linear in the number of *relevant* records instead of scanning
+/// every tuple ever recorded: [`retrieve`](TleFunc::retrieve) walks only
+/// the caller's own records (`by_owner`), [`dec_peek`](TleFunc::dec_peek)
+/// resolves a ciphertext in O(matching) (`by_ct`, keyed on the canonical
+/// ciphertext encoding), and `Update` resolves its tag in O(1)
+/// (`by_tag`). Index maintenance is append-only — records are never
+/// removed except by [`clear_records`](TleFunc::clear_records), which
+/// drops the indices with them — so index vectors stay in record order
+/// and every indexed path observes records in exactly the order the old
+/// linear scans did.
 #[derive(Clone, Debug)]
 pub struct TleFunc {
     alpha: u64,
     delay: u64,
     records: Vec<TleRecord>,
+    /// Record indices owned by each party, in record order.
+    by_owner: HashMap<u32, Vec<usize>>,
+    /// Record indices per canonical ciphertext encoding, in record order.
+    /// A record enters when its ciphertext is set (at push time for
+    /// adversarial/simulator tuples, at `Update`/fill time for honest
+    /// ones); a ciphertext is set at most once per record.
+    by_ct: HashMap<Vec<u8>, Vec<usize>>,
+    /// Record index per honest tag (tags are unique per record).
+    by_tag: HashMap<[u8; 16], usize>,
     tag_rng: sbc_primitives::drbg::Drbg,
     /// Stream used to fill ciphertexts the simulator never set (Fig. 7
     /// `Retrieve` step 1); dedicated so simulators can mirror it.
@@ -83,9 +105,17 @@ impl TleFunc {
             alpha,
             delay,
             records: Vec::new(),
+            by_owner: HashMap::new(),
+            by_ct: HashMap::new(),
+            by_tag: HashMap::new(),
             tag_rng,
             fill_rng,
         }
+    }
+
+    /// Indexes record `idx` under its (just set) ciphertext.
+    fn index_ct(by_ct: &mut HashMap<Vec<u8>, Vec<usize>>, ct: &Value, idx: usize) {
+        by_ct.entry(ct.encode()).or_default().push(idx);
     }
 
     /// The leakage head start α.
@@ -108,6 +138,9 @@ impl TleFunc {
     /// only grow `Retrieve`/`Dec` scans without changing any output.
     pub fn clear_records(&mut self) {
         self.records.clear();
+        self.by_owner.clear();
+        self.by_ct.clear();
+        self.by_tag.clear();
     }
 
     /// `Enc` from an honest party. Returns the tag, or `None` for `τ < 0`
@@ -125,6 +158,7 @@ impl TleFunc {
         }
         let tag = Tag::random(&mut self.tag_rng);
         let msg_len = msg.encode().len();
+        let idx = self.records.len();
         self.records.push(TleRecord {
             msg,
             ct: None,
@@ -133,6 +167,8 @@ impl TleFunc {
             requested_at: ctx.time(),
             owner: Some(party),
         });
+        self.by_owner.entry(party.0).or_default().push(idx);
+        self.by_tag.insert(tag.0, idx);
         ctx.leak(
             TLE_SOURCE,
             sbc_uc::value::Command::new(
@@ -152,18 +188,21 @@ impl TleFunc {
     /// `Update` from the simulator: attaches ciphertexts to `Null` records.
     pub fn update_ciphertexts(&mut self, updates: &[(Value, Tag)]) {
         for (ct, tag) in updates {
-            if let Some(rec) = self
-                .records
-                .iter_mut()
-                .find(|r| r.tag == Some(*tag) && r.ct.is_none())
-            {
+            let Some(&idx) = self.by_tag.get(&tag.0) else {
+                continue;
+            };
+            let rec = &mut self.records[idx];
+            if rec.ct.is_none() {
                 rec.ct = Some(ct.clone());
+                Self::index_ct(&mut self.by_ct, ct, idx);
             }
         }
     }
 
     /// `Update` from the simulator: inserts decrypted adversarial tuples.
     pub fn insert_adversarial(&mut self, ct: Value, msg: Value, tau: u64) {
+        let idx = self.records.len();
+        Self::index_ct(&mut self.by_ct, &ct, idx);
         self.records.push(TleRecord {
             msg,
             ct: Some(ct),
@@ -185,15 +224,23 @@ impl TleFunc {
     ) -> Vec<(Value, Value, u64)> {
         let now = ctx.time();
         let mut out = Vec::new();
-        for rec in &mut self.records {
-            if rec.owner != Some(party) || now.saturating_sub(rec.requested_at) < self.delay {
+        // Only the caller's own records are visited — record order is
+        // preserved because the owner index is append-ordered.
+        let indices = self.by_owner.get(&party.0).cloned().unwrap_or_default();
+        for idx in indices {
+            let rec = &mut self.records[idx];
+            if now.saturating_sub(rec.requested_at) < self.delay {
                 continue;
             }
+            let filled = rec.ct.is_none();
             let fill = &mut self.fill_rng;
             let ct = rec
                 .ct
                 .get_or_insert_with(|| Value::bytes(fill.gen_bytes(64)))
                 .clone();
+            if filled {
+                Self::index_ct(&mut self.by_ct, &ct, idx);
+            }
             out.push((rec.msg.clone(), ct, rec.tau));
         }
         out
@@ -218,11 +265,13 @@ impl TleFunc {
         if now < tau {
             return Some(DecResponse::MoreTime);
         }
+        // O(matching) by-ciphertext lookup; the index vector is in record
+        // order, so `matching` is exactly the old linear scan's view.
         let matching: Vec<&TleRecord> = self
-            .records
-            .iter()
-            .filter(|r| r.ct.as_ref() == Some(ct))
-            .collect();
+            .by_ct
+            .get(&ct.encode())
+            .map(|indices| indices.iter().map(|&i| &self.records[i]).collect())
+            .unwrap_or_default();
         // Ambiguity: two different plaintexts for one ciphertext.
         if matching.len() >= 2 {
             let m0 = &matching[0].msg;
@@ -250,6 +299,8 @@ impl TleFunc {
     /// Records the simulator's answer for an unknown ciphertext and returns
     /// the response (Fig. 7 `Dec`, "no tuple recorded" branch).
     pub fn dec_with_simulator_answer(&mut self, ct: Value, tau: u64, msg: Value) -> DecResponse {
+        let idx = self.records.len();
+        Self::index_ct(&mut self.by_ct, &ct, idx);
         self.records.push(TleRecord {
             msg: msg.clone(),
             ct: Some(ct),
@@ -455,6 +506,51 @@ mod tests {
         assert!(leaked
             .iter()
             .any(|r| r.msg == Value::bytes(b"corrupted-owner")));
+    }
+
+    #[test]
+    fn indexes_track_fill_update_and_clear() {
+        let mut fx = Fx::new(2);
+        let mut f = func();
+        // Honest record, ciphertext attached by Update: dec resolves via
+        // the by-ct index.
+        let tag = f
+            .enc(PartyId(0), Value::bytes(b"m0"), 0, &mut fx.ctx())
+            .unwrap();
+        f.update_ciphertexts(&[(Value::bytes(b"ct0"), tag)]);
+        // A second Update on the same tag must not re-index or overwrite.
+        f.update_ciphertexts(&[(Value::bytes(b"ct-other"), tag)]);
+        assert_eq!(
+            f.dec(&Value::bytes(b"ct0"), 0, &fx.ctx()),
+            Some(DecResponse::Message(Value::bytes(b"m0")))
+        );
+        assert_eq!(f.dec(&Value::bytes(b"ct-other"), 0, &fx.ctx()), None);
+        // Honest record whose ciphertext the functionality fills at
+        // Retrieve time: the filled ciphertext becomes decryptable.
+        f.enc(PartyId(1), Value::bytes(b"m1"), 0, &mut fx.ctx())
+            .unwrap();
+        for _ in 0..3 {
+            fx.tick(2);
+        }
+        let filled = f.retrieve(PartyId(1), &mut fx.ctx());
+        assert_eq!(filled.len(), 1);
+        let filled_ct = filled[0].1.clone();
+        assert_eq!(
+            f.dec(&filled_ct, 0, &fx.ctx()),
+            Some(DecResponse::Message(Value::bytes(b"m1")))
+        );
+        // clear_records drops the indices with the records: the old
+        // ciphertexts become unknown again and retrieval is empty.
+        f.clear_records();
+        assert_eq!(f.dec(&Value::bytes(b"ct0"), 0, &fx.ctx()), None);
+        assert_eq!(f.dec(&filled_ct, 0, &fx.ctx()), None);
+        assert!(f.retrieve(PartyId(1), &mut fx.ctx()).is_empty());
+        // Fresh records after a clear index from scratch.
+        f.insert_adversarial(Value::bytes(b"ct2"), Value::U64(7), 0);
+        assert_eq!(
+            f.dec(&Value::bytes(b"ct2"), 0, &fx.ctx()),
+            Some(DecResponse::Message(Value::U64(7)))
+        );
     }
 
     #[test]

@@ -67,10 +67,26 @@ pub enum EventKind {
 }
 
 /// An ordered execution transcript.
+///
+/// By default the transcript records every event for the life of the run —
+/// the unbounded mode every indistinguishability experiment uses, where
+/// [`comparable_view`](Transcript::comparable_view) and the digests cover
+/// the complete observation history. Long-lived drivers (a service pool
+/// running thousands of epochs) can instead bound the memory with
+/// [`with_cap`](Transcript::with_cap)/[`set_cap`](Transcript::set_cap):
+/// the transcript then behaves as a ring buffer retaining the **most
+/// recent** `cap` events, and counts what it evicted in
+/// [`dropped`](Transcript::dropped) — overflow is observable, never
+/// silent. Capping changes nothing until the cap is exceeded, so an
+/// uncapped transcript (the default) is bit-for-bit the pre-cap behavior.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Transcript {
     /// The events in observation order.
     pub events: Vec<Event>,
+    /// Retention cap (`None` = unbounded, the default).
+    cap: Option<usize>,
+    /// Events evicted by the cap since recording started.
+    dropped: u64,
 }
 
 impl Transcript {
@@ -79,8 +95,54 @@ impl Transcript {
         Transcript::default()
     }
 
-    /// Appends an event.
+    /// Creates an empty transcript retaining at most `cap` most-recent
+    /// events (see [`set_cap`](Transcript::set_cap)).
+    pub fn with_cap(cap: usize) -> Self {
+        Transcript {
+            cap: Some(cap),
+            ..Transcript::default()
+        }
+    }
+
+    /// Sets or clears the retention cap. Shrinking below the current
+    /// length evicts the oldest events immediately (counted in
+    /// [`dropped`](Transcript::dropped)); clearing never restores evicted
+    /// events.
+    pub fn set_cap(&mut self, cap: Option<usize>) {
+        self.cap = cap;
+        self.enforce_cap(0);
+    }
+
+    /// The retention cap, if any.
+    pub fn cap(&self) -> Option<usize> {
+        self.cap
+    }
+
+    /// How many events the cap has evicted so far (0 when uncapped).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Evicts oldest events until `events.len() + incoming ≤ cap`.
+    fn enforce_cap(&mut self, incoming: usize) {
+        let Some(cap) = self.cap else { return };
+        let budget = cap.saturating_sub(incoming);
+        if self.events.len() > budget {
+            let excess = self.events.len() - budget;
+            self.events.drain(..excess);
+            self.dropped += excess as u64;
+        }
+    }
+
+    /// Appends an event. In capped mode the oldest event is evicted first
+    /// when full (a cap of 0 records nothing and counts every push as
+    /// dropped).
     pub fn push(&mut self, round: u64, kind: EventKind) {
+        if self.cap == Some(0) {
+            self.dropped += 1;
+            return;
+        }
+        self.enforce_cap(1);
         self.events.push(Event { round, kind });
     }
 
@@ -334,5 +396,51 @@ mod tests {
     fn display_renders() {
         let s = format!("{}", sample());
         assert!(s.contains("Broadcast"));
+    }
+
+    #[test]
+    fn cap_retains_most_recent_and_counts_drops() {
+        let mut t = Transcript::with_cap(3);
+        for r in 0..5u64 {
+            t.push(r, EventKind::Advance { party: PartyId(0) });
+        }
+        assert_eq!(t.events.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let rounds: Vec<u64> = t.events.iter().map(|e| e.round).collect();
+        assert_eq!(rounds, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn cap_zero_records_nothing() {
+        let mut t = Transcript::with_cap(0);
+        t.push(0, EventKind::Advance { party: PartyId(0) });
+        t.push(1, EventKind::Advance { party: PartyId(0) });
+        assert!(t.events.is_empty());
+        assert_eq!(t.dropped(), 2);
+    }
+
+    #[test]
+    fn set_cap_shrinks_and_clearing_keeps_survivors() {
+        let mut t = Transcript::new();
+        for r in 0..4u64 {
+            t.push(r, EventKind::Advance { party: PartyId(0) });
+        }
+        t.set_cap(Some(2));
+        assert_eq!(t.events.len(), 2);
+        assert_eq!(t.dropped(), 2);
+        t.set_cap(None);
+        t.push(9, EventKind::Advance { party: PartyId(0) });
+        assert_eq!(t.events.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        assert_eq!(t.cap(), None);
+    }
+
+    #[test]
+    fn uncapped_behavior_unchanged() {
+        let capped = sample();
+        assert_eq!(capped.dropped(), 0);
+        assert_eq!(capped.cap(), None);
+        // Digest of an uncapped transcript matches a fresh identical one.
+        assert_eq!(sample().digest(), sample().digest());
     }
 }

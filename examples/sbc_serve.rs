@@ -1,0 +1,190 @@
+//! `sbc-serve` — the long-lived simultaneous-broadcast service binary.
+//!
+//! Runs an `sbc-service` instance in one of the paper's three application
+//! modes over any protocol backend, feeds it a seeded synthetic load,
+//! streams outcomes as they release, and finishes with a snapshot/restore
+//! self-check (the restored service must agree with the original
+//! bit-for-bit).
+//!
+//! ```sh
+//! cargo run -p sbc-bench --example sbc_serve --release -- \
+//!     [--mode beacon|election|auction] \
+//!     [--backend real|loopback|simnet] \
+//!     [--total N] [--smoke]
+//! ```
+//!
+//! Defaults: beacon mode, the in-process `RealSbcWorld` backend, 2000
+//! submissions. `--smoke` shrinks the run for CI (200 submissions, quiet
+//! per-release output).
+
+use sbc_core::pool::PoolFootprint;
+use sbc_core::worlds::{RealSbcWorld, SbcBackend};
+use sbc_net::{LoopbackSbcWorld, SimNetSbcWorld};
+use sbc_service::{
+    LoadGen, LoadProfile, Outcome, SbcService, ServiceConfig, ServiceError, ServiceMode,
+};
+
+/// Parsed command line.
+struct Args {
+    mode: ServiceMode,
+    backend: String,
+    total: u64,
+    smoke: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        mode: ServiceMode::Beacon,
+        backend: "real".to_string(),
+        total: 2000,
+        smoke: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--mode" => {
+                args.mode = match it.next().as_deref() {
+                    Some("beacon") => ServiceMode::Beacon,
+                    Some("election") => ServiceMode::Election,
+                    Some("auction") => ServiceMode::Auction,
+                    other => die(&format!("--mode beacon|election|auction, got {other:?}")),
+                }
+            }
+            "--backend" => match it.next() {
+                Some(b) if ["real", "loopback", "simnet"].contains(&b.as_str()) => {
+                    args.backend = b;
+                }
+                other => die(&format!("--backend real|loopback|simnet, got {other:?}")),
+            },
+            "--total" => {
+                args.total = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--total expects a number"));
+            }
+            "--smoke" => args.smoke = true,
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    if args.smoke {
+        args.total = args.total.min(200);
+    }
+    args
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("sbc-serve: {msg}");
+    std::process::exit(2);
+}
+
+fn mode_name(mode: ServiceMode) -> &'static str {
+    match mode {
+        ServiceMode::Beacon => "beacon",
+        ServiceMode::Election => "election",
+        ServiceMode::Auction => "auction",
+    }
+}
+
+/// Mode-appropriate synthetic load: entropy for the beacon, single-byte
+/// votes for elections, 8-byte bids for auctions.
+fn profile(mode: ServiceMode, total: u64) -> LoadProfile {
+    let mut p = LoadProfile::beacon(total, 48);
+    p.payload_len = match mode {
+        ServiceMode::Beacon => 32,
+        ServiceMode::Election => 1,
+        ServiceMode::Auction => 8,
+    };
+    p
+}
+
+fn describe(outcome: &Outcome) -> String {
+    match outcome {
+        Outcome::Beacon(bytes) => format!("beacon {}", sbc_primitives::hex::encode(&bytes[..8])),
+        Outcome::Election { winner, votes } => {
+            format!("candidate {winner} wins with {votes} votes")
+        }
+        Outcome::Auction { winner, bid } => format!("message #{winner} wins at bid {bid}"),
+    }
+}
+
+fn serve<W: SbcBackend>(args: &Args) -> Result<(), ServiceError> {
+    let cfg = ServiceConfig::new(4, args.mode).seed(b"sbc-serve");
+    let mut svc: SbcService<W> = SbcService::new(cfg)?;
+    let mut gen = LoadGen::new(profile(args.mode, args.total), b"sbc-serve");
+
+    println!(
+        "sbc-serve: mode={} backend={} submissions={}",
+        mode_name(args.mode),
+        args.backend,
+        args.total
+    );
+
+    let mut released = 0u64;
+    while !gen.done() || svc.queued() > 0 || svc.live() > 0 {
+        for s in gen.next_tick() {
+            // Bounded queue: on saturation the submission waits for the
+            // next tick (the generator's stream is deterministic, so the
+            // retry order is too).
+            if let Err(ServiceError::QueueFull { .. }) = svc.submit(s.client, s.payload, s.class) {
+                break;
+            }
+        }
+        svc.tick()?;
+        for record in svc.drain_releases() {
+            released += 1;
+            if !args.smoke && released <= 8 {
+                println!(
+                    "  release @round {}: {} submissions → {}",
+                    record.release_round,
+                    record.tickets.len(),
+                    describe(&record.outcome)
+                );
+            }
+        }
+    }
+
+    // Snapshot/restore self-check: the restored service agrees with the
+    // original on clock, stats, and (by construction) all future output.
+    let image = svc.snapshot()?;
+    let restored: SbcService<W> = SbcService::restore(&image)?;
+    assert_eq!(restored.round(), svc.round(), "restore: clock agrees");
+    assert_eq!(restored.stats(), svc.stats(), "restore: stats agree");
+
+    let stats = svc.stats();
+    assert_eq!(stats.accepted, args.total, "every submission accepted");
+    assert_eq!(stats.latency.count, args.total, "every submission released");
+    assert_eq!(
+        svc.footprint(),
+        PoolFootprint::default(),
+        "steady-state memory flat after drain"
+    );
+    println!(
+        "done: {} released over {} instances in {} rounds | latency rounds p50={} p90={} p99={} max={} | peak live={} peak queue={} deferred={} leak-overflow={}",
+        stats.latency.count,
+        stats.finished,
+        stats.round,
+        stats.latency.p50,
+        stats.latency.p90,
+        stats.latency.p99,
+        stats.latency.max,
+        stats.peak_live,
+        stats.peak_queue,
+        stats.deferred,
+        stats.leak_overflow,
+    );
+    println!(
+        "snapshot/restore self-check passed ({} byte image)",
+        image.len()
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), ServiceError> {
+    let args = parse_args();
+    match args.backend.as_str() {
+        "real" => serve::<RealSbcWorld>(&args),
+        "loopback" => serve::<LoopbackSbcWorld>(&args),
+        "simnet" => serve::<SimNetSbcWorld>(&args),
+        _ => unreachable!("validated by parse_args"),
+    }
+}

@@ -51,7 +51,7 @@ fn rand_endpoint(rng: &mut Drbg) -> Endpoint {
 
 /// A random frame covering every kind with random payloads.
 fn rand_frame(rng: &mut Drbg) -> Frame {
-    let kind = match rng.gen_bytes(1)[0] % 12 {
+    let kind = match rng.gen_bytes(1)[0] % 13 {
         0 => FrameKind::Submit(rand_value(rng, 2)),
         1 => FrameKind::Tick,
         2 => FrameKind::Cast(rand_value(rng, 2)),
@@ -81,7 +81,8 @@ fn rand_frame(rng: &mut Drbg) -> Frame {
             let len = (rng.gen_bytes(1)[0] % 48) as usize;
             FrameKind::RoAnswer(rng.gen_bytes(len))
         }
-        _ => FrameKind::Output(rand_value(rng, 2)),
+        11 => FrameKind::Output(rand_value(rng, 2)),
+        _ => FrameKind::Snapshot(rand_value(rng, 2)),
     };
     Frame {
         from: rand_endpoint(rng),

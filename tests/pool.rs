@@ -762,3 +762,68 @@ fn open_instance_failure_is_a_typed_error_not_a_panic() {
     pool.submit(second, 0, b"still-works").unwrap();
     assert_eq!(pool.finish(second).unwrap().messages.len(), 1);
 }
+
+/// Churn-under-prune regression: a pool cycling instances for many epochs
+/// — several opening, finishing, and being pruned while others run —
+/// must return its retired-instance bookkeeping (state-map sizes,
+/// buffered drains, captured leaks) to the steady-state baseline after
+/// every reclamation sweep. This is the memory-flatness contract the
+/// long-lived service layer builds on.
+#[test]
+fn churn_under_prune_returns_to_steady_state_baseline() {
+    use sbc_core::pool::PoolFootprint;
+
+    let mut pool = SbcPool::builder(3)
+        .seed(b"churn")
+        .capture_leaks()
+        .build()
+        .unwrap();
+    let baseline = pool.footprint();
+    assert_eq!(baseline, PoolFootprint::default());
+
+    let mut staggered: Option<InstanceId> = None;
+    for epoch in 0..10u64 {
+        // Two short-lived instances per epoch, plus a staggered one that
+        // overlaps epoch boundaries — churn, not lockstep.
+        let a = pool.open_instance().unwrap();
+        let b = pool.open_instance().unwrap();
+        pool.submit(a, 0, format!("a{epoch}").as_bytes()).unwrap();
+        pool.submit(b, 1, format!("b{epoch}").as_bytes()).unwrap();
+        if epoch % 2 == 0 {
+            let s = pool.open_instance().unwrap();
+            pool.submit(s, 2, format!("s{epoch}").as_bytes()).unwrap();
+            staggered = Some(s);
+        }
+        pool.finish(a).unwrap();
+        pool.finish(b).unwrap();
+        let closed_stagger = if epoch % 2 == 1 {
+            let s = staggered.take().unwrap();
+            pool.finish(s).unwrap();
+            Some(s)
+        } else {
+            None
+        };
+        // Drain what the epoch produced, then reclaim.
+        for id in [Some(a), Some(b), closed_stagger].into_iter().flatten() {
+            let _ = pool.take_leaks(id);
+        }
+        let swept = pool.prune_finished();
+        assert!(swept >= 2, "epoch {epoch}: sweep reclaims the finished");
+
+        let fp = pool.footprint();
+        let live_now = usize::from(staggered.is_some());
+        assert_eq!(fp.retired, 0, "epoch {epoch}: no retired residue");
+        assert_eq!(fp.buffered_outputs, 0, "epoch {epoch}: outputs drained");
+        assert_eq!(fp.buffered_leaks, 0, "epoch {epoch}: leaks routed");
+        assert_eq!(fp.live, live_now, "epoch {epoch}: only the stagger");
+        assert_eq!(fp.tracked, live_now, "epoch {epoch}: state map flat");
+    }
+
+    // Wind down the last stagger: the pool lands exactly on baseline.
+    if let Some(s) = staggered {
+        pool.finish(s).unwrap();
+        let _ = pool.take_leaks(s);
+        pool.prune_finished();
+    }
+    assert_eq!(pool.footprint(), baseline, "back to the empty baseline");
+}

@@ -1,0 +1,286 @@
+//! Integration tests for `sbc-service`: the long-lived submission-serving
+//! layer over `SbcPool`.
+//!
+//! The heart of the file is the kill-and-restore conformance gate: a
+//! service killed mid-epoch (snapshot while an instance is live) and
+//! restored from its journal must produce release transcripts
+//! **bit-identical** to the uninterrupted run — over the in-process
+//! backend *and* the networked loopback backend. The rest pins the
+//! service-layer semantics: typed backpressure, late-arrival deferral,
+//! deliver-before-reclaim on shutdown, and bounded leak capture with a
+//! typed overflow counter.
+
+use sbc_core::pool::PoolFootprint;
+use sbc_core::worlds::{RealSbcWorld, SbcBackend};
+use sbc_net::LoopbackSbcWorld;
+use sbc_service::{
+    DeadlineClass, LoadGen, LoadProfile, ReleaseRecord, ReleaseSink, SbcService, ServiceConfig,
+    ServiceError, ServiceMode,
+};
+
+fn config(seed: &[u8]) -> ServiceConfig {
+    ServiceConfig::new(3, ServiceMode::Beacon)
+        .seed(seed)
+        .batch_size(4)
+        .queue_cap(256)
+        .flush_after(2)
+}
+
+/// Feeds `gen` into `svc` for `ticks` driver steps, draining records as
+/// a consumer would. Returns the drained records in release order.
+fn drive<W: SbcBackend>(
+    svc: &mut SbcService<W>,
+    gen: &mut LoadGen,
+    ticks: usize,
+) -> Vec<ReleaseRecord> {
+    let mut records = Vec::new();
+    for _ in 0..ticks {
+        for s in gen.next_tick() {
+            // Backpressure: drop on QueueFull (the generator is sized to
+            // avoid it; losing a submission would desync the two runs).
+            svc.submit(s.client, s.payload, s.class)
+                .expect("sized load");
+        }
+        svc.tick().expect("tick");
+        records.extend(svc.drain_releases());
+    }
+    records
+}
+
+/// The kill-and-restore experiment over any backend: run a seeded load,
+/// snapshot strictly mid-epoch, then continue the original and the
+/// restored service through the identical remaining schedule and demand
+/// bit-identical release transcripts.
+fn kill_and_restore_bit_identical<W: SbcBackend>() {
+    let profile = LoadProfile {
+        total: 40,
+        per_tick: 3,
+        payload_len: 16,
+        clients: 1_000,
+        interactive_pct: 10,
+        batch_pct: 30,
+    };
+
+    // Uninterrupted reference run.
+    let mut gen_a = LoadGen::new(profile.clone(), b"kill-restore");
+    let mut a: SbcService<W> = SbcService::new(config(b"kill-restore")).unwrap();
+    let mut records_a = drive(&mut a, &mut gen_a, 10);
+
+    // Interrupted run: identical prefix, killed mid-epoch, restored.
+    let mut gen_b = LoadGen::new(profile, b"kill-restore");
+    let mut b: SbcService<W> = SbcService::new(config(b"kill-restore")).unwrap();
+    let mut records_b = drive(&mut b, &mut gen_b, 10);
+    assert!(b.live() > 0, "snapshot point must be mid-epoch");
+    let image = b.snapshot().unwrap();
+    drop(b); // the kill
+    let mut b: SbcService<W> = SbcService::restore(&image).unwrap();
+
+    assert_eq!(a.round(), b.round(), "restored clock matches");
+    assert_eq!(a.stats(), b.stats(), "restored stats match");
+
+    // Identical remaining schedule on both.
+    records_a.extend(drive(&mut a, &mut gen_a, 30));
+    records_b.extend(drive(&mut b, &mut gen_b, 30));
+    records_a.extend(a.shutdown().unwrap());
+    records_b.extend(b.shutdown().unwrap());
+
+    assert!(!records_a.is_empty(), "load produced releases");
+    assert_eq!(
+        records_a, records_b,
+        "kill-and-restore must be bit-identical to the uninterrupted run"
+    );
+    assert_eq!(a.stats(), b.stats());
+    assert_eq!(a.footprint(), PoolFootprint::default(), "drained clean");
+    assert_eq!(b.footprint(), PoolFootprint::default(), "drained clean");
+}
+
+#[test]
+fn kill_and_restore_bit_identical_in_process() {
+    kill_and_restore_bit_identical::<RealSbcWorld>();
+}
+
+#[test]
+fn kill_and_restore_bit_identical_over_loopback() {
+    kill_and_restore_bit_identical::<LoopbackSbcWorld>();
+}
+
+#[test]
+fn backends_agree_on_release_transcripts() {
+    // The same service schedule over the in-process and the networked
+    // loopback backend releases identical records — the service layer
+    // preserves the Exact-conformance property of the worlds beneath it.
+    let run = |records: &mut Vec<ReleaseRecord>, svc: &mut dyn FnMut() -> Vec<ReleaseRecord>| {
+        records.extend(svc());
+    };
+    let mut real_records = Vec::new();
+    let mut loop_records = Vec::new();
+    let profile = LoadProfile::beacon(30, 3);
+    {
+        let mut gen = LoadGen::new(profile.clone(), b"agree");
+        let mut svc: SbcService<RealSbcWorld> = SbcService::new(config(b"agree")).unwrap();
+        run(&mut real_records, &mut || {
+            let mut r = drive(&mut svc, &mut gen, 20);
+            r.extend(svc.shutdown().unwrap());
+            r
+        });
+    }
+    {
+        let mut gen = LoadGen::new(profile, b"agree");
+        let mut svc: SbcService<LoopbackSbcWorld> = SbcService::new(config(b"agree")).unwrap();
+        run(&mut loop_records, &mut || {
+            let mut r = drive(&mut svc, &mut gen, 20);
+            r.extend(svc.shutdown().unwrap());
+            r
+        });
+    }
+    assert!(!real_records.is_empty());
+    assert_eq!(real_records, loop_records);
+}
+
+#[test]
+fn queue_full_backpressure_recovers_after_ticks() {
+    let mut svc: SbcService<RealSbcWorld> =
+        SbcService::new(config(b"backpressure").queue_cap(6)).unwrap();
+    let mut accepted = 0u64;
+    let mut rejected = 0u64;
+    for i in 0..20u64 {
+        match svc.submit(i, vec![i as u8; 8], DeadlineClass::Standard) {
+            Ok(_) => accepted += 1,
+            Err(ServiceError::QueueFull { cap }) => {
+                assert_eq!(cap, 6);
+                rejected += 1;
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert_eq!(accepted, 6);
+    assert_eq!(rejected, 14);
+    // Ticks drain the queue; the service accepts again.
+    svc.tick().unwrap();
+    svc.tick().unwrap();
+    svc.submit(99, vec![9; 8], DeadlineClass::Standard)
+        .expect("queue drained by admission");
+    let stats = svc.stats();
+    assert_eq!(stats.rejected, 14);
+    assert_eq!(stats.accepted, 7);
+    svc.shutdown().unwrap();
+}
+
+#[test]
+fn late_arrivals_defer_into_the_next_instance() {
+    // batch_size 8 keeps the first instance's window collecting; by the
+    // time the late submission arrives the period has closed, so it must
+    // defer into a fresh instance rather than error.
+    let mut svc: SbcService<RealSbcWorld> = SbcService::new(config(b"late").batch_size(8)).unwrap();
+    let early = svc
+        .submit(1, b"early".to_vec(), DeadlineClass::Interactive)
+        .unwrap();
+    svc.tick().unwrap(); // opens instance 0, admits `early`
+    svc.tick().unwrap();
+    svc.tick().unwrap(); // period now too far along for new ciphertexts
+    let late = svc
+        .submit(2, b"late".to_vec(), DeadlineClass::Interactive)
+        .unwrap();
+    let records = svc.shutdown().unwrap();
+    let stats = svc.stats();
+    assert!(stats.deferred >= 1, "late arrival took the deferral path");
+    assert_eq!(stats.opened, 2, "deferral opened a second instance");
+    assert_eq!(records.len(), 2);
+    assert_eq!(records[0].tickets, vec![early]);
+    assert_eq!(records[1].tickets, vec![late]);
+    assert!(records[0].messages.iter().any(|m| m == b"early"));
+    assert!(records[1].messages.iter().any(|m| m == b"late"));
+}
+
+/// A sink that records what it saw, for the deliver-before-reclaim
+/// regression.
+struct Recorder(std::rc::Rc<std::cell::RefCell<Vec<ReleaseRecord>>>);
+
+impl ReleaseSink for Recorder {
+    fn on_release(&mut self, record: &ReleaseRecord) {
+        self.0.borrow_mut().push(record.clone());
+    }
+}
+
+#[test]
+fn shutdown_delivers_to_sinks_before_reclaiming() {
+    // Regression for the service-layer mirror of the PR 4 retire-drains
+    // fix: finish-then-prune must never reclaim an instance whose release
+    // record has not been delivered.
+    let seen = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+    let mut svc: SbcService<RealSbcWorld> = SbcService::new(config(b"drain")).unwrap();
+    svc.register_sink(Box::new(Recorder(seen.clone())));
+    for i in 0..10u64 {
+        svc.submit(i, vec![i as u8; 4], DeadlineClass::Standard)
+            .unwrap();
+    }
+    let leftovers = svc.shutdown().unwrap();
+    assert!(leftovers.is_empty(), "sink consumed everything");
+    let stats = svc.stats();
+    assert_eq!(stats.accepted, 10);
+    assert_eq!(stats.finished, stats.delivered, "every finish delivered");
+    assert_eq!(stats.finished, stats.pruned, "every delivery reclaimed");
+    let delivered_tickets: usize = seen.borrow().iter().map(|r| r.tickets.len()).sum();
+    assert_eq!(delivered_tickets, 10, "no submission lost at shutdown");
+    assert_eq!(svc.footprint(), PoolFootprint::default());
+}
+
+#[test]
+fn undelivered_records_block_reclamation_until_drained() {
+    // Without a sink, a finished instance's bookkeeping must survive
+    // until the caller drains its record — reclaiming earlier would drop
+    // the release on the floor.
+    let mut svc: SbcService<RealSbcWorld> = SbcService::new(config(b"undelivered")).unwrap();
+    svc.submit(1, b"kept".to_vec(), DeadlineClass::Interactive)
+        .unwrap();
+    while svc.stats().finished == 0 {
+        svc.tick().unwrap();
+    }
+    let parked = svc.footprint();
+    assert_eq!(parked.retired, 1, "undelivered instance stays tracked");
+    assert_eq!(svc.stats().pruned, 0);
+    let records = svc.drain_releases();
+    assert_eq!(records.len(), 1);
+    assert!(records[0].messages.iter().any(|m| m == b"kept"));
+    assert_eq!(svc.stats().pruned, 1);
+    assert_eq!(svc.footprint(), PoolFootprint::default());
+}
+
+#[test]
+fn leak_cap_bounds_capture_with_typed_overflow() {
+    let run = |leak_cap| {
+        let mut svc: SbcService<RealSbcWorld> =
+            SbcService::new(config(b"leaks").leak_cap(leak_cap)).unwrap();
+        let mut gen = LoadGen::new(LoadProfile::beacon(24, 4), b"leaks");
+        let mut records = drive(&mut svc, &mut gen, 12);
+        records.extend(svc.shutdown().unwrap());
+        (records, svc.stats().leak_overflow)
+    };
+    let (uncapped_records, uncapped_overflow) = run(None);
+    assert_eq!(uncapped_overflow, 0, "uncapped capture never drops");
+    let (capped_records, capped_overflow) = run(Some(1));
+    assert!(capped_overflow > 0, "a 1-entry cap must evict");
+    // The cap bounds *observability state*, never the protocol: release
+    // transcripts are unchanged.
+    assert_eq!(uncapped_records, capped_records);
+}
+
+#[test]
+fn service_stats_track_the_load() {
+    let mut svc: SbcService<RealSbcWorld> = SbcService::new(config(b"stats")).unwrap();
+    let mut gen = LoadGen::new(LoadProfile::beacon(50, 5), b"stats");
+    let mut records = drive(&mut svc, &mut gen, 20);
+    records.extend(svc.shutdown().unwrap());
+    let stats = svc.stats();
+    assert_eq!(stats.accepted, 50);
+    assert_eq!(stats.delivered, records.len() as u64);
+    assert_eq!(stats.opened, stats.finished);
+    assert_eq!(stats.finished, stats.pruned);
+    let released: usize = records.iter().map(|r| r.tickets.len()).sum();
+    assert_eq!(released, 50, "every accepted submission released");
+    assert_eq!(stats.latency.count, 50);
+    assert!(stats.latency.p50 > 0);
+    assert!(stats.latency.p99 >= stats.latency.p50);
+    assert!(stats.peak_live >= 1);
+    assert!(stats.peak_queue >= 1);
+}
