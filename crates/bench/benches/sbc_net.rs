@@ -7,16 +7,19 @@
 //! * `sbc_net_codec` — raw frame encode/decode throughput on a
 //!   representative wire frame (the `(c, τ_rel, y)` broadcast).
 //! * `sbc_net_world` — full periods (submit → release) on the
-//!   in-process `RealSbcWorld`, the loopback networked world, and the
-//!   adversarial `SimNet` world. The headline metric is party-rounds
-//!   per second; the networked rows also record frames and bytes moved.
+//!   in-process `RealSbcWorld`, the loopback networked world, the
+//!   adversarial `SimNet` world, and (at n=8) the real-socket TCP world.
+//!   The headline metric is party-rounds per second; the networked rows
+//!   also record frames and bytes moved.
 //!
-//! **Determinism gate:** before measuring anything, the run drives a
+//! **Determinism gates:** before measuring anything, the run drives a
 //! real/networked pair at `CompareLevel::Exact` through an adversarial
 //! scenario (corruption + injection + the seeded SimNet chaos schedule)
 //! and exits non-zero on any transcript divergence — the CI smoke step
 //! therefore fails if the networked backend ever drifts from the
-//! in-process world. The gate's verdict is recorded in the JSON report.
+//! in-process world. A second gate pins the TCP transport the same way
+//! over OS loopback sockets at n=8. Both verdicts are recorded in the
+//! JSON report.
 //!
 //! The run writes `BENCH_net.json` (`SBC_BENCH_JSON` overrides the
 //! path), which CI archives next to the pool and e2e reports.
@@ -25,6 +28,7 @@ use sbc_bench::harness;
 use sbc_core::protocol::sbc_wire;
 use sbc_core::worlds::{RealSbcWorld, SbcBackend, SbcParams};
 use sbc_net::world::{LoopbackSbcWorld, SimNetSbcWorld};
+use sbc_net::TcpSbcWorld;
 use sbc_net::{Endpoint, Frame, FrameKind, TransportStats};
 use sbc_primitives::drbg::Drbg;
 use sbc_uc::exec::{CompareLevel, DualRun, SbcWorld};
@@ -115,12 +119,43 @@ fn determinism_gate(n: usize) {
     );
 }
 
+/// The TCP determinism gate: the same Exact transcript demand, but with
+/// every frame crossing OS loopback sockets. Kept at n=8 — the point is
+/// conformance over real sockets, not socket-count scaling.
+fn tcp_gate(n: usize) {
+    let params = SbcParams::default_for(n);
+    let seed = b"net-bench-tcp-gate";
+    let real = RealSbcWorld::from_params(params, seed).expect("valid");
+    let tcp = TcpSbcWorld::from_params(params, seed).expect("tcp backend binds");
+    let mut dual = DualRun::new(real, tcp, CompareLevel::Exact);
+    dual.submit(PartyId(0), b"gate/a");
+    dual.advance_all();
+    dual.corrupt(PartyId(1));
+    dual.submit(PartyId(2), b"gate/b");
+    dual.idle_rounds(10);
+    dual.finish_epoch()
+        .unwrap_or_else(|d| panic!("TCP backend diverged from the in-process world at n={n}: {d}"));
+    dual.submit(PartyId(3), b"gate/e1");
+    dual.idle_rounds(9);
+    dual.finish_epoch()
+        .unwrap_or_else(|d| panic!("TCP divergence in epoch 1 at n={n}: {d}"));
+    let stats = dual.worlds().1.transport_stats();
+    assert!(
+        stats.delivered > 0 && stats.bytes > 0,
+        "frames crossed sockets"
+    );
+    assert_eq!(stats.decode_errors, 0, "clean framing on every lane");
+    assert_eq!(stats.timeouts, 0, "no deadline concessions on loopback");
+}
+
 fn main() {
-    // ---- determinism gate (before any measurement) ----
+    // ---- determinism gates (before any measurement) ----
     for n in [8usize, 64] {
         determinism_gate(n);
     }
     println!("determinism gate: networked transcripts == in-process at Exact (n=8 and n=64)");
+    tcp_gate(8);
+    println!("tcp gate: real-socket transcripts == in-process at Exact (n=8)");
 
     let mut records = Vec::new();
 
@@ -199,6 +234,16 @@ fn main() {
             });
             rows.push(("simnet", w.transport_stats(), rounds, stats));
         }
+        if n == 8 {
+            // Real sockets measured at n=8 only: each period brings up
+            // (and tears down) 1 + 2n loopback connections, so larger n
+            // measures the OS accept path, not the protocol.
+            let (rounds, w) = run_period::<TcpSbcWorld>(n, b"net-bench/world");
+            let stats = g.bench(&format!("n={n}/tcp"), || {
+                run_period::<TcpSbcWorld>(n, b"net-bench/world")
+            });
+            rows.push(("tcp", w.transport_stats(), rounds, stats));
+        }
         for (name, t, rounds, stats) in rows {
             let label = format!("n={n}/{name}");
             let party_rounds_per_sec = (n as f64 * rounds as f64) * 1e9 / stats.median_ns;
@@ -227,7 +272,7 @@ fn main() {
         }
     }
 
-    // The gate verdict travels with the report: 1.0 means the Exact
+    // The gate verdicts travel with the report: 1.0 means the Exact
     // comparison passed for every gated n (reaching this line proves it —
     // a divergence panics above).
     records.push(harness::Record {
@@ -242,6 +287,19 @@ fn main() {
             ("gate_exact_passed".into(), 1.0),
             ("gated_n_min".into(), 8.0),
             ("gated_n_max".into(), 64.0),
+        ],
+    });
+    records.push(harness::Record {
+        group: "sbc_net_gate".into(),
+        label: "tcp-exact-conformance".into(),
+        stats: harness::Stats {
+            median_ns: 0.0,
+            mean_ns: 0.0,
+            iters: 0,
+        },
+        metrics: vec![
+            ("gate_tcp_exact_passed".into(), 1.0),
+            ("gated_n".into(), 8.0),
         ],
     });
 

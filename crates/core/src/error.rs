@@ -87,6 +87,14 @@ pub enum SbcError {
         /// Human-readable description of the broken invariant.
         detail: String,
     },
+    /// A backend failed to come up: its transport or other environment
+    /// could not be established (a socket bind or connect refused, say).
+    /// Distinct from `InvalidParams` — the parameters are fine, the
+    /// machine underneath is not.
+    Backend {
+        /// Human-readable description of the bring-up failure.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SbcError {
@@ -132,6 +140,7 @@ impl fmt::Display for SbcError {
                 write!(f, "session failed to release within {budget} rounds")
             }
             SbcError::Internal { detail } => write!(f, "internal session fault: {detail}"),
+            SbcError::Backend { detail } => write!(f, "backend bring-up failed: {detail}"),
         }
     }
 }
@@ -173,6 +182,12 @@ mod tests {
                     detail: "boom".into(),
                 },
                 "boom",
+            ),
+            (
+                SbcError::Backend {
+                    detail: "bind refused".into(),
+                },
+                "bring-up",
             ),
         ];
         for (err, needle) in cases {

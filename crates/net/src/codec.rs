@@ -486,6 +486,29 @@ pub enum NetError {
         /// The number of parties in the experiment.
         n: usize,
     },
+    /// A socket operation failed (the `std::io` error rendered to text —
+    /// `io::Error` is neither `Clone` nor `Eq`, and the typed surface is).
+    Io {
+        /// The operation that failed (`"bind"`, `"connect"`, `"write"`, …).
+        op: &'static str,
+        /// The rendered I/O error.
+        detail: String,
+    },
+    /// A read or write deadline (derived from the round bound ∆) expired
+    /// before the peer caught up.
+    Timeout {
+        /// The operation whose deadline expired.
+        op: &'static str,
+        /// The deadline that was exceeded, in milliseconds.
+        millis: u64,
+    },
+    /// A link stayed down through every reconnect attempt.
+    LinkDown {
+        /// The lane whose link is down (e.g. `"control"`, `"data:2"`).
+        lane: String,
+        /// Reconnect attempts made before giving up.
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -495,6 +518,13 @@ impl fmt::Display for NetError {
             NetError::UnknownParty { party, n } => {
                 write!(f, "frame addressed to party {party}, experiment has {n}")
             }
+            NetError::Io { op, detail } => write!(f, "socket {op} failed: {detail}"),
+            NetError::Timeout { op, millis } => {
+                write!(f, "{op} deadline expired after {millis} ms")
+            }
+            NetError::LinkDown { lane, attempts } => {
+                write!(f, "link {lane} down after {attempts} reconnect attempts")
+            }
         }
     }
 }
@@ -503,7 +533,10 @@ impl std::error::Error for NetError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             NetError::Codec(e) => Some(e),
-            NetError::UnknownParty { .. } => None,
+            NetError::UnknownParty { .. }
+            | NetError::Io { .. }
+            | NetError::Timeout { .. }
+            | NetError::LinkDown { .. } => None,
         }
     }
 }

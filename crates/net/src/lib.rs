@@ -25,6 +25,13 @@
 //!   held to `CompareLevel::Exact` transcript equality against
 //!   `RealSbcWorld` (the conformance tests and the `sbc_net` bench gate
 //!   on it).
+//! * [`tcp`] — the same seam over real sockets: [`tcp::TcpTransport`]
+//!   carries every frame across the OS loopback stack (one `std::net`
+//!   connection per link, no async runtime), with read/write deadlines
+//!   derived from ∆ and per-link reconnect with capped backoff, so a
+//!   dropped or silent connection degrades to a typed [`codec::NetError`]
+//!   instead of hanging the clock. [`tcp::TcpSbcWorld`] is held to the
+//!   same `Exact` gate as the in-process transports.
 //!
 //! The headline invariant: the network may delay, reorder and duplicate,
 //! but it must not change what the protocol decides or leaks.
@@ -33,10 +40,12 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod tcp;
 pub mod transport;
 pub mod world;
 
 pub use codec::{CodecError, Endpoint, Frame, FrameKind, NetError};
+pub use tcp::{TcpConfig, TcpFaultHandle, TcpHarness, TcpProfile, TcpSbcWorld, TcpTransport};
 pub use transport::{Loopback, SimConfig, SimNet, Transport, TransportStats};
 pub use world::{
     AdversarialProfile, LoopbackProfile, LoopbackSbcWorld, NetSbcWorld, SimNetSbcWorld,

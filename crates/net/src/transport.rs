@@ -48,6 +48,12 @@ pub struct TransportStats {
     pub partition_deferrals: u64,
     /// Frames rejected because they did not decode.
     pub decode_errors: u64,
+    /// Read/write deadlines that expired before the peer caught up
+    /// (socket transports only; in-process transports never time out).
+    pub timeouts: u64,
+    /// Connections re-established after a mid-stream drop (socket
+    /// transports only).
+    pub reconnects: u64,
 }
 
 /// A frame mover between endpoints. Implementations must be
@@ -91,8 +97,8 @@ pub trait Transport: Send + std::fmt::Debug {
     fn stats(&self) -> TransportStats;
 }
 
-/// Classification of a decoded frame, shared by both transports.
-enum Plane {
+/// Classification of a decoded frame, shared by every transport.
+pub(crate) enum Plane {
     Control,
     Rpc(u32),
     /// A party-to-party wire: recipient, origin, and the period end
@@ -104,20 +110,64 @@ enum Plane {
     },
 }
 
+/// Classifies a decoded frame onto its plane without touching any
+/// counters — the shared routing rule of every transport (the TCP
+/// transport classifies twice per frame, on send and on socket arrival,
+/// and must count it only once).
+pub(crate) fn plane_of(frame: &Frame, delta: u64, n: usize) -> Result<Plane, NetError> {
+    let check = |party: u32| -> Result<u32, NetError> {
+        if (party as usize) < n {
+            Ok(party)
+        } else {
+            Err(NetError::UnknownParty { party, n })
+        }
+    };
+    match (&frame.kind, frame.to) {
+        // Functionality responses ride the dedicated rpc lane.
+        (
+            FrameKind::TleTriples(_) | FrameKind::TleDecResp(_) | FrameKind::RoAnswer(_),
+            Endpoint::Party(p),
+        ) => Ok(Plane::Rpc(check(p)?)),
+        // A wire delivery is data-plane; anything else addressed to a
+        // party (Wake_Up deliveries, submissions, ticks, responses)
+        // is control. A Deliver whose payload is not a parseable
+        // `(c, τ, y)` triple is control too: the in-process world
+        // delivers it immediately and the recipient discards it.
+        (FrameKind::Deliver { origin, payload }, Endpoint::Party(p)) => {
+            match wire_release_time(payload) {
+                Some(tau) => Ok(Plane::Data {
+                    to: check(p)?,
+                    origin: *origin,
+                    end: tau.saturating_sub(delta),
+                }),
+                None => {
+                    check(p)?;
+                    Ok(Plane::Control)
+                }
+            }
+        }
+        (_, Endpoint::Party(p)) => {
+            check(p)?;
+            Ok(Plane::Control)
+        }
+        _ => Ok(Plane::Control),
+    }
+}
+
 /// Shared mailbox state: per-plane queues plus counters.
 #[derive(Debug, Default)]
-struct Mailboxes {
-    control: VecDeque<Vec<u8>>,
-    rpc: Vec<VecDeque<Vec<u8>>>,
+pub(crate) struct Mailboxes {
+    pub(crate) control: VecDeque<Vec<u8>>,
+    pub(crate) rpc: Vec<VecDeque<Vec<u8>>>,
     /// Per-party data queue: `(due_round, seq, bytes)`, kept in
     /// `(due, seq)` order.
     data: Vec<Vec<(u64, u64, Vec<u8>)>>,
     seq: u64,
-    stats: TransportStats,
+    pub(crate) stats: TransportStats,
 }
 
 impl Mailboxes {
-    fn new(n: usize) -> Self {
+    pub(crate) fn new(n: usize) -> Self {
         Mailboxes {
             control: VecDeque::new(),
             rpc: vec![VecDeque::new(); n],
@@ -127,9 +177,14 @@ impl Mailboxes {
         }
     }
 
-    /// Decodes and classifies an incoming frame. `delta` recovers the
-    /// delivery deadline from a wire's own `τ_rel`.
-    fn classify(&mut self, bytes: &[u8], delta: u64, n: usize) -> Result<(Frame, Plane), NetError> {
+    /// Decodes and classifies an incoming frame, counting it as accepted.
+    /// `delta` recovers the delivery deadline from a wire's own `τ_rel`.
+    pub(crate) fn classify(
+        &mut self,
+        bytes: &[u8],
+        delta: u64,
+        n: usize,
+    ) -> Result<(Frame, Plane), NetError> {
         let frame = match Frame::decode(bytes) {
             Ok(f) => f,
             Err(e) => {
@@ -138,49 +193,13 @@ impl Mailboxes {
                 return Err(e.into());
             }
         };
-        let check = |party: u32| -> Result<u32, NetError> {
-            if (party as usize) < n {
-                Ok(party)
-            } else {
-                Err(NetError::UnknownParty { party, n })
-            }
-        };
-        let plane = match (&frame.kind, frame.to) {
-            // Functionality responses ride the dedicated rpc lane.
-            (
-                FrameKind::TleTriples(_) | FrameKind::TleDecResp(_) | FrameKind::RoAnswer(_),
-                Endpoint::Party(p),
-            ) => Plane::Rpc(check(p)?),
-            // A wire delivery is data-plane; anything else addressed to a
-            // party (Wake_Up deliveries, submissions, ticks, responses)
-            // is control. A Deliver whose payload is not a parseable
-            // `(c, τ, y)` triple is control too: the in-process world
-            // delivers it immediately and the recipient discards it.
-            (FrameKind::Deliver { origin, payload }, Endpoint::Party(p)) => {
-                match wire_release_time(payload) {
-                    Some(tau) => Plane::Data {
-                        to: check(p)?,
-                        origin: *origin,
-                        end: tau.saturating_sub(delta),
-                    },
-                    None => {
-                        check(p)?;
-                        Plane::Control
-                    }
-                }
-            }
-            (_, Endpoint::Party(p)) => {
-                check(p)?;
-                Plane::Control
-            }
-            _ => Plane::Control,
-        };
+        let plane = plane_of(&frame, delta, n)?;
         self.stats.sent += 1;
         self.stats.bytes += bytes.len() as u64;
         Ok((frame, plane))
     }
 
-    fn push_data(&mut self, to: u32, due: u64, bytes: Vec<u8>) {
+    pub(crate) fn push_data(&mut self, to: u32, due: u64, bytes: Vec<u8>) {
         let seq = self.seq;
         self.seq += 1;
         let q = &mut self.data[to as usize];
@@ -188,7 +207,7 @@ impl Mailboxes {
         q.insert(at, (due, seq, bytes));
     }
 
-    fn drain_data(&mut self, party: u32, now: u64) -> Vec<Vec<u8>> {
+    pub(crate) fn drain_data(&mut self, party: u32, now: u64) -> Vec<Vec<u8>> {
         let q = &mut self.data[party as usize];
         let upto = q.partition_point(|&(d, _, _)| d <= now);
         let out: Vec<Vec<u8>> = q.drain(..upto).map(|(_, _, b)| b).collect();
@@ -196,19 +215,19 @@ impl Mailboxes {
         out
     }
 
-    fn drain_control(&mut self) -> Vec<Vec<u8>> {
+    pub(crate) fn drain_control(&mut self) -> Vec<Vec<u8>> {
         let out: Vec<Vec<u8>> = self.control.drain(..).collect();
         self.stats.delivered += out.len() as u64;
         out
     }
 
-    fn drain_rpc(&mut self, party: u32) -> Vec<Vec<u8>> {
+    pub(crate) fn drain_rpc(&mut self, party: u32) -> Vec<Vec<u8>> {
         let out: Vec<Vec<u8>> = self.rpc[party as usize].drain(..).collect();
         self.stats.delivered += out.len() as u64;
         out
     }
 
-    fn clear(&mut self) {
+    pub(crate) fn clear(&mut self) {
         self.control.clear();
         for q in &mut self.rpc {
             q.clear();
@@ -218,7 +237,7 @@ impl Mailboxes {
         }
     }
 
-    fn idle(&self) -> bool {
+    pub(crate) fn idle(&self) -> bool {
         self.control.is_empty()
             && self.rpc.iter().all(|q| q.is_empty())
             && self.data.iter().all(|q| q.is_empty())

@@ -290,7 +290,13 @@ impl NetParty {
 /// `SbcBackend` registration seam.
 pub trait NetProfile: Send + std::fmt::Debug + 'static {
     /// Builds the transport for an instance.
-    fn transport(params: &SbcParams, seed: &[u8]) -> Box<dyn Transport>;
+    ///
+    /// # Errors
+    ///
+    /// [`SbcError::Backend`] if the transport cannot be brought up — an
+    /// in-process transport never fails, but a socket transport's bind or
+    /// connect can.
+    fn transport(params: &SbcParams, seed: &[u8]) -> Result<Box<dyn Transport>, SbcError>;
 }
 
 /// Zero-latency in-order delivery ([`Loopback`]).
@@ -298,8 +304,8 @@ pub trait NetProfile: Send + std::fmt::Debug + 'static {
 pub struct LoopbackProfile;
 
 impl NetProfile for LoopbackProfile {
-    fn transport(params: &SbcParams, _seed: &[u8]) -> Box<dyn Transport> {
-        Box::new(Loopback::new(params.n, params.delta))
+    fn transport(params: &SbcParams, _seed: &[u8]) -> Result<Box<dyn Transport>, SbcError> {
+        Ok(Box::new(Loopback::new(params.n, params.delta)))
     }
 }
 
@@ -312,14 +318,14 @@ impl NetProfile for LoopbackProfile {
 pub struct AdversarialProfile;
 
 impl NetProfile for AdversarialProfile {
-    fn transport(params: &SbcParams, seed: &[u8]) -> Box<dyn Transport> {
+    fn transport(params: &SbcParams, seed: &[u8]) -> Result<Box<dyn Transport>, SbcError> {
         let mut s = seed.to_vec();
         s.extend_from_slice(b"/net-schedule");
-        Box::new(SimNet::new(
+        Ok(Box::new(SimNet::new(
             params.n,
             SimConfig::adversarial(params.delta),
             &s,
-        ))
+        )))
     }
 }
 
@@ -353,9 +359,11 @@ impl<P: NetProfile> NetSbcWorld<P> {
     /// # Errors
     ///
     /// [`SbcError::InvalidParams`] if the parameters violate Theorem 2's
-    /// constraints.
+    /// constraints; [`SbcError::Backend`] if the profile's transport
+    /// cannot be brought up (socket transports only).
     pub fn new(params: SbcParams, seed: &[u8]) -> Result<Self, SbcError> {
-        let transport = P::transport(&params, seed);
+        params.validate()?;
+        let transport = P::transport(&params, seed)?;
         Self::with_transport(params, seed, transport)
     }
 

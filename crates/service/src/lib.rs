@@ -23,7 +23,9 @@
 //!   [`SbcService::footprint`]).
 //! * **Observability** — per-submission submit→release latency in rounds,
 //!   recorded off the hot path into a fixed-bucket histogram and exposed
-//!   as a [`ServiceStats`] snapshot (p50/p90/p99, counters, peaks).
+//!   as a [`ServiceStats`] snapshot (p50/p90/p99, counters, peaks); an
+//!   optional wall-clock view (`ServiceConfig::record_wall_clock`) adds a
+//!   µs-grained [`WallLatencySummary`] for real-socket backends.
 //! * **Snapshot/restore** — [`SbcService::snapshot`] serializes the
 //!   service as a deterministic operation journal through the `sbc-net`
 //!   codec ([`sbc_net::Frame`] / `FrameKind::Snapshot`);
@@ -67,4 +69,6 @@ pub use service::{
     DeadlineClass, Outcome, ReleaseRecord, ReleaseSink, SbcService, ServiceConfig, ServiceError,
     ServiceMode,
 };
-pub use stats::{LatencyHistogram, LatencySummary, ServiceStats};
+pub use stats::{
+    LatencyHistogram, LatencySummary, ServiceStats, WallHistogram, WallLatencySummary,
+};

@@ -27,13 +27,14 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
+use std::time::Instant;
 
 use sbc_core::api::{SbcError, SbcResult};
 use sbc_core::pool::{InstanceId, PoolFootprint, SbcPool};
 use sbc_core::worlds::{RealSbcWorld, SbcBackend, SbcParams};
 use sbc_primitives::sha256::Sha256;
 
-use crate::stats::{LatencyHistogram, ServiceStats};
+use crate::stats::{LatencyHistogram, ServiceStats, WallHistogram};
 
 /// How urgently a submission needs to make it into an instance.
 ///
@@ -233,6 +234,12 @@ pub struct ServiceConfig {
     /// bounded, with evictions surfaced in
     /// [`ServiceStats::leak_overflow`].
     pub leak_cap: Option<usize>,
+    /// Keep a wall-clock submit→release histogram alongside the rounds
+    /// one, surfaced as [`ServiceStats::wall`]. Observational only: the
+    /// flag and the histogram are **excluded from snapshots** (wall time
+    /// is not replayable), so a restored service always starts with this
+    /// off.
+    pub record_wall_clock: bool,
 }
 
 impl ServiceConfig {
@@ -249,6 +256,7 @@ impl ServiceConfig {
             max_live: 64,
             flush_after: 4,
             leak_cap: Some(32),
+            record_wall_clock: false,
         }
     }
 
@@ -293,6 +301,14 @@ impl ServiceConfig {
         self.leak_cap = cap;
         self
     }
+
+    /// Enables (or disables) the wall-clock latency view — see the
+    /// [`record_wall_clock`](ServiceConfig::record_wall_clock) field for
+    /// its snapshot semantics.
+    pub fn record_wall_clock(mut self, on: bool) -> Self {
+        self.record_wall_clock = on;
+        self
+    }
 }
 
 /// Typed service-layer failures.
@@ -304,11 +320,14 @@ pub enum ServiceError {
         /// The configured queue bound.
         cap: usize,
     },
-    /// The operation journal no longer fits one codec frame.
+    /// The operation journal no longer fits one codec frame. The size
+    /// reported is the frame's *declared* length (header + body, the
+    /// quantity the codec's own `Oversize` rule caps), so the guard
+    /// refuses exactly the images `restore` would refuse to decode.
     SnapshotTooLarge {
-        /// Encoded snapshot length.
-        len: usize,
-        /// The codec's hard frame cap.
+        /// The declared frame length the snapshot would need.
+        bytes: usize,
+        /// The codec's hard frame cap (`MAX_FRAME`).
         max: usize,
     },
     /// The snapshot bytes are not a valid service image.
@@ -331,10 +350,10 @@ impl fmt::Display for ServiceError {
             ServiceError::QueueFull { cap } => {
                 write!(f, "ingress queue full (cap {cap}): apply backpressure")
             }
-            ServiceError::SnapshotTooLarge { len, max } => {
+            ServiceError::SnapshotTooLarge { bytes, max } => {
                 write!(
                     f,
-                    "snapshot is {len} bytes, exceeding the {max}-byte frame cap"
+                    "snapshot is {bytes} bytes, exceeding the {max}-byte frame cap"
                 )
             }
             ServiceError::BadSnapshot { detail } => write!(f, "bad snapshot: {detail}"),
@@ -361,6 +380,8 @@ struct Pending {
     payload: Vec<u8>,
     class: DeadlineClass,
     enqueued_round: u64,
+    /// Wall-clock arrival, carried only when `record_wall_clock` is on.
+    enqueued_at: Option<Instant>,
 }
 
 /// A submission admitted into a live instance, awaiting its release.
@@ -368,6 +389,7 @@ struct Pending {
 struct InFlight {
     ticket: u64,
     enqueued_round: u64,
+    enqueued_at: Option<Instant>,
 }
 
 /// One journaled external operation (see [`crate::snapshot`]).
@@ -407,6 +429,7 @@ pub struct SbcService<W: SbcBackend = RealSbcWorld> {
     sinks: Vec<Box<dyn ReleaseSink>>,
     pub(crate) journal: Vec<Op>,
     hist: LatencyHistogram,
+    wall: WallHistogram,
     next_ticket: u64,
     live: usize,
     stats: Counters,
@@ -457,6 +480,7 @@ impl<W: SbcBackend> SbcService<W> {
             sinks: Vec::new(),
             journal: Vec::new(),
             hist: LatencyHistogram::new(),
+            wall: WallHistogram::new(),
             next_ticket: 0,
             live: 0,
             stats: Counters::default(),
@@ -507,6 +531,7 @@ impl<W: SbcBackend> SbcService<W> {
             payload,
             class,
             enqueued_round: self.pool.round(),
+            enqueued_at: self.cfg.record_wall_clock.then(Instant::now),
         });
         self.stats.peak_queue = self.stats.peak_queue.max(self.queued());
         Ok(ticket)
@@ -572,6 +597,7 @@ impl<W: SbcBackend> SbcService<W> {
                             .push(InFlight {
                                 ticket: pending.ticket,
                                 enqueued_round: pending.enqueued_round,
+                                enqueued_at: pending.enqueued_at,
                             });
                         filled += 1;
                     }
@@ -638,6 +664,9 @@ impl<W: SbcBackend> SbcService<W> {
         for f in &inflight {
             self.hist
                 .record(result.release_round.saturating_sub(f.enqueued_round));
+            if let Some(at) = f.enqueued_at {
+                self.wall.record(at.elapsed().as_micros() as u64);
+            }
             tickets.push(f.ticket);
         }
         let record = ReleaseRecord {
@@ -725,6 +754,7 @@ impl<W: SbcBackend> SbcService<W> {
             leak_overflow: self.stats.leak_overflow,
             round: self.pool.round(),
             latency: self.hist.summary(),
+            wall: self.cfg.record_wall_clock.then(|| self.wall.summary()),
         }
     }
 
@@ -833,6 +863,36 @@ mod tests {
     }
 
     #[test]
+    fn wall_clock_view_is_opt_in() {
+        // Off (the default): the wall field stays None even after
+        // releases.
+        let mut s = svc(b"wall-off");
+        s.submit(1, b"m".to_vec(), DeadlineClass::Interactive)
+            .unwrap();
+        s.shutdown().unwrap();
+        assert_eq!(s.stats().wall, None);
+
+        // On: every released submission lands in the wall histogram too.
+        let mut s = SbcService::<sbc_core::worlds::RealSbcWorld>::new(
+            ServiceConfig::new(2, ServiceMode::Beacon)
+                .seed(b"wall-on")
+                .batch_size(2)
+                .record_wall_clock(true),
+        )
+        .unwrap();
+        s.submit(1, b"a".to_vec(), DeadlineClass::Interactive)
+            .unwrap();
+        s.submit(2, b"b".to_vec(), DeadlineClass::Standard).unwrap();
+        s.shutdown().unwrap();
+        let stats = s.stats();
+        let wall = stats.wall.expect("wall view enabled");
+        assert_eq!(wall.count, stats.latency.count);
+        assert_eq!(wall.count, 2);
+        assert!(wall.p50_us <= wall.p90_us && wall.p90_us <= wall.p99_us);
+        assert!(wall.max_us >= wall.p99_us || wall.max_us >= wall.mean_us);
+    }
+
+    #[test]
     fn outcome_election_and_auction() {
         let votes = [vec![2u8], vec![1], vec![2], vec![7]];
         assert_eq!(
@@ -877,7 +937,7 @@ mod tests {
     fn error_display_renders() {
         for e in [
             ServiceError::QueueFull { cap: 4 },
-            ServiceError::SnapshotTooLarge { len: 9, max: 5 },
+            ServiceError::SnapshotTooLarge { bytes: 9, max: 5 },
             ServiceError::BadSnapshot { detail: "d".into() },
             ServiceError::Timeout { budget: 3 },
             ServiceError::Pool(SbcError::NoInput),

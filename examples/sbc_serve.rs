@@ -2,24 +2,29 @@
 //!
 //! Runs an `sbc-service` instance in one of the paper's three application
 //! modes over any protocol backend, feeds it a seeded synthetic load,
-//! streams outcomes as they release, and finishes with a snapshot/restore
-//! self-check (the restored service must agree with the original
-//! bit-for-bit).
+//! streams outcomes as they release, and performs a **kill-mid-epoch
+//! drill**: once the run is demonstrably mid-epoch, the service is
+//! snapshotted, a twin is restored from the image, and both are driven
+//! through the identical remaining schedule — every release must match
+//! bit-for-bit. A final end-of-run snapshot/restore self-check closes the
+//! run.
 //!
 //! ```sh
 //! cargo run -p sbc-bench --example sbc_serve --release -- \
 //!     [--mode beacon|election|auction] \
-//!     [--backend real|loopback|simnet] \
+//!     [--backend real|loopback|simnet|tcp] \
 //!     [--total N] [--smoke]
 //! ```
 //!
 //! Defaults: beacon mode, the in-process `RealSbcWorld` backend, 2000
-//! submissions. `--smoke` shrinks the run for CI (200 submissions, quiet
-//! per-release output).
+//! submissions. `--backend tcp` runs every party link over OS loopback
+//! sockets (and the restored twin brings up its own fresh lanes).
+//! `--smoke` shrinks the run for CI (200 submissions, quiet per-release
+//! output).
 
 use sbc_core::pool::PoolFootprint;
 use sbc_core::worlds::{RealSbcWorld, SbcBackend};
-use sbc_net::{LoopbackSbcWorld, SimNetSbcWorld};
+use sbc_net::{LoopbackSbcWorld, SimNetSbcWorld, TcpSbcWorld};
 use sbc_service::{
     LoadGen, LoadProfile, Outcome, SbcService, ServiceConfig, ServiceError, ServiceMode,
 };
@@ -51,10 +56,12 @@ fn parse_args() -> Args {
                 }
             }
             "--backend" => match it.next() {
-                Some(b) if ["real", "loopback", "simnet"].contains(&b.as_str()) => {
+                Some(b) if ["real", "loopback", "simnet", "tcp"].contains(&b.as_str()) => {
                     args.backend = b;
                 }
-                other => die(&format!("--backend real|loopback|simnet, got {other:?}")),
+                other => die(&format!(
+                    "--backend real|loopback|simnet|tcp, got {other:?}"
+                )),
             },
             "--total" => {
                 args.total = it
@@ -107,8 +114,20 @@ fn describe(outcome: &Outcome) -> String {
     }
 }
 
+/// Stats with the wall-clock view masked off: the wall histogram is
+/// observational and deliberately excluded from snapshots, so a restored
+/// service always reports `wall: None` — comparisons against it must
+/// compare everything else.
+fn replayable(svc: &SbcService<impl SbcBackend>) -> sbc_service::ServiceStats {
+    let mut stats = svc.stats();
+    stats.wall = None;
+    stats
+}
+
 fn serve<W: SbcBackend>(args: &Args) -> Result<(), ServiceError> {
-    let cfg = ServiceConfig::new(4, args.mode).seed(b"sbc-serve");
+    let cfg = ServiceConfig::new(4, args.mode)
+        .seed(b"sbc-serve")
+        .record_wall_clock(true);
     let mut svc: SbcService<W> = SbcService::new(cfg)?;
     let mut gen = LoadGen::new(profile(args.mode, args.total), b"sbc-serve");
 
@@ -119,8 +138,41 @@ fn serve<W: SbcBackend>(args: &Args) -> Result<(), ServiceError> {
         args.total
     );
 
+    // The kill-mid-epoch drill: once the run has both delivered records
+    // (exercising the don't-redeliver path) and live instances (truly
+    // mid-epoch), snapshot, restore a twin, fast-forward a twin load
+    // generator to the same point — the load is a pure function of
+    // (profile, seed, ticks consumed) — and drive both services through
+    // the identical remaining schedule, demanding bit-identical releases
+    // at every tick.
+    let mut twin: Option<(SbcService<W>, LoadGen)> = None;
+    let mut drilled = false;
+    let mut gen_ticks = 0u64;
+
     let mut released = 0u64;
     while !gen.done() || svc.queued() > 0 || svc.live() > 0 {
+        if !drilled && released > 0 && svc.live() > 0 {
+            drilled = true;
+            let image = svc.snapshot()?;
+            let restored: SbcService<W> = SbcService::restore(&image)?;
+            assert_eq!(restored.round(), svc.round(), "kill drill: clock agrees");
+            assert_eq!(
+                restored.stats(),
+                replayable(&svc),
+                "kill drill: stats agree"
+            );
+            let mut tg = LoadGen::new(profile(args.mode, args.total), b"sbc-serve");
+            for _ in 0..gen_ticks {
+                tg.next_tick();
+            }
+            println!(
+                "kill drill @round {}: restored a twin from a {} byte mid-epoch image",
+                svc.round(),
+                image.len()
+            );
+            twin = Some((restored, tg));
+        }
+        gen_ticks += 1;
         for s in gen.next_tick() {
             // Bounded queue: on saturation the submission waits for the
             // next tick (the generator's stream is deterministic, so the
@@ -130,7 +182,22 @@ fn serve<W: SbcBackend>(args: &Args) -> Result<(), ServiceError> {
             }
         }
         svc.tick()?;
-        for record in svc.drain_releases() {
+        let records = svc.drain_releases();
+        if let Some((t, tg)) = &mut twin {
+            for s in tg.next_tick() {
+                if let Err(ServiceError::QueueFull { .. }) = t.submit(s.client, s.payload, s.class)
+                {
+                    break;
+                }
+            }
+            t.tick()?;
+            assert_eq!(
+                t.drain_releases(),
+                records,
+                "kill drill: restored run releases bit-identically"
+            );
+        }
+        for record in records {
             released += 1;
             if !args.smoke && released <= 8 {
                 println!(
@@ -143,12 +210,22 @@ fn serve<W: SbcBackend>(args: &Args) -> Result<(), ServiceError> {
         }
     }
 
+    if let Some((t, _)) = &twin {
+        assert_eq!(
+            replayable(t),
+            replayable(&svc),
+            "kill drill: restored run ends in the same state"
+        );
+        assert_eq!(t.footprint(), PoolFootprint::default());
+        println!("kill drill passed: restored run stayed bit-identical to the end");
+    }
+
     // Snapshot/restore self-check: the restored service agrees with the
     // original on clock, stats, and (by construction) all future output.
     let image = svc.snapshot()?;
     let restored: SbcService<W> = SbcService::restore(&image)?;
     assert_eq!(restored.round(), svc.round(), "restore: clock agrees");
-    assert_eq!(restored.stats(), svc.stats(), "restore: stats agree");
+    assert_eq!(restored.stats(), replayable(&svc), "restore: stats agree");
 
     let stats = svc.stats();
     assert_eq!(stats.accepted, args.total, "every submission accepted");
@@ -172,6 +249,12 @@ fn serve<W: SbcBackend>(args: &Args) -> Result<(), ServiceError> {
         stats.deferred,
         stats.leak_overflow,
     );
+    if let Some(wall) = stats.wall {
+        println!(
+            "wall-clock latency: p50≤{}µs p90≤{}µs p99≤{}µs max={}µs mean={}µs over {} submissions",
+            wall.p50_us, wall.p90_us, wall.p99_us, wall.max_us, wall.mean_us, wall.count,
+        );
+    }
     println!(
         "snapshot/restore self-check passed ({} byte image)",
         image.len()
@@ -185,6 +268,7 @@ fn main() -> Result<(), ServiceError> {
         "real" => serve::<RealSbcWorld>(&args),
         "loopback" => serve::<LoopbackSbcWorld>(&args),
         "simnet" => serve::<SimNetSbcWorld>(&args),
+        "tcp" => serve::<TcpSbcWorld>(&args),
         _ => unreachable!("validated by parse_args"),
     }
 }

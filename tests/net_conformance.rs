@@ -15,7 +15,11 @@
 //!   staggered late open, and two epochs per instance;
 //! * the out-of-envelope knob — dropping a corrupted sender's wires —
 //!   which deliberately *changes* received sets and therefore gets a
-//!   liveness/suppression test instead of an `Exact` comparison.
+//!   liveness/suppression test instead of an `Exact` comparison;
+//! * **real sockets** ([`TcpSbcWorld`]): the same `Exact` gate at world
+//!   and pool scope with every frame crossing the OS loopback stack —
+//!   including a run where every link is killed mid-epoch and the
+//!   transport reconnects, still byte-identical.
 //!
 //! Every chaos test also asserts **non-vacuity** through
 //! [`TransportStats`]: a conformance pass on a network that never
@@ -25,7 +29,7 @@ use sbc_core::pool::PooledSbcWorld;
 use sbc_core::protocol::sbc_wire;
 use sbc_core::worlds::{RealSbcWorld, SbcBackend, SbcParams};
 use sbc_net::world::{LoopbackSbcWorld, NetSbcWorld, SimNetSbcWorld};
-use sbc_net::{SimConfig, SimNet, TransportStats};
+use sbc_net::{SimConfig, SimNet, TcpConfig, TcpSbcWorld, TcpTransport, TransportStats};
 use sbc_primitives::drbg::Drbg;
 use sbc_uc::exec::{CompareLevel, DualRun, PoolDualRun, SbcWorld};
 use sbc_uc::ids::PartyId;
@@ -288,6 +292,157 @@ fn pool_exact_real_vs_simnet_multi_instance_multi_epoch() {
     assert!(total.duplicated > 0, "duplication fired: {total:?}");
 }
 
+/// Real sockets, same gate: `RealSbcWorld` vs the networked world over
+/// [`TcpTransport`] — every frame crossing the OS loopback socket stack —
+/// still **`Exact`** across three epochs with adaptive corruption and
+/// adversarial injection. The stats prove real traffic moved and that no
+/// deadline or reconnect path fired (a quiet network is byte-perfect).
+#[test]
+fn exact_real_vs_tcp_multi_epoch() {
+    let mut dual = net_pair::<TcpSbcWorld>(4, b"net-exact-tcp");
+    drive_multi_epoch(&mut dual, "tcp");
+    let stats = dual.worlds().1.transport_stats();
+    assert!(
+        stats.sent > 0 && stats.delivered > 0 && stats.bytes > 0,
+        "frames crossed the sockets: {stats:?}"
+    );
+    assert_eq!(stats.decode_errors, 0, "no torn frames on this path");
+    assert_eq!(stats.timeouts, 0, "no deadline fired on loopback");
+    assert_eq!(stats.dropped, 0, "no loss inside the Exact envelope");
+}
+
+/// The reconnect path inside the `Exact` envelope: every TCP link is
+/// killed mid-frame, mid-epoch (twice, in different epochs), the
+/// transport reconnects and retransmits — and the transcript is still
+/// byte-identical to the in-process world.
+#[test]
+fn exact_real_vs_tcp_with_links_killed_mid_epoch() {
+    let params = SbcParams::default_for(4);
+    let transport =
+        TcpTransport::local(params.n, params.delta, TcpConfig::from_delta(params.delta))
+            .expect("loopback bind");
+    let faults = transport.fault_handle();
+    let real = RealSbcWorld::from_params(params, b"net-tcp-kill").expect("valid");
+    let net = NetSbcWorld::<sbc_net::world::LoopbackProfile>::with_transport(
+        params,
+        b"net-tcp-kill",
+        Box::new(transport),
+    )
+    .expect("valid");
+    let mut dual = DualRun::new(real, net, CompareLevel::Exact);
+
+    dual.submit(PartyId(0), b"kill/a");
+    dual.advance_all();
+    // Every link dies mid-frame on its next write; the transport must
+    // reconnect and retransmit without the protocol noticing.
+    faults.break_all_links();
+    dual.submit(PartyId(1), b"kill/b");
+    dual.submit(PartyId(2), b"kill/c");
+    dual.idle_rounds(9);
+    assert_eq!(dual.finish_epoch().expect("exact across link kills"), 0);
+
+    // Epoch 1 over the already-reconnected links, with a second wave.
+    dual.submit(PartyId(3), b"kill/e1");
+    dual.advance_all();
+    faults.break_all_links();
+    dual.submit(PartyId(0), b"kill/e1b");
+    dual.idle_rounds(9);
+    assert_eq!(dual.finish_epoch().expect("exact in epoch 1"), 1);
+
+    let stats = dual.worlds().1.transport_stats();
+    assert!(stats.reconnects > 0, "links really died: {stats:?}");
+    assert_eq!(stats.decode_errors, 0, "no torn frame decoded: {stats:?}");
+    assert_eq!(stats.timeouts, 0, "reconnects, not deadlines: {stats:?}");
+    assert_eq!(stats.dropped, 0, "nothing lost: {stats:?}");
+}
+
+/// Pool-scope gate over real sockets: a real pool vs a pool of TCP
+/// instances — every instance its own listener and socket set — with a
+/// staggered late open, adaptive global corruption, per-instance
+/// injection, `Exact` keyed transcripts at every boundary.
+#[test]
+fn pool_exact_real_vs_tcp_multi_instance() {
+    type Pair = PoolDualRun<PooledSbcWorld<RealSbcWorld>, PooledSbcWorld<TcpSbcWorld>>;
+    fn backend<W: SbcBackend>(n: usize, seed: &[u8]) -> PooledSbcWorld<W> {
+        PooledSbcWorld::new(SbcParams::default_for(n), seed).expect("valid default params")
+    }
+    let n = 4;
+    let seed = b"pool-tcp-exact";
+    let mut dual: Pair = PoolDualRun::new(backend(n, seed), backend(n, seed), CompareLevel::Exact);
+    let mut adv_rng = Drbg::from_seed(b"pool-tcp-exact/adversary");
+
+    let a = dual.open_instance();
+    let b = dual.open_instance();
+
+    dual.submit(a, PartyId(0), b"e0/a");
+    dual.submit(b, PartyId(1), b"e0/b");
+    dual.step_round();
+    let (cr, ci) = dual.corrupt(PartyId(3));
+    assert!(cr && ci, "corruption accepted in both pools");
+    let late = dual.open_instance();
+    dual.submit(late, PartyId(2), b"e0/late");
+    dual.idle_rounds(9);
+
+    // One adversarial injection against instance `a` over the sockets.
+    {
+        let tau_rel = dual.release_round(a);
+        if let Some(tau_rel) = tau_rel {
+            let ct = Value::bytes(adv_rng.gen_bytes(64));
+            let rho = adv_rng.gen_bytes(32);
+            dual.adversary(
+                a,
+                AdvCommand::Control {
+                    target: "F_TLE".into(),
+                    cmd: Command::new(
+                        "Insert",
+                        Value::list([ct.clone(), Value::bytes(&rho), Value::U64(tau_rel)]),
+                    ),
+                },
+            );
+            let m_bytes = Value::bytes(b"e0/evil").encode();
+            let (eta_real, eta_net) = dual.adversary(
+                a,
+                AdvCommand::Control {
+                    target: "F_RO".into(),
+                    cmd: Command::new(
+                        "QueryBytes",
+                        Value::list([Value::bytes(&rho), Value::U64(m_bytes.len() as u64)]),
+                    ),
+                },
+            );
+            assert_eq!(eta_real, eta_net, "same instance seed, same oracle point");
+            let eta = eta_real.as_bytes().expect("mask is bytes").to_vec();
+            let y: Vec<u8> = m_bytes.iter().zip(eta.iter()).map(|(p, q)| p ^ q).collect();
+            dual.adversary(
+                a,
+                AdvCommand::SendAs {
+                    party: PartyId(3),
+                    cmd: Command::new("Broadcast", sbc_wire(&ct, tau_rel, &y)),
+                },
+            );
+            dual.idle_rounds(3);
+        }
+    }
+    assert_eq!(dual.finish_epoch(a).expect("instance a exact"), 0);
+    assert_eq!(dual.finish_epoch(b).expect("instance b exact"), 0);
+    dual.finish_epoch(late).expect("late instance exact");
+
+    // Epoch 1 on one surviving instance, still over the same sockets.
+    dual.submit(a, PartyId(0), b"e1/a");
+    dual.idle_rounds(10);
+    assert_eq!(dual.finish_epoch(a).expect("instance a epoch 1 exact"), 1);
+
+    // Non-vacuity: every TCP instance really moved frames, cleanly.
+    let (_, net_pool) = dual.worlds();
+    for id in [a, b, late] {
+        let w = net_pool.instance_world(id).expect("instance live");
+        let s = w.transport_stats();
+        assert!(s.sent > 0 && s.bytes > 0, "instance {id:?} moved: {s:?}");
+        assert_eq!(s.decode_errors, 0, "no torn frames: {s:?}");
+        assert_eq!(s.timeouts, 0, "no deadline fired: {s:?}");
+    }
+}
+
 /// The out-of-envelope knob: `drop_from_corrupted` suppresses the data
 /// plane of corrupted senders. An adversarial wire sent via a corrupted
 /// party never reaches honest `rec` sets (the injected message is
@@ -371,15 +526,23 @@ fn session_builder_seam_runs_networked_backend() {
         .seed(b"seam")
         .build_backend::<SimNetSbcWorld>()
         .expect("networked session");
+    let mut over_tcp = SbcSession::builder(3)
+        .seed(b"seam")
+        .build_backend::<TcpSbcWorld>()
+        .expect("socket session");
     let drive = |s: &mut dyn FnMut(u32, &[u8])| {
         s(0, b"seam/a");
         s(2, b"seam/b");
     };
     drive(&mut |p, m| over_real.submit(p, m).expect("submit"));
     drive(&mut |p, m| over_net.submit(p, m).expect("submit"));
+    drive(&mut |p, m| over_tcp.submit(p, m).expect("submit"));
     let r = over_real.run_epoch().expect("real epoch");
     let n = over_net.run_epoch().expect("networked epoch");
+    let t = over_tcp.run_epoch().expect("socket epoch");
     assert_eq!(r.messages, n.messages);
     assert_eq!(r.release_round, n.release_round);
+    assert_eq!(r.messages, t.messages);
+    assert_eq!(r.release_round, t.release_round);
     assert_eq!(r.messages, vec![b"seam/a".to_vec(), b"seam/b".to_vec()]);
 }

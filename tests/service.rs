@@ -5,14 +5,15 @@
 //! service killed mid-epoch (snapshot while an instance is live) and
 //! restored from its journal must produce release transcripts
 //! **bit-identical** to the uninterrupted run — over the in-process
-//! backend *and* the networked loopback backend. The rest pins the
+//! backend, the networked loopback backend, *and* the real-socket TCP
+//! backend. The rest pins the
 //! service-layer semantics: typed backpressure, late-arrival deferral,
 //! deliver-before-reclaim on shutdown, and bounded leak capture with a
 //! typed overflow counter.
 
 use sbc_core::pool::PoolFootprint;
 use sbc_core::worlds::{RealSbcWorld, SbcBackend};
-use sbc_net::LoopbackSbcWorld;
+use sbc_net::{LoopbackSbcWorld, TcpSbcWorld};
 use sbc_service::{
     DeadlineClass, LoadGen, LoadProfile, ReleaseRecord, ReleaseSink, SbcService, ServiceConfig,
     ServiceError, ServiceMode,
@@ -102,6 +103,14 @@ fn kill_and_restore_bit_identical_in_process() {
 #[test]
 fn kill_and_restore_bit_identical_over_loopback() {
     kill_and_restore_bit_identical::<LoopbackSbcWorld>();
+}
+
+#[test]
+fn kill_and_restore_bit_identical_over_tcp() {
+    // The same gate over OS loopback sockets: the journal replay brings
+    // up fresh TCP lanes, and the release transcripts must still match
+    // the uninterrupted run bit-for-bit.
+    kill_and_restore_bit_identical::<TcpSbcWorld>();
 }
 
 #[test]

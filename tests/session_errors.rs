@@ -157,6 +157,7 @@ fn exhaustive_sbc_error_variant_round_trips() {
             SbcError::NoInput => "nothing submitted",
             SbcError::Timeout { .. } => "rounds",
             SbcError::Internal { .. } => "internal",
+            SbcError::Backend { .. } => "bring-up",
         }
     }
     let all = vec![
@@ -176,6 +177,9 @@ fn exhaustive_sbc_error_variant_round_trips() {
         SbcError::Timeout { budget: 9 },
         SbcError::Internal {
             detail: "boom".into(),
+        },
+        SbcError::Backend {
+            detail: "bind refused".into(),
         },
     ];
     for err in &all {
@@ -304,11 +308,26 @@ fn exhaustive_net_error_variant_round_trips() {
         match e {
             NetError::Codec(_) => "undecodable frame",
             NetError::UnknownParty { .. } => "experiment has",
+            NetError::Io { .. } => "socket",
+            NetError::Timeout { .. } => "deadline expired",
+            NetError::LinkDown { .. } => "reconnect attempts",
         }
     }
     let all_net = vec![
         NetError::Codec(CodecError::BadMagic { found: [1, 2] }),
         NetError::UnknownParty { party: 9, n: 4 },
+        NetError::Io {
+            op: "connect",
+            detail: "connection refused".into(),
+        },
+        NetError::Timeout {
+            op: "recv",
+            millis: 400,
+        },
+        NetError::LinkDown {
+            lane: "data:2".into(),
+            attempts: 5,
+        },
     ];
     for err in &all_net {
         assert_eq!(&err.clone(), err);
@@ -330,8 +349,10 @@ fn exhaustive_net_error_variant_round_trips() {
     let source = chained.source().expect("Codec carries its source");
     assert!(source.to_string().contains("bad magic"));
     assert!(source.source().is_none(), "chain terminates at the codec");
-    let leaf: &dyn std::error::Error = &all_net[1];
-    assert!(leaf.source().is_none());
+    for leaf_err in &all_net[1..] {
+        let leaf: &dyn std::error::Error = leaf_err;
+        assert!(leaf.source().is_none(), "{leaf_err:?} is a leaf");
+    }
 
     // From<CodecError> wraps into the chained variant.
     let wrapped: NetError = CodecError::UnknownKind { tag: 3 }.into();
