@@ -29,13 +29,18 @@
 //!
 //! The two harness-measured groups pin the per-tick cost of a saturated
 //! service and the cost of a snapshot round-trip at a realistic journal
-//! size. The run writes `BENCH_service.json` (`SBC_BENCH_JSON`
-//! overrides the path; CI archives it).
+//! size. The `sbc_service_era` group is the **snapshot-growth gate**: it
+//! runs ≥3 checkpointed eras side by side with a never-checkpointing
+//! twin and panics unless the era-based image size and restore op-count
+//! stay flat while the twin's full-journal image keeps growing —
+//! `snapshot_bytes_per_era` and `restore_ops` land in the JSON report.
+//! The run writes `BENCH_service.json` (`SBC_BENCH_JSON` overrides the
+//! path; CI archives it).
 
 use sbc_bench::harness;
 use sbc_core::pool::PoolFootprint;
 use sbc_core::worlds::RealSbcWorld;
-use sbc_service::{LoadGen, LoadProfile, SbcService, ServiceConfig, ServiceMode};
+use sbc_service::{DeadlineClass, LoadGen, LoadProfile, SbcService, ServiceConfig, ServiceMode};
 
 const PARTIES: usize = 4;
 
@@ -202,6 +207,111 @@ fn main() {
             ("journal_ops".into(), journal_ops as f64),
         ],
     });
+
+    // ── Era gate: snapshot size and restore work stay flat ────────────
+    // A checkpointing service and a never-checkpointing twin run the
+    // identical schedule: per era one wave of submissions drained to a
+    // boundary, a fold (on the checkpointing side only), then a fixed
+    // mid-epoch tail so every era's image is captured at the same
+    // offset. Era-based persistence must keep image bytes and replayed
+    // op-count constant per era; the twin's full-journal image must keep
+    // growing — both asserted, both recorded.
+    let eras = 4usize;
+    let wave: u64 = if smoke { 256 } else { 2_048 };
+    let mut a: SbcService<RealSbcWorld> =
+        SbcService::new(service_config(b"service-era")).expect("valid config");
+    let mut b: SbcService<RealSbcWorld> =
+        SbcService::new(service_config(b"service-era")).expect("valid config");
+
+    fn run_wave(svc: &mut SbcService<RealSbcWorld>, seed: &[u8], wave: u64) {
+        let mut gen = LoadGen::new(LoadProfile::beacon(wave, 64), seed);
+        let mut budget = 10_000u64;
+        while !gen.done() || svc.live() > 0 || svc.queued() > 0 {
+            consume_tick(svc, &mut gen);
+            budget -= 1;
+            assert!(budget > 0, "era wave failed to drain");
+        }
+    }
+
+    let mut bytes_a = Vec::new();
+    let mut bytes_b = Vec::new();
+    let mut ops_a = Vec::new();
+    for era in 1..=eras {
+        let seed = format!("service-era-wave-{era}");
+        run_wave(&mut a, seed.as_bytes(), wave);
+        run_wave(&mut b, seed.as_bytes(), wave);
+        assert!(a.try_checkpoint(), "drained service sits at a boundary");
+        assert_eq!(a.era() as usize, era);
+        // The fixed post-boundary tail: every era's image carries the
+        // same mid-epoch state on top of its checkpoint.
+        for svc in [&mut a, &mut b] {
+            for i in 0..8u64 {
+                svc.submit(i, vec![0x5A; 32], DeadlineClass::Standard)
+                    .expect("tail submit");
+            }
+            svc.tick().expect("tick");
+            svc.tick().expect("tick");
+        }
+
+        let start = std::time::Instant::now();
+        let img_a = a.snapshot().expect("snapshot");
+        let snap_ns = start.elapsed().as_nanos() as f64;
+        let img_b = b.snapshot().expect("twin snapshot");
+        let start = std::time::Instant::now();
+        let restored = SbcService::<RealSbcWorld>::restore(&img_a).expect("restore");
+        let restore_ns = start.elapsed().as_nanos() as f64;
+        let restore_ops = restored.stats().journal_ops;
+        let (mut sa, mut sr) = (a.stats(), restored.stats());
+        sa.snapshot_bytes = 0;
+        sr.snapshot_bytes = 0;
+        sa.wall = None;
+        sr.wall = None;
+        assert_eq!(sa, sr, "era {era}: restored twin diverged");
+
+        bytes_a.push(img_a.len());
+        bytes_b.push(img_b.len());
+        ops_a.push(restore_ops);
+        records.push(harness::Record {
+            group: "sbc_service_era".into(),
+            label: format!("era={era}/wave={wave}"),
+            stats: harness::Stats {
+                median_ns: snap_ns,
+                mean_ns: snap_ns,
+                iters: 1,
+            },
+            metrics: vec![
+                ("snapshot_bytes_per_era".into(), img_a.len() as f64),
+                ("restore_ops".into(), restore_ops as f64),
+                ("restore_ns".into(), restore_ns),
+                ("full_journal_bytes".into(), img_b.len() as f64),
+            ],
+        });
+    }
+    for k in 1..eras {
+        // U64 fields are fixed-width in the canonical encoding, so the
+        // per-era image is byte-flat; the slack only covers a future
+        // variable-width encoding.
+        let drift = (bytes_a[k] as i64 - bytes_a[0] as i64).unsigned_abs();
+        assert!(
+            drift <= 64,
+            "era snapshot not flat: era {} is {}B vs era 1's {}B",
+            k + 1,
+            bytes_a[k],
+            bytes_a[0]
+        );
+        assert_eq!(
+            ops_a[k], ops_a[0],
+            "restore op-count must not grow with era"
+        );
+        assert!(
+            bytes_b[k] > bytes_b[k - 1],
+            "the no-checkpoint twin's image must keep growing"
+        );
+    }
+    println!(
+        "sbc_service_era: {} eras, era image {}B flat (twin grew {}B → {}B), restore replays {} ops/era",
+        eras, bytes_a[0], bytes_b[0], bytes_b[eras - 1], ops_a[0]
+    );
 
     let path = std::env::var("SBC_BENCH_JSON").unwrap_or_else(|_| "BENCH_service.json".to_string());
     harness::write_json_report(&path, &records).expect("write BENCH_service.json");

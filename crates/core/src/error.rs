@@ -73,6 +73,18 @@ pub enum SbcError {
         /// The live instance id.
         instance: u64,
     },
+    /// A pool fast-forward (`SbcPool::resume_at`) was attempted on a pool
+    /// that has already run — instances were opened or the shared clock
+    /// advanced. Fast-forward is a restore-time seam: it is only valid on
+    /// a freshly built pool, where setting the clock and the next
+    /// instance id reproduces the original's state exactly (instance seed
+    /// forks depend only on the id, and `join_at` makes catch-up O(1)).
+    NotFresh {
+        /// The pool's current shared-clock round.
+        round: u64,
+        /// Instance ids the pool has already consumed.
+        opened: u64,
+    },
     /// `run_epoch`/`run_to_completion` was called with nothing submitted —
     /// the period would never open and the session would spin forever.
     NoInput,
@@ -135,6 +147,12 @@ impl fmt::Display for SbcError {
                     "instance #{instance} is still live (finish it before pruning)"
                 )
             }
+            SbcError::NotFresh { round, opened } => {
+                write!(
+                    f,
+                    "pool is not fresh (round {round}, {opened} instances opened): fast-forward is restore-only"
+                )
+            }
             SbcError::NoInput => write!(f, "nothing submitted: the period would never open"),
             SbcError::Timeout { budget } => {
                 write!(f, "session failed to release within {budget} rounds")
@@ -175,6 +193,13 @@ mod tests {
             (SbcError::UnknownInstance { instance: 4 }, "instance #4"),
             (SbcError::InstanceFinished { instance: 7 }, "instance #7"),
             (SbcError::InstanceLive { instance: 3 }, "still live"),
+            (
+                SbcError::NotFresh {
+                    round: 5,
+                    opened: 2,
+                },
+                "not fresh",
+            ),
             (SbcError::NoInput, "nothing submitted"),
             (SbcError::Timeout { budget: 9 }, "9 rounds"),
             (

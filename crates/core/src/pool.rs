@@ -909,9 +909,54 @@ impl<W: SbcWorld> SbcPool<W> {
         self.world.round()
     }
 
+    /// Fast-forwards a **fresh** pool to shared-clock round `round` with
+    /// the next instance id at `next_instance` — the restore seam behind
+    /// era-based checkpointing in `sbc-service`.
+    ///
+    /// At a checkpoint boundary every pre-boundary instance has been
+    /// delivered and pruned, so the pool's entire state is the pair
+    /// `(round, next)`: instance seed forks depend only on the id, a new
+    /// instance catches up to any round in O(1) via `join_at`, and the
+    /// session-adversary DRBG is untouched as long as no adversarial
+    /// operation has consumed it. A fresh pool fast-forwarded this way
+    /// therefore continues **bit-identically** to the original — for
+    /// pools driven without corruption or injection (the service's
+    /// discipline). Pools that have corrupted parties or consumed
+    /// adversarial randomness are outside the checkpoint contract; their
+    /// restore path is full journal replay.
+    ///
+    /// # Errors
+    ///
+    /// [`SbcError::NotFresh`] if the pool has already opened an instance
+    /// or advanced its clock — fast-forward would silently discard that
+    /// history.
+    pub fn resume_at(&mut self, round: u64, next_instance: u64) -> Result<(), SbcError> {
+        if self.world.round != 0
+            || self.world.next != 0
+            || !self.world.retired.is_empty()
+            || !self.state.is_empty()
+        {
+            return Err(SbcError::NotFresh {
+                round: self.world.round,
+                opened: self.world.next,
+            });
+        }
+        self.world.round = round;
+        self.world.next = next_instance;
+        Ok(())
+    }
+
     /// Ids of all live instances, in id order.
     pub fn live_instances(&self) -> Vec<InstanceId> {
         self.world.live_ids()
+    }
+
+    /// The id the next [`open_instance`](SbcPool::open_instance) call
+    /// will assign — equivalently, how many instance ids this pool has
+    /// consumed. Together with [`round`](SbcPool::round) this is the
+    /// complete fast-forward coordinate for [`resume_at`](SbcPool::resume_at).
+    pub fn next_instance_id(&self) -> u64 {
+        self.world.next
     }
 
     /// Whether `party` is corrupted (globally, in every instance).
@@ -1574,6 +1619,55 @@ mod tests {
         pool.submit(id, 0, b"one").unwrap();
         pool.submit(id, 2, b"two").unwrap();
         assert_eq!(pool.run_to_completion(id).unwrap(), expect);
+    }
+
+    #[test]
+    fn resume_at_continues_bit_identically_from_a_flat_boundary() {
+        // Drive a pool through two delivered-and-pruned instances, then
+        // fast-forward a fresh pool to the same (round, next) pair: both
+        // must produce bit-identical releases from there on.
+        let mut a = SbcPool::builder(2).seed(b"resume").build().unwrap();
+        for k in 0..2 {
+            let id = a.open_instance().unwrap();
+            a.submit(id, 0, format!("m{k}").as_bytes()).unwrap();
+            a.run_to_completion(id).unwrap();
+            a.finish(id).unwrap();
+            a.prune(id).unwrap();
+        }
+        assert_eq!(a.footprint(), PoolFootprint::default(), "flat boundary");
+        let (round, next) = (a.round(), 2);
+
+        let mut b = SbcPool::builder(2).seed(b"resume").build().unwrap();
+        b.resume_at(round, next).unwrap();
+        assert_eq!(b.round(), round);
+
+        let ia = a.open_instance().unwrap();
+        let ib = b.open_instance().unwrap();
+        assert_eq!(ia, ib, "instance ids continue from the same point");
+        a.submit(ia, 1, b"post-boundary").unwrap();
+        b.submit(ib, 1, b"post-boundary").unwrap();
+        let ra = a.run_to_completion(ia).unwrap();
+        let rb = b.run_to_completion(ib).unwrap();
+        assert_eq!(ra, rb, "fast-forwarded pool is bit-identical");
+    }
+
+    #[test]
+    fn resume_at_refuses_a_pool_with_history() {
+        let mut pool = SbcPool::builder(2).seed(b"resume-used").build().unwrap();
+        pool.open_instance().unwrap();
+        assert_eq!(
+            pool.resume_at(7, 3),
+            Err(SbcError::NotFresh {
+                round: 0,
+                opened: 1
+            })
+        );
+        let mut ticked = SbcPool::builder(2).seed(b"resume-ticked").build().unwrap();
+        ticked.step_round().unwrap();
+        assert!(matches!(
+            ticked.resume_at(7, 3),
+            Err(SbcError::NotFresh { .. })
+        ));
     }
 
     #[test]

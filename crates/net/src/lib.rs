@@ -44,7 +44,11 @@ pub mod tcp;
 pub mod transport;
 pub mod world;
 
-pub use codec::{CodecError, Endpoint, Frame, FrameKind, NetError};
+pub use codec::{
+    decode_snapshot_stream, encode_snapshot_stream, read_snapshot_stream, write_snapshot_stream,
+    CodecError, Endpoint, Frame, FrameKind, NetError, SnapshotStream, SnapshotStreamError,
+    SNAPSHOT_CHUNK_BYTES, SNAPSHOT_STREAM_VERSION,
+};
 pub use tcp::{TcpConfig, TcpFaultHandle, TcpHarness, TcpProfile, TcpSbcWorld, TcpTransport};
 pub use transport::{Loopback, SimConfig, SimNet, Transport, TransportStats};
 pub use world::{

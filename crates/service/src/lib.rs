@@ -26,11 +26,18 @@
 //!   as a [`ServiceStats`] snapshot (p50/p90/p99, counters, peaks); an
 //!   optional wall-clock view (`ServiceConfig::record_wall_clock`) adds a
 //!   µs-grained [`WallLatencySummary`] for real-socket backends.
-//! * **Snapshot/restore** — [`SbcService::snapshot`] serializes the
-//!   service as a deterministic operation journal through the `sbc-net`
-//!   codec ([`sbc_net::Frame`] / `FrameKind::Snapshot`);
-//!   [`SbcService::restore`] replays it, reproducing release transcripts
-//!   bit-identically — a service killed mid-epoch resumes where it died.
+//! * **Era-based snapshot/restore** — [`SbcService::checkpoint`] folds
+//!   the deterministic operation journal into a compact checkpoint at
+//!   era boundaries (everything delivered, drained, and pruned), so
+//!   [`SbcService::snapshot`] carries (checkpoint ‖ short tail) as a
+//!   streaming multi-frame image through the `sbc-net` codec —
+//!   `SnapshotHeader` ‖ `SnapshotChunk`× ‖ SHA-256 `SnapshotTrailer`,
+//!   with [`SbcService::snapshot_to`]/[`SbcService::restore_from`]
+//!   streaming straight over [`std::io`]. [`SbcService::restore`]
+//!   fast-forwards a fresh pool through the checkpoint and replays only
+//!   the tail, reproducing release transcripts bit-identically — a
+//!   service killed mid-epoch resumes where it died, at restore cost
+//!   O(current era) instead of O(lifetime).
 //!
 //! The service is generic over the [`sbc_core::worlds::SbcBackend`] seam:
 //! the same driver runs over `RealSbcWorld` (in-process),

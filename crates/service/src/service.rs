@@ -25,6 +25,7 @@
 //! the accepted operation sequence (submits and ticks). That is what
 //! makes the operation-journal snapshot in [`crate::snapshot`] exact.
 
+use std::cell::Cell;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 use std::time::Instant;
@@ -320,15 +321,33 @@ pub enum ServiceError {
         /// The configured queue bound.
         cap: usize,
     },
-    /// The operation journal no longer fits one codec frame. The size
-    /// reported is the frame's *declared* length (header + body, the
-    /// quantity the codec's own `Oversize` rule caps), so the guard
-    /// refuses exactly the images `restore` would refuse to decode.
+    /// **Deprecated — legacy single-frame path only.** The operation
+    /// journal no longer fits one codec frame. The size reported is the
+    /// frame's *declared* length (header + body, the quantity the
+    /// codec's own `Oversize` rule caps), so the guard refuses exactly
+    /// the images `restore` would refuse to decode.
+    ///
+    /// Unreachable from [`SbcService::snapshot`]: the streaming
+    /// multi-frame v2 format chunks a payload of any size, so only the
+    /// kept-for-compatibility [`SbcService::snapshot_legacy`] path can
+    /// still return this.
     SnapshotTooLarge {
         /// The declared frame length the snapshot would need.
         bytes: usize,
         /// The codec's hard frame cap (`MAX_FRAME`).
         max: usize,
+    },
+    /// A checkpoint was requested mid-era: pre-boundary instances are
+    /// still live, or released records have not been delivered yet. A
+    /// checkpoint boundary requires every pre-boundary instance
+    /// delivered, drained, and pruned (pool footprint flat) — queued
+    /// submissions are fine (they fold into the checkpoint), in-flight
+    /// epochs are not.
+    NotAtBoundary {
+        /// Instances still live.
+        live: usize,
+        /// Released records still parked for `drain_releases`.
+        parked: usize,
     },
     /// The snapshot bytes are not a valid service image.
     BadSnapshot {
@@ -354,6 +373,12 @@ impl fmt::Display for ServiceError {
                 write!(
                     f,
                     "snapshot is {bytes} bytes, exceeding the {max}-byte frame cap"
+                )
+            }
+            ServiceError::NotAtBoundary { live, parked } => {
+                write!(
+                    f,
+                    "not at an era boundary: {live} instances live, {parked} records undelivered"
                 )
             }
             ServiceError::BadSnapshot { detail } => write!(f, "bad snapshot: {detail}"),
@@ -404,8 +429,58 @@ pub(crate) enum Op {
         /// Deadline class it was queued under.
         class: DeadlineClass,
     },
-    /// One driver tick.
-    Tick,
+    /// A run of consecutive driver ticks, run-length encoded: an idle
+    /// service journals O(1) entries per quiet stretch instead of one
+    /// per round, so snapshot size no longer grows with wall time.
+    Ticks(u64),
+}
+
+/// A folded journal prefix: the complete deterministic service state at
+/// an era boundary, captured when [`SbcService::checkpoint`] truncates
+/// the journal.
+///
+/// The record is small and bounded: at a boundary every pre-boundary
+/// instance has been delivered and pruned, so the pool collapses to its
+/// `(round, next instance id)` fast-forward coordinate
+/// ([`sbc_core::pool::SbcPool::resume_at`]) and the only service state
+/// left is the queues, the counters, and the latency histogram. Restore
+/// cost is O(this record + the post-boundary tail), not O(lifetime).
+#[derive(Clone, Debug)]
+pub(crate) struct Checkpoint {
+    /// Checkpoint generation: 0 for the fresh-service base, +1 per fold.
+    pub(crate) era: u64,
+    /// The shared-clock round at the boundary.
+    pub(crate) round: u64,
+    /// The pool's next instance id at the boundary.
+    pub(crate) next_instance: u64,
+    /// The next submission ticket at the boundary.
+    pub(crate) next_ticket: u64,
+    /// Absolute counter values at the boundary (tail replay re-derives
+    /// everything after).
+    pub(crate) counters: Counters,
+    /// The rounds-latency histogram at the boundary.
+    pub(crate) hist: LatencyHistogram,
+    /// Queued-but-unadmitted submissions per class, in queue order:
+    /// `(ticket, payload, enqueued_round)` — the class is the queue
+    /// index.
+    pub(crate) queues: [Vec<(u64, Vec<u8>, u64)>; 3],
+}
+
+impl Checkpoint {
+    /// The era-0 base every fresh service starts from: an empty
+    /// checkpoint at round 0. Snapshot/restore treats eras uniformly —
+    /// a never-checkpointed service restores through this trivial base.
+    pub(crate) fn initial() -> Self {
+        Checkpoint {
+            era: 0,
+            round: 0,
+            next_instance: 0,
+            next_ticket: 0,
+            counters: Counters::default(),
+            hist: LatencyHistogram::new(),
+            queues: [Vec::new(), Vec::new(), Vec::new()],
+        }
+    }
 }
 
 /// The long-lived submission-serving service over one [`SbcPool`].
@@ -427,28 +502,36 @@ pub struct SbcService<W: SbcBackend = RealSbcWorld> {
     /// pruned until the record is drained (deliver-before-reclaim).
     undelivered: BTreeSet<u64>,
     sinks: Vec<Box<dyn ReleaseSink>>,
+    /// The post-boundary operation tail — everything accepted since the
+    /// last checkpoint (since birth at era 0).
     pub(crate) journal: Vec<Op>,
+    /// The folded prefix the journal is relative to.
+    pub(crate) checkpoint: Checkpoint,
     hist: LatencyHistogram,
     wall: WallHistogram,
     next_ticket: u64,
     live: usize,
     stats: Counters,
+    /// Bytes of the most recent snapshot image produced (or restored
+    /// from). Observational only — like the wall-clock view it is
+    /// excluded from images and from determinism comparisons.
+    snapshot_bytes: Cell<u64>,
 }
 
 /// The mutable counter block behind [`ServiceStats`].
 #[derive(Clone, Debug, Default)]
-struct Counters {
-    accepted: u64,
-    rejected: u64,
-    deferred: u64,
-    delivered: u64,
-    opened: u64,
-    finished: u64,
-    pruned: u64,
-    ticks: u64,
-    peak_live: usize,
-    peak_queue: usize,
-    leak_overflow: u64,
+pub(crate) struct Counters {
+    pub(crate) accepted: u64,
+    pub(crate) rejected: u64,
+    pub(crate) deferred: u64,
+    pub(crate) delivered: u64,
+    pub(crate) opened: u64,
+    pub(crate) finished: u64,
+    pub(crate) pruned: u64,
+    pub(crate) ticks: u64,
+    pub(crate) peak_live: usize,
+    pub(crate) peak_queue: usize,
+    pub(crate) leak_overflow: u64,
 }
 
 impl<W: SbcBackend> SbcService<W> {
@@ -479,11 +562,13 @@ impl<W: SbcBackend> SbcService<W> {
             undelivered: BTreeSet::new(),
             sinks: Vec::new(),
             journal: Vec::new(),
+            checkpoint: Checkpoint::initial(),
             hist: LatencyHistogram::new(),
             wall: WallHistogram::new(),
             next_ticket: 0,
             live: 0,
             stats: Counters::default(),
+            snapshot_bytes: Cell::new(0),
         })
     }
 
@@ -551,7 +636,12 @@ impl<W: SbcBackend> SbcService<W> {
     /// [`ServiceError::Pool`] on a broken pool invariant; admission
     /// errors other than the deferred-window case propagate the same way.
     pub fn tick(&mut self) -> Result<(), ServiceError> {
-        self.journal.push(Op::Tick);
+        // Run-length encode consecutive ticks: an idle stretch of any
+        // length is one journal entry.
+        match self.journal.last_mut() {
+            Some(Op::Ticks(count)) => *count += 1,
+            _ => self.journal.push(Op::Ticks(1)),
+        }
         self.stats.ticks += 1;
         self.admit()?;
         self.stats.peak_live = self.stats.peak_live.max(self.live);
@@ -753,6 +843,10 @@ impl<W: SbcBackend> SbcService<W> {
             live: self.live,
             leak_overflow: self.stats.leak_overflow,
             round: self.pool.round(),
+            era: self.checkpoint.era,
+            checkpoint_round: self.checkpoint.round,
+            journal_ops: self.journal.len() as u64,
+            snapshot_bytes: self.snapshot_bytes.get(),
             latency: self.hist.summary(),
             wall: self.cfg.record_wall_clock.then(|| self.wall.summary()),
         }
@@ -774,13 +868,114 @@ impl<W: SbcBackend> SbcService<W> {
         self.live
     }
 
-    /// Restore bookkeeping: how many leading release records of the
-    /// replayed run had already left the original service. Discards them
-    /// from the outbox (reclaiming their instances) without recounting
-    /// them as fresh deliveries, then overlays the non-replayable
-    /// counters.
-    pub(crate) fn mark_restored(&mut self, delivered: u64, rejected: u64) {
-        for _ in 0..delivered {
+    /// The service's era: how many times the journal has been folded
+    /// into a checkpoint (0 for a never-checkpointed service).
+    pub fn era(&self) -> u64 {
+        self.checkpoint.era
+    }
+
+    /// Whether the service currently sits at an era boundary: every
+    /// instance opened so far has released, been delivered (or drained),
+    /// and been pruned — the pool footprint is flat. Queued submissions
+    /// do not block a boundary; in-flight epochs and undelivered records
+    /// do.
+    pub fn at_boundary(&self) -> bool {
+        self.live == 0
+            && self.outbox.is_empty()
+            && self.undelivered.is_empty()
+            && self.pool.footprint() == PoolFootprint::default()
+    }
+
+    /// Folds the journal into a compact checkpoint record and truncates
+    /// it, advancing the era. After this, snapshots carry (checkpoint +
+    /// post-boundary tail) instead of the journal since birth — image
+    /// size and restore time become O(current era).
+    ///
+    /// Valid only at an era boundary ([`at_boundary`](Self::at_boundary)):
+    /// with no instance live and nothing undelivered, the pool collapses
+    /// to its `(round, next id)` fast-forward coordinate and the queues,
+    /// counters, and histogram are the whole remaining state.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::NotAtBoundary`] when pre-boundary state is still
+    /// in flight; the service is unchanged.
+    pub fn checkpoint(&mut self) -> Result<(), ServiceError> {
+        if !self.at_boundary() {
+            return Err(ServiceError::NotAtBoundary {
+                live: self.live,
+                parked: self.outbox.len(),
+            });
+        }
+        debug_assert!(self.collecting.is_none(), "no live instance, no window");
+        debug_assert!(self.inflight.is_empty(), "no live instance, no inflight");
+        let queues = [0, 1, 2].map(|i: usize| {
+            self.queues[i]
+                .iter()
+                .map(|p| (p.ticket, p.payload.clone(), p.enqueued_round))
+                .collect()
+        });
+        self.checkpoint = Checkpoint {
+            era: self.checkpoint.era + 1,
+            round: self.pool.round(),
+            next_instance: self.pool.next_instance_id(),
+            next_ticket: self.next_ticket,
+            counters: self.stats.clone(),
+            hist: self.hist.clone(),
+            queues,
+        };
+        self.journal.clear();
+        Ok(())
+    }
+
+    /// [`checkpoint`](Self::checkpoint) if the service is at an era
+    /// boundary; returns whether a fold happened. The polling form for
+    /// drivers that checkpoint opportunistically between epochs.
+    pub fn try_checkpoint(&mut self) -> bool {
+        self.at_boundary() && self.checkpoint().is_ok()
+    }
+
+    /// Restore seam: installs a decoded checkpoint into a **fresh**
+    /// service — fast-forwards the pool, rebuilds the queues (wall-clock
+    /// arrival times are gone; they are observational), and overlays the
+    /// boundary-time counters and histogram. Tail replay then re-derives
+    /// everything after the boundary.
+    pub(crate) fn apply_checkpoint(&mut self, cp: Checkpoint) -> Result<(), ServiceError> {
+        self.pool.resume_at(cp.round, cp.next_instance)?;
+        for (i, entries) in cp.queues.iter().enumerate() {
+            let class = DeadlineClass::from_tag(i as u64).expect("queue index is a valid class");
+            for (ticket, payload, enqueued_round) in entries {
+                self.queues[i].push_back(Pending {
+                    ticket: *ticket,
+                    payload: payload.clone(),
+                    class,
+                    enqueued_round: *enqueued_round,
+                    enqueued_at: None,
+                });
+            }
+        }
+        self.next_ticket = cp.next_ticket;
+        self.stats = cp.counters.clone();
+        self.hist = cp.hist.clone();
+        self.checkpoint = cp;
+        Ok(())
+    }
+
+    /// Records the byte size of the image this service was just
+    /// serialized to (or restored from) — surfaced as
+    /// [`ServiceStats::snapshot_bytes`], observational only.
+    pub(crate) fn note_snapshot_bytes(&self, bytes: u64) {
+        self.snapshot_bytes.set(bytes);
+    }
+
+    /// Restore bookkeeping: `already_delivered` is how many of the
+    /// records released during tail replay had already left the original
+    /// service (delivered at capture minus delivered at the checkpoint
+    /// base). Discards them from the outbox (reclaiming their instances)
+    /// without recounting them as fresh deliveries, then overlays the
+    /// absolute non-replayable counters.
+    pub(crate) fn mark_restored(&mut self, already_delivered: u64, delivered: u64, rejected: u64) {
+        for _ in 0..already_delivered {
             let Some(rec) = self.outbox.pop_front() else {
                 break;
             };
@@ -791,7 +986,7 @@ impl<W: SbcBackend> SbcService<W> {
             }
         }
         self.stats.delivered = delivered;
-        self.stats.rejected += rejected;
+        self.stats.rejected = rejected;
     }
 }
 
@@ -938,6 +1133,7 @@ mod tests {
         for e in [
             ServiceError::QueueFull { cap: 4 },
             ServiceError::SnapshotTooLarge { bytes: 9, max: 5 },
+            ServiceError::NotAtBoundary { live: 2, parked: 1 },
             ServiceError::BadSnapshot { detail: "d".into() },
             ServiceError::Timeout { budget: 3 },
             ServiceError::Pool(SbcError::NoInput),

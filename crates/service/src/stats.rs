@@ -81,6 +81,33 @@ impl LatencyHistogram {
         (Self::BUCKETS - 1) as u64
     }
 
+    /// The raw state behind the histogram, in serialization order:
+    /// `(buckets, count, sum, max)`. Checkpoint encoding reads this; the
+    /// summary API stays the only public view.
+    pub(crate) fn raw_parts(&self) -> (&[u64], u64, u64, u64) {
+        (&self.buckets, self.count, self.sum, self.max)
+    }
+
+    /// Rebuilds a histogram from its raw state. `None` when the bucket
+    /// vector is not exactly [`Self::BUCKETS`] long — a decoded
+    /// checkpoint with the wrong arity is a bad snapshot, not a panic.
+    pub(crate) fn from_raw_parts(
+        buckets: Vec<u64>,
+        count: u64,
+        sum: u64,
+        max: u64,
+    ) -> Option<Self> {
+        if buckets.len() != Self::BUCKETS {
+            return None;
+        }
+        Some(LatencyHistogram {
+            buckets,
+            count,
+            sum,
+            max,
+        })
+    }
+
     /// Collapses the histogram into the summary carried by
     /// [`ServiceStats`].
     pub fn summary(&self) -> LatencySummary {
@@ -261,6 +288,22 @@ pub struct ServiceStats {
     pub leak_overflow: u64,
     /// The shared clock round.
     pub round: u64,
+    /// The service's era: how many times the operation journal has been
+    /// folded into a checkpoint (0 for a never-checkpointed service).
+    pub era: u64,
+    /// The shared-clock round of the last checkpoint boundary (0 at era
+    /// 0).
+    pub checkpoint_round: u64,
+    /// Operations in the post-checkpoint journal tail — what a snapshot
+    /// taken now would have to replay. Era-based checkpointing keeps
+    /// this O(current era) instead of O(lifetime).
+    pub journal_ops: u64,
+    /// Bytes of the most recent snapshot image produced by (or restored
+    /// into) this service; 0 until one exists. **Observational only**:
+    /// like `wall`, it is excluded from snapshots and is the one
+    /// non-`wall` field that may differ between a live service and its
+    /// restored twin — mask it in determinism comparisons.
+    pub snapshot_bytes: u64,
     /// Submit→release latency summary (rounds).
     pub latency: LatencySummary,
     /// Wall-clock submit→release latency summary (µs). `None` unless the

@@ -13,14 +13,19 @@
 //! cargo run -p sbc-bench --example sbc_serve --release -- \
 //!     [--mode beacon|election|auction] \
 //!     [--backend real|loopback|simnet|tcp] \
-//!     [--total N] [--smoke]
+//!     [--total N] [--smoke] \
+//!     [--snapshot-path FILE] [--restore-from FILE]
 //! ```
 //!
 //! Defaults: beacon mode, the in-process `RealSbcWorld` backend, 2000
 //! submissions. `--backend tcp` runs every party link over OS loopback
 //! sockets (and the restored twin brings up its own fresh lanes).
 //! `--smoke` shrinks the run for CI (200 submissions, quiet per-release
-//! output).
+//! output). `--snapshot-path` checkpoints the drained service at the end
+//! of the run and streams an era-based snapshot into FILE;
+//! `--restore-from` boots the service from such a file instead of fresh,
+//! continuing its eras — together they give `sbc-serve` real
+//! stop-the-process/resume-the-process persistence.
 
 use sbc_core::pool::PoolFootprint;
 use sbc_core::worlds::{RealSbcWorld, SbcBackend};
@@ -35,6 +40,8 @@ struct Args {
     backend: String,
     total: u64,
     smoke: bool,
+    snapshot_path: Option<String>,
+    restore_from: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -43,6 +50,8 @@ fn parse_args() -> Args {
         backend: "real".to_string(),
         total: 2000,
         smoke: false,
+        snapshot_path: None,
+        restore_from: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -70,6 +79,18 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|| die("--total expects a number"));
             }
             "--smoke" => args.smoke = true,
+            "--snapshot-path" => {
+                args.snapshot_path = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--snapshot-path expects a file")),
+                );
+            }
+            "--restore-from" => {
+                args.restore_from = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--restore-from expects a file")),
+                );
+            }
             other => die(&format!("unknown flag {other}")),
         }
     }
@@ -114,21 +135,42 @@ fn describe(outcome: &Outcome) -> String {
     }
 }
 
-/// Stats with the wall-clock view masked off: the wall histogram is
-/// observational and deliberately excluded from snapshots, so a restored
-/// service always reports `wall: None` — comparisons against it must
-/// compare everything else.
+/// Stats with the observational fields masked off: the wall histogram is
+/// deliberately excluded from snapshots (a restored service reports
+/// `wall: None`), and `snapshot_bytes` records image sizes that
+/// legitimately differ between a service and its restored twin —
+/// comparisons must cover everything else.
 fn replayable(svc: &SbcService<impl SbcBackend>) -> sbc_service::ServiceStats {
     let mut stats = svc.stats();
     stats.wall = None;
+    stats.snapshot_bytes = 0;
     stats
 }
 
 fn serve<W: SbcBackend>(args: &Args) -> Result<(), ServiceError> {
-    let cfg = ServiceConfig::new(4, args.mode)
-        .seed(b"sbc-serve")
-        .record_wall_clock(true);
-    let mut svc: SbcService<W> = SbcService::new(cfg)?;
+    // Boot: fresh, or resumed from an era-based snapshot file.
+    let mut svc: SbcService<W> = match &args.restore_from {
+        Some(path) => {
+            let mut file = std::fs::File::open(path)
+                .unwrap_or_else(|e| die(&format!("--restore-from {path}: {e}")));
+            let svc = SbcService::restore_from(&mut file)?;
+            println!(
+                "restored from {path}: era {} @round {} ({} delivered so far)",
+                svc.era(),
+                svc.round(),
+                svc.stats().delivered
+            );
+            svc
+        }
+        None => SbcService::new(
+            ServiceConfig::new(4, args.mode)
+                .seed(b"sbc-serve")
+                .record_wall_clock(true),
+        )?,
+    };
+    // The load this run adds on top of whatever the restored image
+    // already processed.
+    let base = svc.stats();
     let mut gen = LoadGen::new(profile(args.mode, args.total), b"sbc-serve");
 
     println!(
@@ -157,7 +199,7 @@ fn serve<W: SbcBackend>(args: &Args) -> Result<(), ServiceError> {
             let restored: SbcService<W> = SbcService::restore(&image)?;
             assert_eq!(restored.round(), svc.round(), "kill drill: clock agrees");
             assert_eq!(
-                restored.stats(),
+                replayable(&restored),
                 replayable(&svc),
                 "kill drill: stats agree"
             );
@@ -225,16 +267,45 @@ fn serve<W: SbcBackend>(args: &Args) -> Result<(), ServiceError> {
     let image = svc.snapshot()?;
     let restored: SbcService<W> = SbcService::restore(&image)?;
     assert_eq!(restored.round(), svc.round(), "restore: clock agrees");
-    assert_eq!(restored.stats(), replayable(&svc), "restore: stats agree");
+    assert_eq!(
+        replayable(&restored),
+        replayable(&svc),
+        "restore: stats agree"
+    );
 
     let stats = svc.stats();
-    assert_eq!(stats.accepted, args.total, "every submission accepted");
-    assert_eq!(stats.latency.count, args.total, "every submission released");
+    assert_eq!(
+        stats.accepted,
+        base.accepted + args.total,
+        "every submission accepted"
+    );
+    assert_eq!(
+        stats.latency.count,
+        base.latency.count + args.total,
+        "every submission released"
+    );
     assert_eq!(
         svc.footprint(),
         PoolFootprint::default(),
         "steady-state memory flat after drain"
     );
+
+    // Persistence: fold the drained run into a checkpoint and stream the
+    // era-based image to disk — `--restore-from` picks it up next boot.
+    if let Some(path) = &args.snapshot_path {
+        assert!(
+            svc.try_checkpoint(),
+            "drained service must sit at an era boundary"
+        );
+        let mut file = std::fs::File::create(path)
+            .unwrap_or_else(|e| die(&format!("--snapshot-path {path}: {e}")));
+        let written = svc.snapshot_to(&mut file)?;
+        println!(
+            "checkpointed into era {} and wrote a {} byte snapshot to {path}",
+            svc.era(),
+            written
+        );
+    }
     println!(
         "done: {} released over {} instances in {} rounds | latency rounds p50={} p90={} p99={} max={} | peak live={} peak queue={} deferred={} leak-overflow={}",
         stats.latency.count,

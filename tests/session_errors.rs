@@ -154,6 +154,7 @@ fn exhaustive_sbc_error_variant_round_trips() {
             SbcError::UnknownInstance { .. } => "never opened",
             SbcError::InstanceFinished { .. } => "already finished",
             SbcError::InstanceLive { .. } => "still live",
+            SbcError::NotFresh { .. } => "not fresh",
             SbcError::NoInput => "nothing submitted",
             SbcError::Timeout { .. } => "rounds",
             SbcError::Internal { .. } => "internal",
@@ -173,6 +174,10 @@ fn exhaustive_sbc_error_variant_round_trips() {
         SbcError::UnknownInstance { instance: 11 },
         SbcError::InstanceFinished { instance: 5 },
         SbcError::InstanceLive { instance: 6 },
+        SbcError::NotFresh {
+            round: 7,
+            opened: 2,
+        },
         SbcError::NoInput,
         SbcError::Timeout { budget: 9 },
         SbcError::Internal {
