@@ -1,18 +1,21 @@
 //! `sbc_pool_scaling`: shared-clock throughput of the instance pool as the
-//! number of concurrent SBC instances grows (1 → 8 → 64), measured on both
-//! tick schedulers, plus `sbc_pool_open`: the cost of opening an instance
-//! on a long-lived pool (`T ∈ {0, 1024}`).
+//! number of concurrent SBC instances grows (1 → 8 → 64), measured on the
+//! serial reference scheduler and a worker-count sweep of the parallel
+//! scheduler (`threads ∈ {1, 2}` in smoke mode, plus the detected core
+//! count on a full run), plus `sbc_pool_open`: the cost of opening an
+//! instance on a long-lived pool (`T ∈ {0, 1024}`).
 //!
 //! Each scaling iteration builds a pool, opens `k` instances, submits one
 //! message per instance, and batch-steps the shared clock until every
 //! instance has released. The headline metric is **instance-rounds per
 //! second** — how many (instance × round) units of protocol work the pool
 //! executes per wall-clock second. The serial rows are the reference loop;
-//! the parallel rows fan the per-tick instance work out across
-//! `std::thread::scope` workers and should scale toward linear with the
-//! core count on a multi-core host (on a single-core host they mostly pay
-//! thread overhead — the recorded `threads` metric says which regime a
-//! report came from).
+//! the parallel rows fan the per-tick instance work out across persistent
+//! executor workers and should scale toward linear with the core count on
+//! a multi-core host (on a single-core host they mostly pay thread
+//! overhead — every row records the `threads` it ran with and the `cores`
+//! the host actually had, so a report always says which regime it came
+//! from).
 //!
 //! **Determinism gate:** before measuring anything, the run asserts that
 //! the parallel scheduler's full release stream (order included) is
@@ -61,11 +64,20 @@ fn run_pool(instances: usize, mode: TickMode) -> (u64, Vec<(InstanceId, SbcResul
 }
 
 fn main() {
-    let threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
 
-    // Determinism gate: the parallel scheduler must reproduce the serial
-    // release stream bit for bit (results AND order). A divergence panics,
-    // which fails the CI smoke step.
+    // Thread sweep for the parallel scheduler: smoke mode pins {1, 2} (a
+    // bit-rot check must not depend on the runner's core count); a full
+    // run adds the detected core count so multi-core hardware reports its
+    // real parallel scaling.
+    let mut sweep: Vec<usize> = vec![1, 2];
+    if !harness::smoke_mode() && cores > 2 {
+        sweep.push(cores);
+    }
+
+    // Determinism gate: every parallel scheduler configuration must
+    // reproduce the serial release stream bit for bit (results AND
+    // order). A divergence panics, which fails the CI smoke step.
     for instances in [8usize, 64] {
         let (_, serial) = run_pool(instances, TickMode::Serial);
         let (_, parallel) = run_pool(instances, TickMode::Parallel);
@@ -73,42 +85,72 @@ fn main() {
             serial, parallel,
             "parallel tick_all diverged from the serial reference at {instances} instances"
         );
+        for &t in &sweep {
+            let (_, threaded) = run_pool(instances, TickMode::Threads(t));
+            assert_eq!(
+                serial, threaded,
+                "Threads({t}) tick_all diverged from the serial reference at \
+                 {instances} instances"
+            );
+        }
     }
-    println!("determinism gate: parallel release stream == serial (8 and 64 instances)");
+    println!(
+        "determinism gate: parallel release stream == serial \
+         (8 and 64 instances, threads ∈ {sweep:?})"
+    );
 
     let g = harness::group("sbc_pool_scaling");
     let mut records = Vec::new();
     for instances in [1usize, 8, 64] {
-        for (mode, mode_name) in [
-            (TickMode::Serial, "serial"),
-            (TickMode::Parallel, "parallel"),
-        ] {
-            let label = format!("instances={instances}/{mode_name}");
+        let mut serial_median = 0.0f64;
+        let configs = std::iter::once(None).chain(sweep.iter().copied().map(Some));
+        for threads in configs {
+            let (mode, label) = match threads {
+                Some(t) => (
+                    TickMode::Threads(t),
+                    format!("instances={instances}/parallel/t={t}"),
+                ),
+                None => (TickMode::Serial, format!("instances={instances}/serial")),
+            };
             let (rounds, _) = run_pool(instances, mode);
             let stats = g.bench(&label, || run_pool(instances, mode));
             let instance_rounds_per_sec =
                 (instances as f64 * rounds as f64) * 1e9 / stats.median_ns;
             let rounds_per_sec = rounds as f64 * 1e9 / stats.median_ns;
-            println!(
-                "{:<48} {:>14.0} instance-rounds/s",
-                format!("sbc_pool_scaling/{label}"),
-                instance_rounds_per_sec
-            );
+            let mut metrics = vec![
+                ("instances".into(), instances as f64),
+                ("rounds".into(), rounds as f64),
+                ("rounds_per_sec".into(), rounds_per_sec),
+                ("instance_rounds_per_sec".into(), instance_rounds_per_sec),
+                ("parallel".into(), f64::from(u8::from(threads.is_some()))),
+                ("threads".into(), threads.unwrap_or(1) as f64),
+                ("cores".into(), cores as f64),
+            ];
+            match threads {
+                Some(_) => {
+                    let speedup = serial_median / stats.median_ns;
+                    metrics.push(("speedup_vs_serial".into(), speedup));
+                    println!(
+                        "{:<48} {:>14.0} instance-rounds/s   speedup vs serial: {:.2}x",
+                        format!("sbc_pool_scaling/{label}"),
+                        instance_rounds_per_sec,
+                        speedup
+                    );
+                }
+                None => {
+                    serial_median = stats.median_ns;
+                    println!(
+                        "{:<48} {:>14.0} instance-rounds/s",
+                        format!("sbc_pool_scaling/{label}"),
+                        instance_rounds_per_sec
+                    );
+                }
+            }
             records.push(harness::Record {
                 group: "sbc_pool_scaling".into(),
                 label,
                 stats,
-                metrics: vec![
-                    ("instances".into(), instances as f64),
-                    ("rounds".into(), rounds as f64),
-                    ("rounds_per_sec".into(), rounds_per_sec),
-                    ("instance_rounds_per_sec".into(), instance_rounds_per_sec),
-                    (
-                        "parallel".into(),
-                        f64::from(u8::from(mode == TickMode::Parallel)),
-                    ),
-                    ("threads".into(), threads as f64),
-                ],
+                metrics,
             });
         }
     }
@@ -135,7 +177,10 @@ fn main() {
             group: "sbc_pool_open".into(),
             label,
             stats,
-            metrics: vec![("pool_round".into(), t as f64)],
+            metrics: vec![
+                ("pool_round".into(), t as f64),
+                ("cores".into(), cores as f64),
+            ],
         });
     }
 

@@ -127,6 +127,22 @@ impl UbcFunc {
     /// `Advance_Clock` from an honest party: first time per round, flushes
     /// that party's pending messages (in broadcast order) to all parties.
     pub fn advance_clock(&mut self, party: PartyId, ctx: &mut HybridCtx<'_>) -> Vec<Delivery> {
+        let mut deliveries = Vec::new();
+        for msg in self.take_flush(party, ctx) {
+            deliveries.extend(Delivery::to_all(self.n, Command::new("Broadcast", msg)));
+        }
+        deliveries
+    }
+
+    /// The allocation-lean form of [`advance_clock`](UbcFunc::advance_clock):
+    /// identical once-per-round / corruption semantics and identical leak
+    /// emission, but each flushed message is returned **once** (moved out
+    /// of the pending queue) instead of cloned into `n` per-recipient
+    /// [`Delivery`] records. Every returned message is addressed to all of
+    /// `0..n`, in order — the caller owns the fan-out, which lets the
+    /// world deliver a broadcast by reference to every recipient instead
+    /// of paying `messages × n` wire clones per delivery round.
+    pub fn take_flush(&mut self, party: PartyId, ctx: &mut HybridCtx<'_>) -> Vec<Value> {
         if ctx.is_corrupted(party) {
             return Vec::new();
         }
@@ -135,7 +151,7 @@ impl UbcFunc {
             return Vec::new();
         }
         self.last_advance.insert(party, now);
-        let mut deliveries = Vec::new();
+        let mut flushed = Vec::new();
         let mut remaining = Vec::new();
         for (tag, msg, sender) in std::mem::take(&mut self.pending) {
             if sender == party {
@@ -150,13 +166,13 @@ impl UbcFunc {
                         ]),
                     ),
                 );
-                deliveries.extend(Delivery::to_all(self.n, Command::new("Broadcast", msg)));
+                flushed.push(msg);
             } else {
                 remaining.push((tag, msg, sender));
             }
         }
         self.pending = remaining;
-        deliveries
+        flushed
     }
 }
 

@@ -171,9 +171,11 @@ impl TickMode {
 ///
 /// Like [`TickMode`], a performance knob only: the sharded schedule is
 /// bit-identical to the serial loop (pinned at `CompareLevel::Exact` by
-/// `tests/pool.rs` and the `sbc_party_scaling` determinism gate). Backends
-/// without a sharded round (the ideal world, plain bookkeeping stacks) run
-/// their serial step under every mode.
+/// `tests/pool.rs` and the `sbc_party_scaling` determinism gate). Both
+/// shipped backends shard: `RealSbcWorld` splits its release round
+/// plan/apply-style, and `IdealSbcWorld` shards its delivery round (see
+/// `IdealSbcWorld::tick_sharded`). Backends without a sharded round (plain
+/// bookkeeping stacks) run their serial step under every mode.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum PartyShard {
     /// Shard when the instance is large enough
@@ -493,14 +495,14 @@ impl<W: SbcWorld> PooledSbcWorld<W> {
         let workers = self.tick_mode.workers(live, n, self.cores);
         let shard = self.party_shard.enabled(n, workers);
         if !shard && (workers <= 1 || live <= 1) {
-            // Serial reference path.
+            // Serial reference path: the backend's own round-level `tick`
+            // (which may restructure the round internally — the contract
+            // is bit-identical transcripts either way).
             let ids: Vec<u64> = self.live.keys().copied().collect();
             for id in ids {
                 {
                     let world = self.live.get_mut(&id).expect("id drawn from live set");
-                    for p in 0..self.params.n {
-                        world.advance(PartyId(p as u32));
-                    }
+                    world.tick();
                 }
                 self.sync(id);
             }
@@ -527,9 +529,7 @@ impl<W: SbcWorld> PooledSbcWorld<W> {
                             if shard {
                                 world.tick_sharded(exec);
                             } else {
-                                for p in 0..n {
-                                    world.advance(PartyId(p as u32));
-                                }
+                                world.tick();
                             }
                             (world.drain_leaks(), world.drain_outputs())
                         })

@@ -9,6 +9,7 @@
 //! at `τ_rel` everyone decrypts everything and outputs the message vector.
 
 use sbc_broadcast::ubc::UbcLayer;
+use sbc_primitives::sha256::Sha256;
 use sbc_tle::func::{DecResponse, TleFunc};
 use sbc_uc::hybrid::HybridCtx;
 use sbc_uc::ids::PartyId;
@@ -40,6 +41,92 @@ pub fn parse_sbc_wire(v: &Value) -> Option<(Value, u64, Vec<u8>)> {
     ))
 }
 
+/// One broadcast wire, parsed and preprocessed **once** for delivery to
+/// many recipients: the decoded `(c, τ_rel, y)` components, the canonical
+/// ciphertext encoding (the `F_TLE` probe key), and the replay-dedup
+/// fingerprints shared by every recipient's [`WireLog`].
+///
+/// A UBC broadcast reaches all `n` parties identically, so everything
+/// about the wire that does not depend on the recipient — the parse, the
+/// encode, the two dedup fingerprints — is computed here, per message,
+/// and borrowed by each per-recipient [`SbcParty::on_wire_deliver_parsed`]
+/// call. At n = 1000 this turns `messages × n` parse/encode/hash passes
+/// into `messages` of them.
+#[derive(Clone, Debug)]
+pub struct ParsedWire {
+    /// The time-lock ciphertext `c`.
+    pub ct: Value,
+    /// `c`'s canonical encoding — the replay-dedup and `F_TLE` probe key.
+    pub ct_enc: Vec<u8>,
+    /// The release time `τ_rel` the wire claims.
+    pub tau: u64,
+    /// The masked message `y = M ⊕ H(ρ)`.
+    pub y: Vec<u8>,
+    ct_fp: u128,
+    y_fp: u128,
+}
+
+impl ParsedWire {
+    /// Parses and preprocesses a wire payload; `None` on anything that is
+    /// not a `(c, τ_rel, y)` triple (exactly [`parse_sbc_wire`]'s
+    /// acceptance).
+    pub fn parse(v: &Value) -> Option<ParsedWire> {
+        let (ct, tau, y) = parse_sbc_wire(v)?;
+        let ct_enc = ct.encode();
+        let ct_fp = fingerprint(b"sbc-rec/ct", &ct_enc);
+        let y_fp = fingerprint(b"sbc-rec/y", &y);
+        Some(ParsedWire {
+            ct,
+            ct_enc,
+            tau,
+            y,
+            ct_fp,
+            y_fp,
+        })
+    }
+}
+
+/// 128-bit truncated SHA-256 replay-dedup fingerprint, domain-separated
+/// per key space. Fingerprint equality stands in for byte equality of the
+/// keys: producing a divergence takes a 2^64-work truncated-SHA-256
+/// collision, far beyond the security budget of the surrounding protocol
+/// primitives — while shrinking the dedup sets to fixed-width integers
+/// whose growth rehashes are branchless word hashes instead of re-hashing
+/// every stored ciphertext encoding.
+fn fingerprint(domain: &[u8], key: &[u8]) -> u128 {
+    let d = Sha256::digest_parts(&[domain, key]);
+    u128::from_le_bytes(d[..16].try_into().expect("digest is 32 bytes"))
+}
+
+/// Hasher for the fingerprint sets. The keys are 128-bit truncated SHA-256
+/// outputs — already uniform, already collision-resistant against
+/// adversarial inputs — so the low word *is* the hash: probes and growth
+/// rehashes cost a move instead of a SipHash pass (which showed up as
+/// simultaneous multi-millisecond rehash spikes across all `n` recipient
+/// logs in a broadcast round).
+#[derive(Clone, Debug, Default)]
+struct FpHasher(u64);
+
+impl std::hash::Hasher for FpHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Unused by `u128::hash`, which calls `write_u128`; folded anyway
+        // so the hasher stays correct for any caller.
+        for &b in bytes {
+            self.0 = self.0.rotate_left(8) ^ u64::from(b);
+        }
+    }
+
+    fn write_u128(&mut self, v: u128) {
+        self.0 = v as u64;
+    }
+}
+
+type FpSet = HashSet<u128, std::hash::BuildHasherDefault<FpHasher>>;
+
 /// The received-wire log of one party: insertion-ordered `(c, y)` entries
 /// with O(1) replay dedup.
 ///
@@ -51,11 +138,78 @@ pub fn parse_sbc_wire(v: &Value) -> Option<(Value, u64, Vec<u8>)> {
 /// (the `O(s²)` half of the release-phase scans at large sender counts);
 /// the accept/reject decisions, and hence the release transcript, are
 /// unchanged.
+///
+/// The dedup sets store 128-bit truncated SHA-256 fingerprints of the
+/// keys rather than the keys themselves: equality of fingerprints stands
+/// in for byte equality (a divergence needs a 2^64-work collision), the
+/// per-probe hashing cost is a fixed-width word instead of a full
+/// ciphertext encoding, and — the part that showed up as multi-millisecond
+/// spikes at large `n` — a set growth rehash moves integers instead of
+/// re-hashing every stored encoding across all `n` recipient logs at once.
+///
+/// Each entry's canonical ciphertext encoding is computed **once**, at
+/// insertion, and cached next to the entry: it is both the replay-dedup
+/// key (canonical encodings are injective, so encoding equality is value
+/// equality) and the borrowed probe key the release round hands to
+/// `TleFunc::dec_peek_encoded` — one encode per reception instead of one
+/// per (party, sender) probe per release round.
 #[derive(Clone, Debug, Default)]
 pub struct WireLog {
-    entries: Vec<(Value, Vec<u8>)>,
-    seen_cts: HashSet<Value>,
-    seen_ys: HashSet<Vec<u8>>,
+    entries: Vec<StoredWire>,
+    seen_cts: FpSet,
+    seen_ys: FpSet,
+}
+
+/// One recorded wire entry: owned when it arrived through the per-party
+/// [`WireLog::insert`] path, shared when a broadcast fan-out handed every
+/// recipient the same preprocessed [`ParsedWire`] — recording the latter
+/// is a refcount bump, not a copy, so `n` recipients of one broadcast
+/// store its ciphertext once.
+#[derive(Clone, Debug)]
+enum StoredWire {
+    Owned {
+        ct: Value,
+        ct_enc: Vec<u8>,
+        y: Vec<u8>,
+    },
+    Shared(std::sync::Arc<ParsedWire>),
+}
+
+impl StoredWire {
+    fn ct(&self) -> &Value {
+        match self {
+            StoredWire::Owned { ct, .. } => ct,
+            StoredWire::Shared(w) => &w.ct,
+        }
+    }
+
+    fn ct_enc(&self) -> &[u8] {
+        match self {
+            StoredWire::Owned { ct_enc, .. } => ct_enc,
+            StoredWire::Shared(w) => &w.ct_enc,
+        }
+    }
+
+    fn y(&self) -> &[u8] {
+        match self {
+            StoredWire::Owned { y, .. } => y,
+            StoredWire::Shared(w) => &w.y,
+        }
+    }
+
+    /// Whether two recorded entries are the same reception. Two `Shared`
+    /// entries from one broadcast fan-out are the same `Arc` — a pointer
+    /// compare; anything else falls back to byte equality of the canonical
+    /// encoding and the mask (exact, since canonical encodings are
+    /// injective).
+    fn same_wire(&self, other: &StoredWire) -> bool {
+        if let (StoredWire::Shared(a), StoredWire::Shared(b)) = (self, other) {
+            if std::sync::Arc::ptr_eq(a, b) {
+                return true;
+            }
+        }
+        self.ct_enc() == other.ct_enc() && self.y() == other.y()
+    }
 }
 
 impl WireLog {
@@ -67,18 +221,51 @@ impl WireLog {
     /// Records `(ct, y)` unless either key was seen before; returns whether
     /// the entry was fresh.
     pub fn insert(&mut self, ct: Value, y: Vec<u8>) -> bool {
-        if self.seen_cts.contains(&ct) || self.seen_ys.contains(&y) {
+        let ct_enc = ct.encode();
+        let ct_fp = fingerprint(b"sbc-rec/ct", &ct_enc);
+        let y_fp = fingerprint(b"sbc-rec/y", &y);
+        if self.seen_cts.contains(&ct_fp) || self.seen_ys.contains(&y_fp) {
             return false;
         }
-        self.seen_cts.insert(ct.clone());
-        self.seen_ys.insert(y.clone());
-        self.entries.push((ct, y));
+        self.seen_cts.insert(ct_fp);
+        self.seen_ys.insert(y_fp);
+        self.entries.push(StoredWire::Owned { ct, ct_enc, y });
         true
     }
 
-    /// The recorded entries, in arrival order.
-    pub fn entries(&self) -> &[(Value, Vec<u8>)] {
-        &self.entries
+    /// [`insert`](WireLog::insert) with the parse, the canonical encoding
+    /// and the dedup fingerprints already computed — and shared — by the
+    /// caller: the broadcast fan-out path, where one wire reaches every
+    /// recipient and all recipient-independent work is hoisted to once
+    /// per message. Replays pay two integer set probes; a fresh entry is
+    /// recorded as a refcount bump on the shared wire, so the fan-out
+    /// allocates nothing per recipient.
+    pub fn insert_parsed(&mut self, wire: &std::sync::Arc<ParsedWire>) -> bool {
+        if self.seen_cts.contains(&wire.ct_fp) || self.seen_ys.contains(&wire.y_fp) {
+            return false;
+        }
+        self.seen_cts.insert(wire.ct_fp);
+        self.seen_ys.insert(wire.y_fp);
+        self.entries.push(StoredWire::Shared(wire.clone()));
+        true
+    }
+
+    /// The recorded `(c, y)` entries, in arrival order.
+    pub fn entries(&self) -> impl Iterator<Item = (&Value, &[u8])> {
+        self.entries.iter().map(|e| (e.ct(), e.y()))
+    }
+
+    /// The recorded entries with their cached canonical ciphertext
+    /// encodings, in arrival order, as `(ct_enc, y)` — the release round's
+    /// iteration view (it probes `F_TLE` by encoding and never needs the
+    /// decoded `Value`).
+    pub fn entries_encoded(&self) -> impl Iterator<Item = (&[u8], &[u8])> {
+        self.entries.iter().map(|e| (e.ct_enc(), e.y()))
+    }
+
+    /// How many entries have been recorded.
+    pub fn len(&self) -> usize {
+        self.entries.len()
     }
 
     /// Whether nothing has been recorded.
@@ -91,6 +278,23 @@ impl WireLog {
         self.entries.clear();
         self.seen_cts.clear();
         self.seen_ys.clear();
+    }
+
+    /// Whether `other` records exactly the same receptions in the same
+    /// order. In a broadcast execution every wire reaches every recipient,
+    /// so recipient logs are normally identical — and identical logs mean
+    /// identical release computations, which is what lets a round scheduler
+    /// compute one [`ReleasePlan`] and [`reissue`](ReleasePlan::reissue) it
+    /// to every party that passes this check. Entries recorded from one
+    /// fan-out share their `Arc`, so the common case is a pointer compare
+    /// per entry; mixed origins fall back to exact byte comparison.
+    pub fn same_receptions(&self, other: &WireLog) -> bool {
+        self.entries.len() == other.entries.len()
+            && self
+                .entries
+                .iter()
+                .zip(&other.entries)
+                .all(|(a, b)| a.same_wire(b))
     }
 }
 
@@ -122,7 +326,13 @@ pub struct ReleasePlan {
     cmd: Command,
     /// The `F_RO` queries the inline step would have issued, in order —
     /// `(ρ, η)` pairs replayed via `RandomOracle::absorb_party_queries`.
-    ro_queries: Vec<(Vec<u8>, Vec<u8>)>,
+    /// Shared so a reissued plan is a refcount bump, not a deep copy of
+    /// every mask.
+    ro_queries: std::sync::Arc<Vec<(Vec<u8>, Vec<u8>)>>,
+    /// Set on reissued plans: the points are already in the oracle's memo
+    /// tables (the original plan warmed them), so the merge replays only
+    /// the query counter instead of re-probing every point.
+    warmed: bool,
 }
 
 impl ReleasePlan {
@@ -142,6 +352,25 @@ impl ReleasePlan {
             })
             .collect();
         ro.warm(&points);
+    }
+
+    /// A copy of this plan for another party with the **same release
+    /// view** — broadcast reaches everyone, so every party whose wire log
+    /// passes [`WireLog::same_receptions`] computes bit-for-bit this same
+    /// plan, and recomputing it `n − 1` times was the dominant cost of a
+    /// large-`n` release round. The reissue shares the oracle-query list
+    /// (refcount bump) and marks it warmed: callers must have called
+    /// [`warm_oracle`](ReleasePlan::warm_oracle) on the original first, so
+    /// the merge's replay degenerates to a query-count bump
+    /// ([`RandomOracle::replay_warmed_queries`]). Only the output command
+    /// is cloned — each party owns its output.
+    pub fn reissue(&self) -> ReleasePlan {
+        ReleasePlan {
+            round: self.round,
+            cmd: self.cmd.clone(),
+            ro_queries: std::sync::Arc::clone(&self.ro_queries),
+            warmed: true,
+        }
     }
 }
 
@@ -316,6 +545,23 @@ impl SbcParty {
         self.rec.insert(ct, y); // replay protection: dedup on either key
     }
 
+    /// [`on_wire_deliver`](SbcParty::on_wire_deliver) with the wire already
+    /// parsed, encoded and fingerprinted by the caller ([`ParsedWire`]
+    /// documents what is hoisted), shared across recipients. A broadcast
+    /// wire reaches every recipient identically, so the per-recipient work
+    /// shrinks to the period check plus the replay-dedup probes, and a
+    /// fresh reception is recorded by reference. The accept/reject
+    /// decision is identical to the unparsed path.
+    pub fn on_wire_deliver_parsed(&mut self, wire: &std::sync::Arc<ParsedWire>, now: u64) {
+        let (Some(tau_rel), Some(end)) = (self.tau_rel, self.t_end) else {
+            return;
+        };
+        if wire.tau != tau_rel || now >= end {
+            return;
+        }
+        self.rec.insert_parsed(wire);
+    }
+
     /// The parallel compute phase of a sharded release round: precomputes
     /// this party's `τ_rel` step against an immutable snapshot of the round
     /// (`F_TLE` records, `F_RO` view, the party's frozen wire list).
@@ -339,8 +585,8 @@ impl SbcParty {
         let tau_rel = now;
         let mut ro_queries = Vec::new();
         let mut out = Vec::new();
-        for (ct, y) in self.rec.entries() {
-            let resp = match ftle.dec_peek(ct, tau_rel as i64, now) {
+        for (ct_enc, y) in self.rec.entries_encoded() {
+            let resp = match ftle.dec_peek_encoded(ct_enc, tau_rel as i64, now) {
                 Some(r) => r,
                 None => continue, // unknown ciphertext: ⊥, skipped
             };
@@ -359,8 +605,23 @@ impl SbcParty {
         Some(ReleasePlan {
             round: now,
             cmd: Command::new("Broadcast", Value::List(out)),
-            ro_queries,
+            ro_queries: std::sync::Arc::new(ro_queries),
+            warmed: false,
         })
+    }
+
+    /// Whether this party's release step at round `now` is guaranteed to
+    /// compute the same [`ReleasePlan`] as `other`'s: both are at their
+    /// release round, this party has not advanced yet this round, and the
+    /// two wire logs record identical receptions
+    /// ([`WireLog::same_receptions`]). `plan_release` reads nothing else
+    /// of per-party state, so a positive check licenses
+    /// [`ReleasePlan::reissue`] in place of a recomputation.
+    pub fn shares_release_view(&self, other: &SbcParty, now: u64) -> bool {
+        self.last_advance != Some(now)
+            && self.tau_rel == Some(now)
+            && other.tau_rel == Some(now)
+            && self.rec.same_receptions(&other.rec)
     }
 
     /// The round step: publish ready ciphertexts during the period, decrypt
@@ -423,12 +684,16 @@ impl SbcParty {
         }
         if now == tau_rel {
             if let Some(plan) = plan.filter(|p| p.round == now) {
-                ro.absorb_party_queries(&plan.ro_queries);
+                if plan.warmed {
+                    ro.replay_warmed_queries(&plan.ro_queries);
+                } else {
+                    ro.absorb_party_queries(&plan.ro_queries);
+                }
                 return Some(plan.cmd);
             }
             let mut out = Vec::new();
-            for (ct, y) in self.rec.entries() {
-                let resp = match ftle.dec(ct, tau_rel as i64, ctx) {
+            for (ct_enc, y) in self.rec.entries_encoded() {
+                let resp = match ftle.dec_peek_encoded(ct_enc, tau_rel as i64, ctx.time()) {
                     Some(r) => r,
                     None => continue, // unknown ciphertext: ⊥, skipped
                 };
@@ -671,12 +936,40 @@ mod tests {
         assert!(!log.insert(Value::bytes(b"ct-a"), b"y-b".to_vec()));
         assert!(!log.insert(Value::bytes(b"ct-b"), b"y-a".to_vec()));
         assert!(log.insert(Value::bytes(b"ct-b"), b"y-b".to_vec()));
-        assert_eq!(log.entries().len(), 2);
+        assert_eq!(log.len(), 2);
         assert!(!log.is_empty());
         log.clear();
         assert!(log.is_empty());
         // A cleared log accepts previously seen keys again (fresh period).
         assert!(log.insert(Value::bytes(b"ct-a"), b"y-a".to_vec()));
+    }
+
+    #[test]
+    fn wire_log_caches_one_canonical_encoding_per_entry() {
+        // The release round probes F_TLE by canonical ciphertext encoding;
+        // the log computes that encoding exactly once, at insertion, and
+        // the cached bytes must stay equal to `ct.encode()` entry for
+        // entry, in arrival order — including across a clear (period
+        // turnover re-encodes from scratch).
+        let mut log = WireLog::new();
+        let cts = [Value::bytes(b"ct-a"), Value::list([Value::U64(7)])];
+        assert!(log.insert(cts[0].clone(), b"y-a".to_vec()));
+        assert!(log.insert(cts[1].clone(), b"y-b".to_vec()));
+        // A rejected replay must not grow the encoding cache.
+        assert!(!log.insert(cts[0].clone(), b"y-fresh".to_vec()));
+        let encoded: Vec<(Vec<u8>, Vec<u8>)> = log
+            .entries_encoded()
+            .map(|(enc, y)| (enc.to_vec(), y.to_vec()))
+            .collect();
+        assert_eq!(encoded.len(), log.len());
+        for ((enc, y), (ct, y2)) in encoded.iter().zip(log.entries()) {
+            assert_eq!(enc, &ct.encode(), "cached encoding is canonical");
+            assert_eq!(y.as_slice(), y2, "cache iterates in arrival order");
+        }
+        log.clear();
+        assert!(log.entries_encoded().next().is_none());
+        assert!(log.insert(cts[0].clone(), b"y-a".to_vec()));
+        assert_eq!(log.entries_encoded().count(), 1);
     }
 
     #[test]

@@ -73,8 +73,8 @@ mod stats;
 
 pub use loadgen::{LoadGen, LoadProfile};
 pub use service::{
-    DeadlineClass, Outcome, ReleaseRecord, ReleaseSink, SbcService, ServiceConfig, ServiceError,
-    ServiceMode,
+    CheckpointEvery, DeadlineClass, Outcome, ReleaseRecord, ReleaseSink, SbcService, ServiceConfig,
+    ServiceError, ServiceMode,
 };
 pub use stats::{
     LatencyHistogram, LatencySummary, ServiceStats, WallHistogram, WallLatencySummary,

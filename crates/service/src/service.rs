@@ -207,6 +207,26 @@ pub trait ReleaseSink {
     fn on_release(&mut self, record: &ReleaseRecord);
 }
 
+/// Auto-checkpoint policy: how much un-folded history the service
+/// tolerates before [`SbcService::tick`] folds the journal on its own.
+///
+/// Each threshold arms independently (`0` disables it). Once either is
+/// crossed, every subsequent tick attempts
+/// [`SbcService::try_checkpoint`], so the fold lands at the **first era
+/// boundary past the threshold** — a mid-epoch crossing just waits for
+/// the pool to drain. Auto-folds are counted in
+/// [`ServiceStats::auto_folds`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CheckpointEvery {
+    /// Fold once this many instances have finished since the last
+    /// checkpoint — "era" in the scheduling sense: one completed
+    /// instance lifecycle. `0` disables this threshold.
+    pub eras: u64,
+    /// Fold once the post-checkpoint journal tail holds at least this
+    /// many operations. `0` disables this threshold.
+    pub journal_ops: u64,
+}
+
 /// Everything fixed at service construction. The config is part of the
 /// snapshot image, so two services built from equal configs and fed equal
 /// operation sequences are bit-identical.
@@ -241,6 +261,16 @@ pub struct ServiceConfig {
     /// is not replayable), so a restored service always starts with this
     /// off.
     pub record_wall_clock: bool,
+    /// Auto-checkpoint policy (`None` = manual folds only). When set,
+    /// [`SbcService::tick`] calls [`SbcService::try_checkpoint`] at the
+    /// first era boundary past either [`CheckpointEvery`] threshold, so
+    /// the journal — and with it snapshot size and restore time — stays
+    /// bounded without the driver ever calling
+    /// [`SbcService::checkpoint`]. Like `record_wall_clock` the policy
+    /// is **excluded from snapshots**: replay must re-derive the folded
+    /// state from the serialized checkpoint, not from re-running the
+    /// policy, so a restored service starts with it off.
+    pub checkpoint_every: Option<CheckpointEvery>,
 }
 
 impl ServiceConfig {
@@ -258,6 +288,7 @@ impl ServiceConfig {
             flush_after: 4,
             leak_cap: Some(32),
             record_wall_clock: false,
+            checkpoint_every: None,
         }
     }
 
@@ -310,6 +341,14 @@ impl ServiceConfig {
         self.record_wall_clock = on;
         self
     }
+
+    /// Arms the auto-checkpoint policy — see the
+    /// [`checkpoint_every`](ServiceConfig::checkpoint_every) field for
+    /// its trigger and snapshot semantics.
+    pub fn checkpoint_every(mut self, policy: CheckpointEvery) -> Self {
+        self.checkpoint_every = Some(policy);
+        self
+    }
 }
 
 /// Typed service-layer failures.
@@ -321,16 +360,15 @@ pub enum ServiceError {
         /// The configured queue bound.
         cap: usize,
     },
-    /// **Deprecated — legacy single-frame path only.** The operation
-    /// journal no longer fits one codec frame. The size reported is the
-    /// frame's *declared* length (header + body, the quantity the
-    /// codec's own `Oversize` rule caps), so the guard refuses exactly
-    /// the images `restore` would refuse to decode.
-    ///
-    /// Unreachable from [`SbcService::snapshot`]: the streaming
-    /// multi-frame v2 format chunks a payload of any size, so only the
-    /// kept-for-compatibility [`SbcService::snapshot_legacy`] path can
-    /// still return this.
+    /// **Historical — the legacy v1 format is read-only and this is no
+    /// longer returned.** The retired v1 single-frame writer used this
+    /// to refuse journals whose declared frame length (header + body,
+    /// the quantity the codec's `Oversize` rule caps) outgrew
+    /// `MAX_FRAME`. The v2 streaming format — the only writer left —
+    /// chunks a payload of any size, and an over-cap *historical* v1
+    /// image surfaces from [`SbcService::restore`] as
+    /// [`BadSnapshot`](Self::BadSnapshot) at decode time. The variant
+    /// stays so exhaustive matches over `ServiceError` keep compiling.
     SnapshotTooLarge {
         /// The declared frame length the snapshot would need.
         bytes: usize,
@@ -516,6 +554,11 @@ pub struct SbcService<W: SbcBackend = RealSbcWorld> {
     /// from). Observational only — like the wall-clock view it is
     /// excluded from images and from determinism comparisons.
     snapshot_bytes: Cell<u64>,
+    /// Folds performed by the [`CheckpointEvery`] policy (manual
+    /// [`checkpoint`](Self::checkpoint) calls are not counted). Outside
+    /// [`Counters`] on purpose: the policy is excluded from snapshots,
+    /// so this count is too.
+    auto_folds: u64,
 }
 
 /// The mutable counter block behind [`ServiceStats`].
@@ -569,6 +612,7 @@ impl<W: SbcBackend> SbcService<W> {
             live: 0,
             stats: Counters::default(),
             snapshot_bytes: Cell::new(0),
+            auto_folds: 0,
         })
     }
 
@@ -649,7 +693,24 @@ impl<W: SbcBackend> SbcService<W> {
         for (id, result) in releases {
             self.on_release(id, result)?;
         }
+        self.auto_checkpoint();
         Ok(())
+    }
+
+    /// The [`CheckpointEvery`] hook at the tail of every tick: once
+    /// either threshold is crossed, fold at the first era boundary.
+    /// This tick's own journal entry is folded with the rest — the
+    /// checkpoint round already includes the round it advanced.
+    fn auto_checkpoint(&mut self) {
+        let Some(policy) = self.cfg.checkpoint_every else {
+            return;
+        };
+        let eras_due = policy.eras > 0
+            && self.stats.finished - self.checkpoint.counters.finished >= policy.eras;
+        let journal_due = policy.journal_ops > 0 && self.journal.len() as u64 >= policy.journal_ops;
+        if (eras_due || journal_due) && self.try_checkpoint() {
+            self.auto_folds += 1;
+        }
     }
 
     /// Admission: fill the collecting window, open new instances while
@@ -846,6 +907,7 @@ impl<W: SbcBackend> SbcService<W> {
             era: self.checkpoint.era,
             checkpoint_round: self.checkpoint.round,
             journal_ops: self.journal.len() as u64,
+            auto_folds: self.auto_folds,
             snapshot_bytes: self.snapshot_bytes.get(),
             latency: self.hist.summary(),
             wall: self.cfg.record_wall_clock.then(|| self.wall.summary()),
@@ -1085,6 +1147,99 @@ mod tests {
         assert_eq!(wall.count, 2);
         assert!(wall.p50_us <= wall.p90_us && wall.p90_us <= wall.p99_us);
         assert!(wall.max_us >= wall.p99_us || wall.max_us >= wall.mean_us);
+    }
+
+    /// Drives `cycle` submissions to release and drains them, returning
+    /// the deepest journal tail observed along the way.
+    fn drain_cycle(s: &mut SbcService, cycle: u64) -> u64 {
+        let mut max_journal = 0;
+        s.submit(cycle, vec![cycle as u8], DeadlineClass::Interactive)
+            .unwrap();
+        s.tick().unwrap();
+        s.submit(100 + cycle, vec![cycle as u8], DeadlineClass::Interactive)
+            .unwrap();
+        while s.live() > 0 || s.queued() > 0 {
+            s.tick().unwrap();
+            max_journal = max_journal.max(s.stats().journal_ops);
+        }
+        s.drain_releases();
+        // The first post-drain tick sits at an era boundary: an armed
+        // policy past its threshold folds here.
+        s.tick().unwrap();
+        max_journal.max(s.stats().journal_ops)
+    }
+
+    #[test]
+    fn auto_checkpoint_bounds_the_journal() {
+        let mut s = SbcService::new(
+            ServiceConfig::new(2, ServiceMode::Beacon)
+                .seed(b"auto-fold")
+                .batch_size(2)
+                .checkpoint_every(CheckpointEvery {
+                    eras: 0,
+                    journal_ops: 4,
+                }),
+        )
+        .unwrap();
+        let mut max_journal = 0;
+        for cycle in 0..12 {
+            max_journal = max_journal.max(drain_cycle(&mut s, cycle));
+        }
+        // The long-lived service folded itself every cycle: the tail
+        // never outgrew the threshold by more than one epoch's worth of
+        // operations (the crossing has to wait for the boundary).
+        assert!(s.era() >= 11, "era {}", s.era());
+        assert_eq!(s.stats().auto_folds, s.era(), "every fold was automatic");
+        assert!(max_journal <= 8, "journal peaked at {max_journal} ops");
+        assert!(s.stats().journal_ops <= 1, "tail is freshly folded");
+
+        // An unarmed twin fed the same operations never folds: the
+        // journal grows without bound.
+        let mut twin = SbcService::new(
+            ServiceConfig::new(2, ServiceMode::Beacon)
+                .seed(b"auto-fold")
+                .batch_size(2),
+        )
+        .unwrap();
+        let mut twin_max = 0;
+        for cycle in 0..12 {
+            twin_max = twin_max.max(drain_cycle(&mut twin, cycle));
+        }
+        assert_eq!(twin.era(), 0);
+        assert_eq!(twin.stats().auto_folds, 0);
+        assert!(twin_max > max_journal);
+    }
+
+    #[test]
+    fn auto_checkpoint_era_threshold_spans_epochs() {
+        let mut s = SbcService::new(
+            ServiceConfig::new(2, ServiceMode::Beacon)
+                .seed(b"auto-eras")
+                .batch_size(2)
+                .checkpoint_every(CheckpointEvery {
+                    eras: 3,
+                    journal_ops: 0,
+                }),
+        )
+        .unwrap();
+        for cycle in 0..6 {
+            drain_cycle(&mut s, cycle);
+            // Folds land only at every third finished instance; the
+            // boundaries in between leave the journal alone.
+            assert_eq!(s.era(), (cycle + 1) / 3, "after cycle {cycle}");
+            if s.era() == 0 {
+                assert!(s.stats().journal_ops > 0, "unfolded tail persists");
+            }
+        }
+        assert_eq!(s.stats().auto_folds, 2);
+
+        // The policy is config-only: it never enters the wire format, so
+        // the restored twin comes back with manual folds only — but the
+        // folded era itself survives the round trip.
+        let restored = SbcService::<RealSbcWorld>::restore(&s.snapshot().unwrap()).unwrap();
+        assert_eq!(restored.config().checkpoint_every, None);
+        assert_eq!(restored.era(), s.era());
+        assert_eq!(restored.stats().auto_folds, 0);
     }
 
     #[test]

@@ -56,18 +56,20 @@
 //! ```
 //!
 //! The legacy v1 single-`Snapshot`-frame format (lifetime journal, no
-//! checkpoint, `List[0]` per tick) stays decodable by
-//! [`SbcService::restore`]; [`SbcService::snapshot_legacy`] still
-//! produces it for era-0 services, cap and all.
+//! checkpoint, `List[0]` per tick) is **read-only**: the v1 writer is
+//! retired and v2 streaming is the only encoder, but old images stay
+//! decodable by [`SbcService::restore`], which sniffs the format off the
+//! leading frame. The codec's single-frame `MAX_FRAME` ceiling now
+//! exists only on that read path.
 
 use std::io;
 
 use sbc_core::worlds::{SbcBackend, SbcParams};
 use sbc_net::codec::{
     decode_snapshot_stream, encode_snapshot_stream, read_snapshot_stream, write_snapshot_stream,
-    SnapshotStream, SnapshotStreamError, MAX_FRAME,
+    SnapshotStream, SnapshotStreamError,
 };
-use sbc_net::{Endpoint, Frame, FrameKind};
+use sbc_net::{Frame, FrameKind};
 use sbc_uc::value::Value;
 
 use crate::service::{
@@ -164,6 +166,10 @@ fn parse_config(fields: &[Value]) -> Result<ServiceConfig, ServiceError> {
         // replayable, so a restored service starts with the wall-clock
         // view off (and `ServiceStats::wall` = None).
         record_wall_clock: false,
+        // Also excluded: replay must rebuild folded state from the
+        // serialized checkpoint, never by re-running the auto-fold
+        // policy mid-replay — a restored service starts with it off.
+        checkpoint_every: None,
     })
 }
 
@@ -338,10 +344,9 @@ impl<W: SbcBackend> SbcService<W> {
 
     /// Serializes the service into a v2 streaming snapshot (header ‖
     /// chunks ‖ digest trailer — the wire format is documented at the top
-    /// of `snapshot.rs`). Any journal size encodes: unlike the legacy
-    /// [`snapshot_legacy`](Self::snapshot_legacy) single-frame format
-    /// there is no size cap, so this never returns
-    /// [`ServiceError::SnapshotTooLarge`].
+    /// of `snapshot.rs`). Any journal size encodes: unlike the retired
+    /// legacy v1 single-frame format there is no size cap, so this never
+    /// returns [`ServiceError::SnapshotTooLarge`].
     ///
     /// The image carries the current checkpoint plus the post-boundary
     /// tail — [`checkpoint`](Self::checkpoint) at era boundaries to keep
@@ -366,82 +371,10 @@ impl<W: SbcBackend> SbcService<W> {
         Ok(written)
     }
 
-    /// Serializes the service into the legacy v1 single-frame format —
-    /// kept so old images stay reproducible and the cap guard stays
-    /// covered. Prefer [`snapshot`](Self::snapshot).
-    ///
-    /// # Errors
-    ///
-    /// * [`ServiceError::BadSnapshot`] if this service has checkpointed
-    ///   (era > 0): v1 images carry only a birth-relative journal, which
-    ///   a folded service no longer has.
-    /// * [`ServiceError::SnapshotTooLarge`] if the journal no longer fits
-    ///   the codec's frame cap — the bound the v2 streaming format
-    ///   removed.
-    pub fn snapshot_legacy(&self) -> Result<Vec<u8>, ServiceError> {
-        if self.era() > 0 {
-            return Err(bad(format!(
-                "era {} service: the legacy v1 format cannot carry a checkpoint",
-                self.era()
-            )));
-        }
-        let ops: Vec<Value> = self
-            .journal
-            .iter()
-            .flat_map(|op| match op {
-                // v1 has no tick run-length: expand to one op per tick.
-                Op::Ticks(count) => {
-                    vec![Value::list([Value::U64(0)]); *count as usize]
-                }
-                Op::Submit {
-                    client,
-                    payload,
-                    class,
-                } => vec![Value::list([
-                    Value::U64(1),
-                    Value::U64(*client),
-                    Value::bytes(payload),
-                    Value::U64(class.tag()),
-                ])],
-            })
-            .collect();
-        let [params, seed, mode, tuning] = config_values(self.config());
-        let body = Value::list([
-            Value::str(VERSION_TAG_V1),
-            params,
-            seed,
-            mode,
-            tuning,
-            Value::U64(self.stats().delivered),
-            Value::U64(self.stats().rejected),
-            Value::List(ops),
-        ]);
-        let frame = Frame {
-            from: Endpoint::Env,
-            to: Endpoint::Env,
-            sent_at: self.round(),
-            kind: FrameKind::Snapshot(body),
-        };
-        let bytes = frame.encode();
-        // The cap applies to the *declared* length — everything after the
-        // 4-byte outer prefix — which is exactly what the codec's
-        // `Oversize` rule checks at decode time. Guarding on the same
-        // quantity means every image this returns is one `restore` will
-        // accept, boundary included.
-        let declared = bytes.len() - 4;
-        if declared > MAX_FRAME {
-            return Err(ServiceError::SnapshotTooLarge {
-                bytes: declared,
-                max: MAX_FRAME,
-            });
-        }
-        Ok(bytes)
-    }
-
     /// Rebuilds a service from a snapshot image — v2 streaming
-    /// ([`snapshot`](Self::snapshot)) or legacy v1 single-frame
-    /// ([`snapshot_legacy`](Self::snapshot_legacy)), sniffed from the
-    /// leading frame.
+    /// ([`snapshot`](Self::snapshot)) or a legacy v1 single-frame image
+    /// (the retired writer's read-only format), sniffed from the leading
+    /// frame.
     ///
     /// The restored service has **no sinks** — re-register them; records
     /// the original had already delivered are not re-delivered, and
@@ -593,8 +526,55 @@ mod tests {
     use super::*;
     use crate::service::{DeadlineClass, ServiceMode};
     use crate::stats::ServiceStats;
+    use sbc_net::codec::MAX_FRAME;
+    use sbc_net::Endpoint;
 
     type Service = SbcService<sbc_core::worlds::RealSbcWorld>;
+
+    /// The retired v1 single-frame writer, kept test-side only: old
+    /// deployments produced exactly this image, and the reader path must
+    /// keep restoring it. Era-0 only — v1 carries a birth-relative
+    /// journal, which a folded service no longer has.
+    fn v1_image(svc: &Service) -> Vec<u8> {
+        assert_eq!(svc.era(), 0, "v1 images are birth-relative");
+        let ops: Vec<Value> = svc
+            .journal
+            .iter()
+            .flat_map(|op| match op {
+                // v1 had no tick run-length: one `List[0]` per tick.
+                Op::Ticks(count) => {
+                    vec![Value::list([Value::U64(0)]); *count as usize]
+                }
+                Op::Submit {
+                    client,
+                    payload,
+                    class,
+                } => vec![Value::list([
+                    Value::U64(1),
+                    Value::U64(*client),
+                    Value::bytes(payload),
+                    Value::U64(class.tag()),
+                ])],
+            })
+            .collect();
+        let [params, seed, mode, tuning] = config_values(svc.config());
+        Frame {
+            from: Endpoint::Env,
+            to: Endpoint::Env,
+            sent_at: svc.round(),
+            kind: FrameKind::Snapshot(Value::list([
+                Value::str(VERSION_TAG_V1),
+                params,
+                seed,
+                mode,
+                tuning,
+                Value::U64(svc.stats().delivered),
+                Value::U64(svc.stats().rejected),
+                Value::List(ops),
+            ])),
+        }
+        .encode()
+    }
 
     fn seeded() -> Service {
         Service::new(
@@ -718,66 +698,46 @@ mod tests {
         a.submit(1, vec![4], DeadlineClass::Standard).unwrap();
         a.tick().unwrap();
         a.tick().unwrap();
-        let image = a.snapshot_legacy().unwrap();
+        let image = v1_image(&a);
         let mut b = Service::restore(&image).unwrap();
         assert_eq!(replayable(&a.stats()), replayable(&b.stats()));
         assert_eq!(a.shutdown().unwrap(), b.shutdown().unwrap());
     }
 
     #[test]
-    fn legacy_snapshot_refuses_a_checkpointed_service() {
-        let mut a = seeded();
-        a.submit(1, vec![1], DeadlineClass::Interactive).unwrap();
-        while a.stats().finished == 0 {
-            a.tick().unwrap();
-        }
-        a.drain_releases();
-        assert!(a.try_checkpoint());
-        let err = a.snapshot_legacy().unwrap_err();
-        assert!(
-            matches!(&err, ServiceError::BadSnapshot { detail } if detail.contains("era 1")),
-            "{err}"
-        );
-    }
-
-    #[test]
-    fn snapshot_cap_guard_trips_exactly_at_the_frame_cap() {
-        // Legacy-path-only: the v2 streaming format chunks any size. The
-        // guard arithmetic is exact because Value::Bytes encoding is
-        // linear in the payload with slope 1 — measure the fixed overhead
-        // with an empty payload, then land the declared frame length
-        // exactly on MAX_FRAME and one byte past it.
+    fn legacy_frame_cap_survives_on_the_read_path_only() {
+        // The v1 writer (and with it the write-side SnapshotTooLarge
+        // guard) is retired; the MAX_FRAME ceiling lives on only in the
+        // codec's decode-time Oversize rule. The arithmetic is exact
+        // because Value::Bytes encoding is linear in the payload with
+        // slope 1 — measure the fixed overhead with an empty payload,
+        // then land the declared frame length exactly on MAX_FRAME and
+        // one byte past it.
         let base = {
             let mut s = seeded();
             s.submit(1, vec![], DeadlineClass::Standard).unwrap();
-            s.snapshot_legacy().unwrap().len() - 4
+            v1_image(&s).len() - 4
         };
         let fit = MAX_FRAME - base;
 
         let mut s = seeded();
         s.submit(1, vec![0xab; fit], DeadlineClass::Standard)
             .unwrap();
-        let image = s
-            .snapshot_legacy()
-            .expect("declared length exactly at the cap");
+        let image = v1_image(&s);
         assert_eq!(image.len() - 4, MAX_FRAME);
-        // The boundary image is not just accepted by the guard — it
-        // round-trips through the codec, which caps the same quantity.
+        // A boundary-sized historical image still round-trips.
         let restored = Service::restore(&image).unwrap();
         assert_eq!(replayable(&restored.stats()), replayable(&s.stats()));
 
         let mut s = seeded();
         s.submit(1, vec![0xab; fit + 1], DeadlineClass::Standard)
             .unwrap();
-        assert_eq!(
-            s.snapshot_legacy().unwrap_err(),
-            ServiceError::SnapshotTooLarge {
-                bytes: MAX_FRAME + 1,
-                max: MAX_FRAME,
-            },
-            "one byte past the cap is the typed guard, not a codec fault"
-        );
-        // The same oversized journal streams fine through the v2 path.
+        let err = Service::restore(&v1_image(&s))
+            .err()
+            .expect("an over-cap v1 frame must fail to decode");
+        assert!(matches!(&err, ServiceError::BadSnapshot { .. }), "{err}");
+        // The same oversized journal streams fine through the v2 path —
+        // the only writer left has no size cap.
         let image = s.snapshot().expect("v2 has no size cap");
         let restored = Service::restore(&image).unwrap();
         assert_eq!(replayable(&restored.stats()), replayable(&s.stats()));

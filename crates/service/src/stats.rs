@@ -298,6 +298,12 @@ pub struct ServiceStats {
     /// taken now would have to replay. Era-based checkpointing keeps
     /// this O(current era) instead of O(lifetime).
     pub journal_ops: u64,
+    /// Era folds performed by the `ServiceConfig::checkpoint_every`
+    /// auto-checkpoint policy; manual folds are not counted. Like the
+    /// policy itself it is excluded from snapshots, so a restored
+    /// service restarts at 0 — mask it in determinism comparisons
+    /// alongside `snapshot_bytes` when the policy is armed.
+    pub auto_folds: u64,
     /// Bytes of the most recent snapshot image produced by (or restored
     /// into) this service; 0 until one exists. **Observational only**:
     /// like `wall`, it is excluded from snapshots and is the one

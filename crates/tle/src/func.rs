@@ -257,7 +257,25 @@ impl TleFunc {
     /// supplied clock reading. `Dec` never mutates the record set, so
     /// parallel per-party release compute can run it against an immutable
     /// snapshot of the functionality.
+    ///
+    /// This form encodes the ciphertext before probing; callers holding the
+    /// canonical encoding already (the release pipeline caches it per
+    /// received wire) use [`dec_peek_encoded`](TleFunc::dec_peek_encoded)
+    /// directly and skip the re-encode.
     pub fn dec_peek(&self, ct: &Value, tau: i64, now: u64) -> Option<DecResponse> {
+        self.dec_peek_encoded(&ct.encode(), tau, now)
+    }
+
+    /// [`dec_peek`](TleFunc::dec_peek) keyed on the **pre-encoded**
+    /// canonical ciphertext bytes — the allocation-free probe behind both
+    /// `Dec` forms. The index map is keyed on canonical encodings, so a
+    /// borrowed `&[u8]` probes it directly; the candidate records are
+    /// visited through the index vector without collecting them, so a
+    /// probe allocates nothing beyond the response it returns. The release
+    /// pipeline encodes each received ciphertext once (at wire-log
+    /// insertion) and probes with the cached bytes instead of re-encoding
+    /// the same `Value` once per (party, sender) pair per release round.
+    pub fn dec_peek_encoded(&self, ct_enc: &[u8], tau: i64, now: u64) -> Option<DecResponse> {
         if tau < 0 {
             return Some(DecResponse::Bottom);
         }
@@ -266,33 +284,28 @@ impl TleFunc {
             return Some(DecResponse::MoreTime);
         }
         // O(matching) by-ciphertext lookup; the index vector is in record
-        // order, so `matching` is exactly the old linear scan's view.
-        let matching: Vec<&TleRecord> = self
-            .by_ct
-            .get(&ct.encode())
-            .map(|indices| indices.iter().map(|&i| &self.records[i]).collect())
-            .unwrap_or_default();
+        // order, so the probe sees exactly the old linear scan's view.
+        let indices: &[usize] = match self.by_ct.get(ct_enc) {
+            Some(v) => v,
+            None => &[],
+        };
+        let Some(&first_idx) = indices.first() else {
+            return None; // ask the simulator
+        };
+        let first = &self.records[first_idx];
         // Ambiguity: two different plaintexts for one ciphertext.
-        if matching.len() >= 2 {
-            let m0 = &matching[0].msg;
-            if matching
-                .iter()
-                .any(|r| &r.msg != m0 && tau >= r.tau.max(matching[0].tau))
-            {
-                return Some(DecResponse::Bottom);
-            }
+        if indices.iter().any(|&i| {
+            let r = &self.records[i];
+            r.msg != first.msg && tau >= r.tau.max(first.tau)
+        }) {
+            return Some(DecResponse::Bottom);
         }
-        match matching.first() {
-            None => None, // ask the simulator
-            Some(rec) => {
-                if tau >= rec.tau {
-                    Some(DecResponse::Message(rec.msg.clone()))
-                } else if now < rec.tau {
-                    Some(DecResponse::MoreTime)
-                } else {
-                    Some(DecResponse::InvalidTime)
-                }
-            }
+        if tau >= first.tau {
+            Some(DecResponse::Message(first.msg.clone()))
+        } else if now < first.tau {
+            Some(DecResponse::MoreTime)
+        } else {
+            Some(DecResponse::InvalidTime)
         }
     }
 
@@ -550,6 +563,52 @@ mod tests {
         assert_eq!(
             f.dec(&Value::bytes(b"ct2"), 0, &fx.ctx()),
             Some(DecResponse::Message(Value::U64(7)))
+        );
+    }
+
+    #[test]
+    fn encoded_probe_matches_value_probe_on_every_branch() {
+        // dec_peek delegates to dec_peek_encoded; a caller probing with the
+        // cached canonical encoding must see the same response as one
+        // probing with the Value, on every response branch — that is what
+        // licenses the release pipeline to encode each received ciphertext
+        // exactly once (at wire-log insertion) instead of once per
+        // (party, sender) probe.
+        let mut fx = Fx::new(1);
+        let mut f = func();
+        let known = Value::bytes(b"known-ct");
+        f.insert_adversarial(known.clone(), Value::bytes(b"m"), 2);
+        let dup = Value::bytes(b"dup-ct");
+        f.insert_adversarial(dup.clone(), Value::U64(1), 0);
+        f.insert_adversarial(dup.clone(), Value::U64(2), 0);
+        let unknown = Value::bytes(b"unknown-ct");
+        for _ in 0..3 {
+            fx.tick(1);
+        }
+        let now = fx.clock.read();
+        let cases: [(&Value, i64); 6] = [
+            (&known, -1),             // Bottom (negative τ)
+            (&known, now as i64 + 1), // MoreTime (Cl < τ)
+            (&known, 2),              // Message
+            (&known, 1),              // InvalidTime (τ < τ_dec ≤ Cl)
+            (&dup, 0),                // Bottom (ambiguous)
+            (&unknown, 0),            // None (ask the simulator)
+        ];
+        for (ct, tau) in cases {
+            let enc = ct.encode();
+            assert_eq!(
+                f.dec_peek_encoded(&enc, tau, now),
+                f.dec_peek(ct, tau, now),
+                "ct={ct:?} tau={tau}"
+            );
+        }
+        // The probe key is borrowed: a plain byte slice (no owned Vec key,
+        // no Value round-trip) resolves against the canonical-encoding map.
+        let enc = known.encode();
+        let borrowed: &[u8] = &enc;
+        assert_eq!(
+            f.dec_peek_encoded(borrowed, 2, now),
+            Some(DecResponse::Message(Value::bytes(b"m")))
         );
     }
 

@@ -250,6 +250,23 @@ impl RandomOracle {
         }
     }
 
+    /// [`absorb_party_queries`](RandomOracle::absorb_party_queries) for
+    /// queries whose points are **already** in the memo tables — a plan
+    /// reissued from an original that was [`warm`](RandomOracle::warm)ed.
+    /// The memo inserts are then no-ops, so the only observable effect left
+    /// to replay is the query counter: one bump per query, exactly as the
+    /// inline `query_bytes` calls would have. Debug builds assert every
+    /// point really is memoized.
+    pub fn replay_warmed_queries(&mut self, queries: &[(Vec<u8>, Vec<u8>)]) {
+        debug_assert!(
+            queries
+                .iter()
+                .all(|(x, y)| self.vl_table.contains_key(&Self::vl_key(x, y.len()))),
+            "replayed query was never warmed into the memo table"
+        );
+        self.query_count += queries.len() as u64;
+    }
+
     fn expand(&self, key: &[u8], len: usize) -> Vec<u8> {
         let mut out = Vec::with_capacity(len);
         let mut ctr = 0u64;

@@ -1,0 +1,396 @@
+//! Plan/apply sharding of the ideal world, pinned bit-identical.
+//!
+//! `IdealSbcWorld::tick_sharded` shards the delivery round (the only
+//! round with per-party parallel work: cloning the finalized vector for
+//! each of `n` parties) and must be **bit-identical** to the serial
+//! reference — same leak order, same outputs, same adversary responses,
+//! same abort flag — under adaptive corruption and adversarial wire
+//! injection. A whole-round world cannot be driven through `DualRun`'s
+//! per-party `advance` recording, so the serial-vs-sharded comparison runs
+//! a round-granular script against both worlds and compares the full
+//! drained event logs; the sharded-vs-sharded pairs (where both sides step
+//! whole rounds) go through `DualRun` at `CompareLevel::Exact`.
+
+use sbc_core::protocol::sbc_wire;
+use sbc_core::worlds::{IdealSbcWorld, RealSbcWorld, SbcBackend, SbcParams};
+use sbc_primitives::drbg::Drbg;
+use sbc_uc::exec::{CompareLevel, DualRun, SbcWorld, ScopedShards, ShardRunner};
+use sbc_uc::ids::PartyId;
+use sbc_uc::value::{Command, Value};
+use sbc_uc::world::{AdvCommand, Leak, World};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A [`ShardRunner`] that counts how often the sharded fan-out actually
+/// runs — distinguishing rounds where `tick_sharded` engaged its parallel
+/// plan phase from rounds where it fell back to the serial tick.
+#[derive(Debug)]
+struct CountingShards {
+    inner: ScopedShards,
+    runs: AtomicUsize,
+}
+
+impl CountingShards {
+    fn new(width: usize) -> Self {
+        CountingShards {
+            inner: ScopedShards(width),
+            runs: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl ShardRunner for CountingShards {
+    fn run_boxed(&self, jobs: Vec<Box<dyn FnOnce() + Send + '_>>) {
+        self.runs.fetch_add(1, Ordering::SeqCst);
+        self.inner.run_boxed(jobs);
+    }
+    fn width(&self) -> usize {
+        self.inner.width()
+    }
+}
+
+/// Round-granular exact driver: every action drains outputs and leaks into
+/// a log (debug-formatted, order-preserving), so two worlds driven by the
+/// same script are bit-identical iff their logs are equal.
+struct RoundScript<'w> {
+    world: &'w mut dyn SbcWorld,
+    shards: Option<&'w CountingShards>,
+    log: Vec<String>,
+}
+
+impl<'w> RoundScript<'w> {
+    fn new(world: &'w mut dyn SbcWorld, shards: Option<&'w CountingShards>) -> Self {
+        RoundScript {
+            world,
+            shards,
+            log: Vec::new(),
+        }
+    }
+
+    fn sync(&mut self) {
+        let t = self.world.time();
+        let leaks: Vec<Leak> = self.world.drain_leaks();
+        for l in leaks {
+            self.log.push(format!("[{t}] leak {l:?}"));
+        }
+        let outs: Vec<(PartyId, Command)> = self.world.drain_outputs();
+        for (p, c) in outs {
+            self.log.push(format!("[{t}] out {p:?} {c:?}"));
+        }
+    }
+
+    fn submit(&mut self, party: u32, msg: &[u8]) {
+        self.world
+            .input(PartyId(party), Command::new("Broadcast", Value::bytes(msg)));
+        self.sync();
+    }
+
+    fn round(&mut self) {
+        match self.shards {
+            Some(s) => self.world.tick_sharded(s),
+            None => self.world.tick(),
+        }
+        self.sync();
+    }
+
+    fn rounds(&mut self, k: u64) {
+        for _ in 0..k {
+            self.round();
+        }
+    }
+
+    fn adversary(&mut self, cmd: AdvCommand) -> Value {
+        let resp = self.world.adversary(cmd.clone());
+        let t = self.world.time();
+        self.log.push(format!("[{t}] adv {cmd:?} -> {resp:?}"));
+        self.sync();
+        resp
+    }
+
+    fn finish_epoch(&mut self) {
+        self.log.push(format!(
+            "epoch-end t={} tau_rel={:?} abort={}",
+            self.world.time(),
+            self.world.release_round(),
+            self.world.would_abort()
+        ));
+        self.world.begin_new_period();
+        self.sync();
+    }
+}
+
+/// The adversarial-broadcast recipe of `SbcSession::inject_message`,
+/// replayed identically in each world (same DRBG seed per run).
+fn inject(s: &mut RoundScript<'_>, rng: &mut Drbg, party: u32, message: &[u8]) {
+    let tau_rel = s.world.release_round().expect("period open");
+    let ct = Value::bytes(rng.gen_bytes(64));
+    let rho = rng.gen_bytes(32);
+    s.adversary(AdvCommand::Control {
+        target: "F_TLE".into(),
+        cmd: Command::new(
+            "Insert",
+            Value::list([ct.clone(), Value::bytes(&rho), Value::U64(tau_rel)]),
+        ),
+    });
+    let m_bytes = Value::bytes(message).encode();
+    let eta = s
+        .adversary(AdvCommand::Control {
+            target: "F_RO".into(),
+            cmd: Command::new(
+                "QueryBytes",
+                Value::list([Value::bytes(&rho), Value::U64(m_bytes.len() as u64)]),
+            ),
+        })
+        .as_bytes()
+        .expect("mask is bytes")
+        .to_vec();
+    let y: Vec<u8> = m_bytes.iter().zip(eta.iter()).map(|(a, b)| a ^ b).collect();
+    s.adversary(AdvCommand::SendAs {
+        party: PartyId(party),
+        cmd: Command::new("Broadcast", sbc_wire(&ct, tau_rel, &y)),
+    });
+}
+
+/// The shared two-epoch scenario: 64 parties, adaptive mid-period
+/// corruption in epoch 0, a leakage probe plus an adversarial injection
+/// plus a garbage wire in epoch 1, late drains throughout. Each epoch
+/// submits from enough parties that the real world's deferred delivery
+/// batch clears its serial-fallback floor (`PAR_DELIVERY_MIN`) and the
+/// recipient fan-out genuinely engages.
+fn two_epoch_script(s: &mut RoundScript<'_>) {
+    let mut adv_rng = Drbg::from_seed(b"ideal-sharded/adversary");
+    for p in [0u32, 5, 7, 13, 22, 31, 40, 51, 63] {
+        s.submit(p, format!("e0/p{p}").as_bytes());
+    }
+    s.round();
+    s.adversary(AdvCommand::Corrupt(PartyId(63)));
+    s.rounds(9); // τ_rel = 5: drain late
+    s.finish_epoch();
+
+    for p in [1u32, 4, 8, 17, 26, 30, 44, 58] {
+        s.submit(p, format!("e1/p{p}").as_bytes());
+    }
+    s.round();
+    s.adversary(AdvCommand::Control {
+        target: "F_TLE".into(),
+        cmd: Command::new("Leakage", Value::Unit),
+    });
+    inject(s, &mut adv_rng, 63, b"e1/evil");
+    s.adversary(AdvCommand::SendAs {
+        party: PartyId(63),
+        cmd: Command::new("Broadcast", Value::bytes(b"not a wire")),
+    });
+    s.rounds(10);
+    s.finish_epoch();
+}
+
+fn backend<W: SbcBackend>(n: usize, seed: &[u8]) -> W {
+    W::from_params(SbcParams::default_for(n), seed).expect("valid default params")
+}
+
+/// Acceptance gate for ideal-world sharding at world scope: the serial
+/// tick vs `tick_sharded` on identically seeded `IdealSbcWorld`s must
+/// produce bit-identical event logs (leak order included) across two
+/// epochs with corruption and injection — and the sharded fan-out must
+/// have actually engaged on each epoch's delivery round.
+#[test]
+fn ideal_sharded_matches_serial_exact_world_scope() {
+    let mut serial: IdealSbcWorld = backend(64, b"ideal-sharded");
+    let mut serial_script = RoundScript::new(&mut serial, None);
+    two_epoch_script(&mut serial_script);
+    let serial_log = serial_script.log;
+
+    let counter = CountingShards::new(3);
+    let mut sharded: IdealSbcWorld = backend(64, b"ideal-sharded");
+    let mut sharded_script = RoundScript::new(&mut sharded, Some(&counter));
+    two_epoch_script(&mut sharded_script);
+    let sharded_log = sharded_script.log;
+
+    assert_eq!(serial_log, sharded_log, "bit-identical event logs");
+    assert_eq!(
+        counter.runs.load(Ordering::SeqCst),
+        2,
+        "the parallel plan phase ran on exactly each epoch's delivery round"
+    );
+    // The delivery rounds actually delivered: 63 honest parties per epoch.
+    let outs = serial_log.iter().filter(|l| l.contains("] out ")).count();
+    assert_eq!(outs, 2 * 63, "both epochs released to every honest party");
+}
+
+/// The same gate for the rewritten real-world pipeline: the reusable
+/// plan-slot `tick_sharded` stays bit-identical to the serial tick at
+/// world scope under the same adversarial script. Release rounds are
+/// expected to be covered by the shared-plan fast path (broadcast makes
+/// every honest wire log identical, so no parallel plan phase runs); the
+/// fan-out asserted here is the recipient-sharded delivery batch, which
+/// engages once per epoch's broadcast round.
+#[test]
+fn real_sharded_matches_serial_exact_world_scope() {
+    let mut serial: RealSbcWorld = backend(64, b"real-sharded");
+    let mut serial_script = RoundScript::new(&mut serial, None);
+    two_epoch_script(&mut serial_script);
+    let serial_log = serial_script.log;
+
+    let counter = CountingShards::new(3);
+    let mut sharded: RealSbcWorld = backend(64, b"real-sharded");
+    let mut sharded_script = RoundScript::new(&mut sharded, Some(&counter));
+    two_epoch_script(&mut sharded_script);
+
+    assert_eq!(serial_log, sharded_script.log, "bit-identical event logs");
+    assert!(counter.runs.load(Ordering::SeqCst) >= 2, "fan-out engaged");
+}
+
+/// A backend wrapper that routes every round through
+/// [`SbcWorld::tick_sharded`]: the first honest `advance` of a round runs
+/// the whole sharded round on the inner world (which advances every honest
+/// party), and the remaining per-party `advance` calls of that round are
+/// no-ops. Two such wrappers step at identical whole-round granularity, so
+/// a `DualRun` over a pair of them compares cleanly at
+/// `CompareLevel::Exact`.
+#[derive(Debug)]
+struct ShardedRounds<W: SbcWorld> {
+    inner: W,
+    width: usize,
+    /// Remaining no-op `advance` calls before the next round runs.
+    skip: usize,
+}
+
+impl<W: SbcWorld> ShardedRounds<W> {
+    fn new(inner: W, width: usize) -> Self {
+        ShardedRounds {
+            inner,
+            width,
+            skip: 0,
+        }
+    }
+}
+
+impl<W: SbcWorld> World for ShardedRounds<W> {
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+    fn time(&self) -> u64 {
+        self.inner.time()
+    }
+    fn input(&mut self, party: PartyId, cmd: Command) {
+        self.inner.input(party, cmd);
+    }
+    fn advance(&mut self, _party: PartyId) {
+        if self.skip > 0 {
+            self.skip -= 1;
+            return;
+        }
+        // Corruption only changes between rounds, so the honest count at
+        // the first advance of a round is the number of advance calls the
+        // driver will issue for it.
+        let honest = (0..self.inner.n())
+            .filter(|&i| !self.inner.is_corrupted(PartyId(i as u32)))
+            .count();
+        self.skip = honest.saturating_sub(1);
+        self.inner.tick_sharded(&ScopedShards(self.width));
+    }
+    fn adversary(&mut self, cmd: AdvCommand) -> Value {
+        self.inner.adversary(cmd)
+    }
+    fn drain_outputs(&mut self) -> Vec<(PartyId, Command)> {
+        self.inner.drain_outputs()
+    }
+    fn drain_leaks(&mut self) -> Vec<Leak> {
+        self.inner.drain_leaks()
+    }
+    fn is_corrupted(&self, party: PartyId) -> bool {
+        self.inner.is_corrupted(party)
+    }
+}
+
+impl<W: SbcWorld> SbcWorld for ShardedRounds<W> {
+    fn begin_new_period(&mut self) {
+        self.inner.begin_new_period();
+    }
+    fn release_round(&self) -> Option<u64> {
+        self.inner.release_round()
+    }
+    fn period_end(&self) -> Option<u64> {
+        self.inner.period_end()
+    }
+    fn would_abort(&self) -> bool {
+        self.inner.would_abort()
+    }
+}
+
+/// The dual-run scenario mirroring [`two_epoch_script`], expressed in
+/// harness actions.
+fn drive_two_epochs<R: SbcWorld, I: SbcWorld>(dual: &mut DualRun<R, I>) {
+    let mut adv_rng = Drbg::from_seed(b"ideal-sharded/adversary");
+    for p in [0u32, 7, 31, 63] {
+        dual.submit(PartyId(p), format!("e0/p{p}").as_bytes());
+    }
+    dual.advance_all();
+    dual.corrupt(PartyId(63));
+    dual.idle_rounds(9);
+    assert_eq!(dual.finish_epoch().expect("epoch 0 aligned"), 0);
+
+    for p in [1u32, 8, 30] {
+        dual.submit(PartyId(p), format!("e1/p{p}").as_bytes());
+    }
+    dual.advance_all();
+    dual.adversary(AdvCommand::Control {
+        target: "F_TLE".into(),
+        cmd: Command::new("Leakage", Value::Unit),
+    });
+    let tau_rel = dual.release_round().expect("period open");
+    let ct = Value::bytes(adv_rng.gen_bytes(64));
+    let rho = adv_rng.gen_bytes(32);
+    dual.adversary(AdvCommand::Control {
+        target: "F_TLE".into(),
+        cmd: Command::new(
+            "Insert",
+            Value::list([ct.clone(), Value::bytes(&rho), Value::U64(tau_rel)]),
+        ),
+    });
+    let m_bytes = Value::bytes(b"e1/evil").encode();
+    let (eta_a, eta_b) = dual.adversary(AdvCommand::Control {
+        target: "F_RO".into(),
+        cmd: Command::new(
+            "QueryBytes",
+            Value::list([Value::bytes(&rho), Value::U64(m_bytes.len() as u64)]),
+        ),
+    });
+    assert_eq!(eta_a, eta_b, "same seed, same oracle point");
+    let eta = eta_a.as_bytes().expect("mask is bytes").to_vec();
+    let y: Vec<u8> = m_bytes.iter().zip(eta.iter()).map(|(a, b)| a ^ b).collect();
+    dual.adversary(AdvCommand::SendAs {
+        party: PartyId(63),
+        cmd: Command::new("Broadcast", sbc_wire(&ct, tau_rel, &y)),
+    });
+    dual.adversary(AdvCommand::SendAs {
+        party: PartyId(63),
+        cmd: Command::new("Broadcast", Value::bytes(b"not a wire")),
+    });
+    dual.idle_rounds(10);
+    assert_eq!(dual.finish_epoch().expect("epoch 1 aligned"), 1);
+}
+
+/// Shard-width invariance: a `DualRun` where *both* worlds run sharded —
+/// with different widths — stays `Exact`. Covers the ideal pair and the
+/// real pair (the latter pinning the reusable plan-slot pipeline against
+/// itself under a different shard split).
+#[test]
+fn both_worlds_sharded_stays_exact() {
+    let mut ideal: DualRun<ShardedRounds<IdealSbcWorld>, ShardedRounds<IdealSbcWorld>> =
+        DualRun::new(
+            ShardedRounds::new(backend(64, b"both-sharded"), 2),
+            ShardedRounds::new(backend(64, b"both-sharded"), 7),
+            CompareLevel::Exact,
+        );
+    drive_two_epochs(&mut ideal);
+    let (t_a, t_b) = ideal.into_transcripts();
+    assert_eq!(t_a.digest(), t_b.digest());
+    assert!(!t_a.outputs().is_empty(), "epochs released");
+
+    let mut real: DualRun<ShardedRounds<RealSbcWorld>, ShardedRounds<RealSbcWorld>> = DualRun::new(
+        ShardedRounds::new(backend(64, b"both-sharded/real"), 2),
+        ShardedRounds::new(backend(64, b"both-sharded/real"), 5),
+        CompareLevel::Exact,
+    );
+    drive_two_epochs(&mut real);
+}

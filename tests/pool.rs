@@ -20,7 +20,7 @@ use sbc_core::pool::{InstanceId, PartyShard, PooledSbcWorld, SbcPool, TickMode};
 use sbc_core::protocol::sbc_wire;
 use sbc_core::worlds::{IdealSbcWorld, RealSbcWorld, SbcBackend, SbcParams};
 use sbc_primitives::drbg::Drbg;
-use sbc_uc::exec::{CompareLevel, PoolDualRun, SbcWorld};
+use sbc_uc::exec::{CompareLevel, PoolDualRun, PoolWorld, SbcWorld};
 use sbc_uc::ids::PartyId;
 use sbc_uc::value::{Command, Value};
 use sbc_uc::world::{AdvCommand, Leak, World};
@@ -41,8 +41,15 @@ fn pool_pair(n: usize, seed: &[u8]) -> Pair {
 }
 
 /// The adversarial-broadcast recipe of `SbcSession::inject_message`,
-/// expressed in instance-scoped dual-pool driver actions.
-fn inject(dual: &mut Pair, rng: &mut Drbg, instance: InstanceId, party: PartyId, message: &[u8]) {
+/// expressed in instance-scoped dual-pool driver actions (generic over the
+/// pool pair under comparison).
+fn inject<A: PoolWorld, B: PoolWorld>(
+    dual: &mut PoolDualRun<A, B>,
+    rng: &mut Drbg,
+    instance: InstanceId,
+    party: PartyId,
+    message: &[u8],
+) {
     let tau_rel = dual.release_round(instance).expect("period open");
     let ct = Value::bytes(rng.gen_bytes(64));
     let rho = rng.gen_bytes(32);
@@ -437,6 +444,120 @@ fn two_level_sharded_schedule_is_bit_identical_to_serial() {
     for id in ids {
         assert_eq!(t_serial[&id].digest(), t_sharded[&id].digest());
         assert!(!t_serial[&id].outputs().is_empty(), "{id} released");
+    }
+}
+
+/// Acceptance test for ideal-world sharding at pool scope: a 16-instance ×
+/// 64-party pool of **ideal** backends stepped by the fully parallel
+/// schedule — instances fanned across the persistent executor AND every
+/// instance's delivery round sharded through
+/// `IdealSbcWorld::tick_sharded` (`PartyShard::Sharded` forced on) — must
+/// produce **bit-identical** keyed transcripts to the all-serial reference
+/// schedule, across 2 epochs per instance, under adaptive mid-period
+/// corruption and committed adversarial injection (`F_TLE` Insert +
+/// `F_RO`-derived mask + `SendAs` wire). `CompareLevel::Exact` compares
+/// full transcripts, so any slip in the quiescence gate or the plan/merge
+/// split of the simulator's mirror fails loudly here.
+#[test]
+fn pool_of_ideal_sharded_schedule_is_bit_identical_to_serial() {
+    const N: usize = 64;
+    const INSTANCES: usize = 16;
+    fn world(mode: TickMode, shard: PartyShard) -> PooledSbcWorld<IdealSbcWorld> {
+        let mut w =
+            PooledSbcWorld::new(SbcParams::default_for(N), b"ideal-pool").expect("valid params");
+        w.set_tick_mode(mode);
+        w.set_party_shard(shard);
+        w
+    }
+    let mut dual = PoolDualRun::new(
+        world(TickMode::Serial, PartyShard::Serial),
+        world(TickMode::Parallel, PartyShard::Sharded),
+        CompareLevel::Exact,
+    );
+    let mut adv_rng = Drbg::from_seed(b"ideal-pool/adversary");
+    let ids: Vec<InstanceId> = (0..INSTANCES).map(|_| dual.open_instance()).collect();
+    for epoch in 0..2u64 {
+        for (k, &id) in ids.iter().enumerate() {
+            dual.submit(
+                id,
+                PartyId((k % 7) as u32),
+                format!("e{epoch}/i{k}/a").as_bytes(),
+            );
+            dual.submit(
+                id,
+                PartyId((k % 7 + 8) as u32),
+                format!("e{epoch}/i{k}/b").as_bytes(),
+            );
+        }
+        dual.step_round(); // periods open: τ_rel agreed everywhere
+        if epoch == 0 {
+            let (cr, ci) = dual.corrupt(PartyId(63));
+            assert!(cr && ci);
+        }
+        // Committed injections on a quarter of the instances, plus a
+        // garbage wire on one — the sharded delivery round must carry the
+        // injected messages identically.
+        for (k, &id) in ids.iter().enumerate().filter(|(k, _)| k % 4 == 0) {
+            inject(
+                &mut dual,
+                &mut adv_rng,
+                id,
+                PartyId(63),
+                format!("e{epoch}/i{k}/evil").as_bytes(),
+            );
+        }
+        dual.adversary(
+            ids[3],
+            AdvCommand::SendAs {
+                party: PartyId(63),
+                cmd: Command::new("Broadcast", Value::bytes(b"not a wire")),
+            },
+        );
+        dual.idle_rounds(8); // release at τ_rel; drain late
+        for &id in &ids {
+            assert_eq!(
+                dual.finish_epoch(id).unwrap_or_else(|d| panic!("{d}")),
+                epoch,
+                "epoch {epoch} aligned"
+            );
+        }
+    }
+    let (t_serial, t_sharded) = dual.into_transcripts();
+    assert_eq!(t_serial.len(), INSTANCES);
+    for id in ids {
+        assert_eq!(t_serial[&id].digest(), t_sharded[&id].digest());
+        assert!(!t_serial[&id].outputs().is_empty(), "{id} released");
+    }
+}
+
+/// Theorem 2 with *both* pools on the fully sharded schedule: the real
+/// pool and the ideal pool each run `tick_sharded` on the persistent
+/// executor, and the real/ideal comparison still holds at the usual
+/// pool level (transcript shape + exact outputs, keyed by instance) under
+/// corruption and injection.
+#[test]
+fn pool_theorem2_holds_with_both_pools_sharded() {
+    fn world<W: SbcBackend>() -> PooledSbcWorld<W> {
+        let mut w = PooledSbcWorld::new(SbcParams::default_for(64), b"both-sharded-pools")
+            .expect("valid params");
+        w.set_tick_mode(TickMode::Parallel);
+        w.set_party_shard(PartyShard::Sharded);
+        w
+    }
+    let mut dual: PoolDualRun<PooledSbcWorld<RealSbcWorld>, PooledSbcWorld<IdealSbcWorld>> =
+        PoolDualRun::new(world(), world(), CompareLevel::ShapeAndOutputs);
+    let mut adv_rng = Drbg::from_seed(b"both-sharded-pools/adversary");
+    let ids: Vec<InstanceId> = (0..4).map(|_| dual.open_instance()).collect();
+    for (k, &id) in ids.iter().enumerate() {
+        dual.submit(id, PartyId((k % 5) as u32), format!("i{k}").as_bytes());
+    }
+    dual.step_round();
+    let (cr, ci) = dual.corrupt(PartyId(63));
+    assert!(cr && ci);
+    inject(&mut dual, &mut adv_rng, ids[0], PartyId(63), b"i0/evil");
+    dual.idle_rounds(9);
+    for &id in &ids {
+        assert_eq!(dual.finish_epoch(id).unwrap_or_else(|d| panic!("{d}")), 0);
     }
 }
 
